@@ -1,0 +1,83 @@
+"""Extension studies beyond the paper's evaluation.
+
+* **Energy to solution** — Table II extended across machines: joules per
+  evolved cell for the DWD workload on Fugaku vs Perlmutter (CPU/GPU).
+* **Weak scaling** — constant work per node, the companion to Fig. 6.
+* **Partition quality** — SFC versus a naive round-robin distribution:
+  the remote-exchange fraction that drives the communication model.
+"""
+
+import pytest
+
+from repro.distsim import RunConfig, simulate_step
+from repro.distsim.sweep import node_series, weak_scaling_curve
+from repro.machines import FUGAKU, PERLMUTTER
+from repro.octree.partition import round_robin_partition, partition_stats, sfc_partition
+from repro.scenarios import dwd_scenario, rotating_star
+
+from benchmarks.conftest import emit, format_series
+from tests.conftest import make_uniform_mesh
+
+
+def test_energy_to_solution(benchmark):
+    spec = dwd_scenario(level=12, build_mesh=False).spec
+
+    def run():
+        rows = []
+        for label, machine, gpu, simd in (
+            ("Fugaku (SVE)", FUGAKU, False, True),
+            ("Perlmutter CPU", PERLMUTTER, False, False),
+            ("Perlmutter 4xA100", PERLMUTTER, True, False),
+        ):
+            r = simulate_step(spec, RunConfig(machine=machine, nodes=8, use_gpus=gpu, simd=simd))
+            joules_per_cell = r.job_power_w * r.total_s / (spec.n_cells / 8)
+            rows.append((label, f"{r.cells_per_second:.3e}",
+                         f"{r.job_power_w:.0f}", f"{joules_per_cell:.3e}"))
+        return rows
+
+    rows = benchmark(run)
+    emit("ext_energy_to_solution",
+         format_series("config  cells/s  watts  J/cell/node-step", rows))
+    # GPUs win on energy per cell despite the higher node power.
+    j = {r[0]: float(r[3]) for r in rows}
+    assert j["Perlmutter 4xA100"] < j["Perlmutter CPU"]
+
+
+def test_weak_scaling(benchmark):
+    spec = rotating_star(level=5, build_mesh=False).spec
+
+    def run():
+        return weak_scaling_curve(
+            spec, FUGAKU, node_series(1, 1024), subgrids_per_node=4882
+        )
+
+    curve = benchmark(run)
+    rows = [
+        (p.nodes, f"{p.total_s * 1e3:.3f} ms", f"{p.utilization:.2f}")
+        for p in curve
+    ]
+    emit("ext_weak_scaling", format_series("nodes  time/step  util", rows))
+    # Weak-scaling degradation stays bounded: 1024 nodes cost < 2x the
+    # single-node step time for constant work per node.
+    assert curve[-1].total_s < 2.0 * curve[0].total_s
+
+
+def test_partition_quality(benchmark):
+    mesh = make_uniform_mesh(levels=2)
+
+    def run():
+        sfc_partition(mesh, 8)
+        sfc = partition_stats(mesh, 8)
+        round_robin_partition(mesh, 8)
+        naive = partition_stats(mesh, 8)
+        return sfc, naive
+
+    sfc, naive = benchmark(run)
+    rows = [
+        ("sfc", f"{sfc.remote_fraction:.3f}", f"{sfc.imbalance:.3f}"),
+        ("round-robin", f"{naive.remote_fraction:.3f}", f"{naive.imbalance:.3f}"),
+    ]
+    emit("ext_partition_quality",
+         format_series("partition  remote_fraction  imbalance", rows))
+    # The SFC keeps most exchanges on-node; round-robin scatters them.
+    assert sfc.remote_fraction < 0.75 * naive.remote_fraction

@@ -1,0 +1,66 @@
+"""Fig. 10: rotating star level 5 on Ookami vs Supercomputer Fugaku.
+
+Paper finding: Ookami (fully optimized: newer SVE, comm optimization,
+multipole splitting) runs slightly ahead up to 4 nodes, ties around 8, and
+pulls clearly ahead beyond — the Fugaku runs used an older SVE version and
+no multipole splitting.  The scalar Ookami curve sits 2-3x below its SVE
+curve throughout.
+"""
+
+from repro.distsim import scaling_curve
+from repro.distsim.sweep import node_series
+from repro.machines import FUGAKU, OOKAMI
+from repro.scenarios import rotating_star
+
+from benchmarks.conftest import emit, format_series
+
+
+def run_curves():
+    spec = rotating_star(level=5, build_mesh=False).spec
+    nodes = node_series(1, 128)
+    return {
+        "ookami-sve": scaling_curve(
+            spec, OOKAMI, nodes, simd=True, tasks_per_multipole_kernel=16
+        ),
+        "ookami-scalar": scaling_curve(
+            spec, OOKAMI, nodes, simd=False, tasks_per_multipole_kernel=16
+        ),
+        "fugaku-sve": scaling_curve(
+            spec, FUGAKU, nodes, simd=True, simd_maturity=0.7,
+            tasks_per_multipole_kernel=1,
+        ),
+    }
+
+
+def test_fig10_ookami_vs_fugaku(benchmark):
+    curves = benchmark(run_curves)
+    rows = []
+    for name, curve in curves.items():
+        for point in curve:
+            rows.append((name, point.nodes, f"{point.cells_per_second:.3e}"))
+    from repro.distsim.report import ascii_loglog, curve_to_points
+
+    plot = ascii_loglog(
+        {name: curve_to_points(curve) for name, curve in curves.items()}
+    )
+    emit(
+        "fig10_ookami_vs_fugaku",
+        format_series("config  nodes  cells/s", rows) + [""] + plot,
+    )
+
+    by_nodes = {
+        name: {p.nodes: p.cells_per_second for p in curve}
+        for name, curve in curves.items()
+    }
+    # Slightly better on Ookami up to 4 nodes (newer SVE).
+    for nodes in (1, 2, 4):
+        ratio = by_nodes["ookami-sve"][nodes] / by_nodes["fugaku-sve"][nodes]
+        assert 1.0 < ratio < 1.4, (nodes, ratio)
+    # Very close at 8 nodes.
+    assert by_nodes["ookami-sve"][8] / by_nodes["fugaku-sve"][8] < 1.35
+    # Much better at 128 (multipole splitting + interconnect software).
+    assert by_nodes["ookami-sve"][128] / by_nodes["fugaku-sve"][128] > 1.3
+    # The scalar curve trails the SVE curve by 2-3x where compute dominates;
+    # the gap compresses at scale as unvectorised phases take over.
+    assert 1.8 < by_nodes["ookami-sve"][1] / by_nodes["ookami-scalar"][1] < 3.0
+    assert 1.3 < by_nodes["ookami-sve"][128] / by_nodes["ookami-scalar"][128] < 3.0

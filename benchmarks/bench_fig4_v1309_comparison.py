@@ -1,0 +1,83 @@
+"""Figs. 4a/4b: the v1309 scenario on Summit, Piz Daint and Fugaku.
+
+Paper findings: each machine starts at the smallest node count whose memory
+fits the 17 M sub-grid scenario (Summit 1, Piz Daint 4, Fugaku 16); Summit
+(6x V100/node) is fastest, Piz Daint second, Fugaku close behind Piz Daint.
+
+The paper's reported starting points (4 and 16) exceed our pure
+capacity-model minima (2 and 4) — the real runs were also constrained by
+GPU memory and queue granularity; we use the paper's values.
+"""
+
+from repro.distsim import RunConfig, scaling_curve, simulate_step, speedup_series
+from repro.distsim.sweep import node_series
+from repro.machines import FUGAKU, PIZ_DAINT, SUMMIT
+from repro.scenarios import v1309_scenario
+
+from benchmarks.conftest import emit, format_series
+
+#: (machine, paper's starting node count, gpu?) per the paper's Fig. 4.
+CONFIGS = (
+    (SUMMIT, 1, True),
+    (PIZ_DAINT, 4, True),
+    (FUGAKU, 16, False),
+)
+
+
+def run_curves():
+    spec = v1309_scenario(level=11, build_mesh=False).spec
+    curves = {}
+    for machine, start, gpu in CONFIGS:
+        nodes = node_series(start, start * 16)
+        curves[machine.name] = scaling_curve(
+            spec, machine, nodes, use_gpus=gpu, simd=True
+        )
+    return curves
+
+
+def test_fig4a_processed_subgrids_per_second(benchmark):
+    curves = benchmark(run_curves)
+    rows = []
+    for name, curve in curves.items():
+        for point in curve:
+            rows.append((name, point.nodes, f"{point.subgrids_per_second:.3e}"))
+    from repro.distsim.report import ascii_loglog
+
+    plot = ascii_loglog(
+        {
+            name: [(p.nodes, p.subgrids_per_second) for p in curve]
+            for name, curve in curves.items()
+        },
+        y_label="subgrids/s",
+    )
+    emit(
+        "fig4a_v1309_subgrids_per_s",
+        format_series("machine  nodes  subgrids/s", rows) + [""] + plot,
+    )
+
+    # Orderings at a common node count (16).
+    at16 = {
+        name: next(p for p in curve if p.nodes == 16)
+        for name, curve in curves.items()
+        if any(p.nodes == 16 for p in curve)
+    }
+    assert (
+        at16["Summit"].cells_per_second
+        > at16["Piz Daint"].cells_per_second
+        > at16["Fugaku"].cells_per_second
+    )
+    # "Fugaku close to Piz Daint": within one order of magnitude.
+    assert at16["Piz Daint"].cells_per_second / at16["Fugaku"].cells_per_second < 10
+
+
+def test_fig4b_speedups(benchmark):
+    curves = benchmark(run_curves)
+    rows = []
+    for name, curve in curves.items():
+        for point, s in zip(curve, speedup_series(curve)):
+            rows.append((name, point.nodes, f"{s:.2f}"))
+    emit("fig4b_v1309_speedup", format_series("machine  nodes  S", rows))
+    for curve in curves.values():
+        s = speedup_series(curve)
+        assert s[0] == 1.0
+        assert all(b > a for a, b in zip(s, s[1:]))

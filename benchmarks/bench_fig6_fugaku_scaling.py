@@ -1,0 +1,64 @@
+"""Fig. 6: rotating-star scaling on Fugaku up to 1024 nodes.
+
+Paper findings: level 5 (2.5 M cells) scales to ~64 nodes, level 6 (14.2 M)
+to ~512, level 7 (88.6 M) keeps scaling to 1024 — each level runs out of
+work per core at its knee.  SVE and the communication optimization enabled.
+"""
+
+from repro.distsim import scaling_curve
+from repro.distsim.sweep import node_series
+from repro.machines import FUGAKU
+from repro.scenarios import rotating_star
+
+from benchmarks.conftest import emit, format_series
+
+SERIES = {
+    5: node_series(1, 256),
+    6: node_series(128, 1024),
+    7: [400, 512, 1024],
+}
+
+
+def run_curves():
+    return {
+        level: scaling_curve(
+            rotating_star(level=level, build_mesh=False).spec,
+            FUGAKU,
+            nodes,
+            simd=True,
+            comm_local_optimization=True,
+        )
+        for level, nodes in SERIES.items()
+    }
+
+
+def test_fig6_rotating_star_scaling(benchmark):
+    curves = benchmark(run_curves)
+    rows = []
+    for level, curve in curves.items():
+        for point in curve:
+            rows.append(
+                (f"level{level}", point.nodes, f"{point.cells_per_second:.3e}",
+                 f"util={point.utilization:.2f}")
+            )
+    from repro.distsim.report import ascii_loglog, curve_to_points
+
+    plot = ascii_loglog(
+        {f"level {lvl}": curve_to_points(c) for lvl, c in curves.items()}
+    )
+    emit(
+        "fig6_fugaku_scaling",
+        format_series("series  nodes  cells/s  util", rows) + [""] + plot,
+    )
+
+    def rate(level, nodes):
+        return next(p for p in curves[level] if p.nodes == nodes).cells_per_second
+
+    # Level 5: good scaling to 64, saturated by 256.
+    assert rate(5, 64) / rate(5, 1) > 30
+    assert rate(5, 256) / rate(5, 64) < 2.0
+    # Level 6: keeps scaling 128 -> 512, knee after.
+    assert rate(6, 512) / rate(6, 128) > 2.0
+    assert rate(6, 1024) / rate(6, 512) < 1.5
+    # Level 7: still scaling at 1024.
+    assert rate(7, 1024) / rate(7, 400) > 1.8

@@ -1,0 +1,47 @@
+"""Fig. 7: influence of SVE vectorization on distributed Ookami runs.
+
+Paper finding: explicit SVE SIMD types speed up the compute kernels by a
+factor of 2-3, clearly visible in cells/s across 1-128 nodes even though
+only the compute kernels are vectorised.
+"""
+
+from repro.distsim import scaling_curve
+from repro.distsim.sweep import node_series
+from repro.machines import OOKAMI
+from repro.scenarios import rotating_star
+
+from benchmarks.conftest import emit, format_series
+
+
+def run_curves():
+    spec = rotating_star(level=5, build_mesh=False).spec
+    nodes = node_series(1, 128)
+    return {
+        "sve": scaling_curve(spec, OOKAMI, nodes, simd=True),
+        "scalar": scaling_curve(spec, OOKAMI, nodes, simd=False),
+    }
+
+
+def test_fig7_sve_vectorization(benchmark):
+    curves = benchmark(run_curves)
+    rows = []
+    for sve, scalar in zip(curves["sve"], curves["scalar"]):
+        rows.append(
+            (sve.nodes, f"{sve.cells_per_second:.3e}",
+             f"{scalar.cells_per_second:.3e}",
+             f"{sve.cells_per_second / scalar.cells_per_second:.2f}x")
+        )
+    from repro.distsim.report import ascii_loglog, curve_to_points
+
+    plot = ascii_loglog(
+        {name: curve_to_points(curve) for name, curve in curves.items()}
+    )
+    emit(
+        "fig7_sve",
+        format_series("nodes  SVE_cells/s  scalar_cells/s  speedup", rows)
+        + [""]
+        + plot,
+    )
+    for row in rows:
+        speedup = float(row[3][:-1])
+        assert 1.8 < speedup < 3.0

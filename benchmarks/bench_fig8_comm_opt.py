@@ -1,0 +1,42 @@
+"""Fig. 8: the hydro local-communication optimization on/off (Ookami).
+
+Paper finding: direct memory access for same-locality neighbours (guarded
+by promise/future pairs) helps at 1-4 nodes, breaks even around 8, and is
+slightly *worse* beyond — the promise/future bookkeeping on every face
+outweighs the vanishing local-transfer savings.
+"""
+
+from repro.distsim import scaling_curve
+from repro.distsim.sweep import node_series
+from repro.machines import OOKAMI
+from repro.scenarios import rotating_star
+
+from benchmarks.conftest import emit, format_series
+
+
+def run_curves():
+    spec = rotating_star(level=5, build_mesh=False).spec
+    nodes = node_series(1, 128)
+    return {
+        "optimized": scaling_curve(spec, OOKAMI, nodes, comm_local_optimization=True),
+        "baseline": scaling_curve(spec, OOKAMI, nodes, comm_local_optimization=False),
+    }
+
+
+def test_fig8_comm_optimization(benchmark):
+    curves = benchmark(run_curves)
+    rows = []
+    ratios = {}
+    for opt, base in zip(curves["optimized"], curves["baseline"]):
+        ratio = opt.cells_per_second / base.cells_per_second
+        ratios[opt.nodes] = ratio
+        rows.append(
+            (opt.nodes, f"{opt.cells_per_second:.3e}",
+             f"{base.cells_per_second:.3e}", f"{ratio:.3f}")
+        )
+    emit("fig8_comm_opt", format_series("nodes  optimized  baseline  ratio", rows))
+
+    assert ratios[1] > 1.01  # clear benefit on one node
+    assert ratios[2] > 1.0
+    assert abs(ratios[8] - 1.0) < 0.05  # break-even around 8 nodes
+    assert ratios[128] < 1.0  # slightly worse at scale

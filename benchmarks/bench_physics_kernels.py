@@ -1,0 +1,62 @@
+"""Wall-time benchmarks of the real numerical kernels.
+
+Not a paper figure — these keep the physics kernels honest as code evolves:
+per-sub-grid hydro flux evaluation, the FMM solve, ghost exchange, and a
+full driver step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gravity import FmmSolver
+from repro.hydro import IdealGasEOS, dudt_subgrid
+from repro.octree import Field
+from repro.octree.ghost import fill_all_ghosts
+
+from tests.conftest import fill_gaussian, make_uniform_mesh
+
+
+@pytest.fixture(scope="module")
+def hydro_mesh():
+    eos = IdealGasEOS()
+    mesh = make_uniform_mesh(levels=1)
+    for leaf in mesh.leaves():
+        x, y, z = leaf.cell_centers()
+        rho = 1.0 + 0.1 * np.sin(np.pi * x)
+        eint = np.full_like(rho, 2.5)
+        leaf.subgrid.set_interior(Field.RHO, rho)
+        leaf.subgrid.set_interior(Field.EGAS, eint)
+        leaf.subgrid.set_interior(Field.TAU, eos.tau_from_eint(eint))
+    fill_all_ghosts(mesh)
+    return mesh, eos
+
+
+def test_bench_hydro_flux_kernel(benchmark, hydro_mesh):
+    mesh, eos = hydro_mesh
+    leaf = mesh.leaves()[0]
+    dudt, signal = benchmark(dudt_subgrid, leaf.subgrid, leaf.dx, eos)
+    assert np.isfinite(dudt).all()
+    assert signal > 0
+
+
+def test_bench_ghost_exchange(benchmark, hydro_mesh):
+    mesh, _ = hydro_mesh
+    benchmark(fill_all_ghosts, mesh)
+
+
+def test_bench_fmm_solve_level1(benchmark):
+    mesh = make_uniform_mesh(levels=1)
+    fill_gaussian(mesh)
+    solver = FmmSolver()
+    result = benchmark.pedantic(solver.solve, args=(mesh,), rounds=2, iterations=1)
+    assert result.stats.p2p_pairs > 0
+
+
+def test_bench_poisson_fft(benchmark):
+    from repro.scf.poisson import FftPoissonSolver
+
+    solver = FftPoissonSolver(48, 2.0 / 48)
+    rho = np.zeros((48, 48, 48))
+    rho[20:28, 20:28, 20:28] = 1.0
+    phi = benchmark(solver.solve, rho)
+    assert phi.min() < 0

@@ -1,0 +1,49 @@
+"""Reliability study: the paper's hangs and deadlocks, quantified.
+
+The paper reports Octo-Tiger deadlocking "in about 1 out of 20 runs" on
+distributed Ookami and hanging at the largest Fugaku node counts — both
+unresolved before the allocations ended.  Calibrating a per-message failure
+probability to the Ookami observation predicts how the hang probability
+scales with the job's message volume.
+"""
+
+from repro.distsim import RunConfig, hang_probability_curve
+from repro.distsim.reliability import ReliabilityModel, messages_per_step
+from repro.machines import FUGAKU, OOKAMI
+from repro.scenarios import rotating_star
+
+from benchmarks.conftest import emit, format_series
+
+
+def run_study():
+    level5 = rotating_star(level=5, build_mesh=False).spec
+    calibration_messages = messages_per_step(
+        level5, RunConfig(machine=OOKAMI, nodes=128)
+    ) * 100
+    model = ReliabilityModel.calibrate(0.05, calibration_messages)
+
+    rows = []
+    for level in (5, 6, 7):
+        spec = rotating_star(level=level, build_mesh=False).spec
+        for nodes, prob in hang_probability_curve(
+            spec, model, FUGAKU, [128, 512, 1024], steps=100
+        ):
+            attempts = model.expected_attempts(
+                messages_per_step(spec, RunConfig(machine=FUGAKU, nodes=nodes)) * 100
+            )
+            rows.append((f"level{level}", nodes, f"{prob:.3f}", f"{attempts:.2f}"))
+    return model, rows
+
+
+def test_reliability_extrapolation(benchmark):
+    model, rows = benchmark(run_study)
+    emit(
+        "ext_reliability",
+        [f"per-message failure probability: {model.per_message_probability:.3e}"]
+        + format_series("series  nodes  P(hang/100 steps)  E[attempts]", rows),
+    )
+    probs = {(r[0], r[1]): float(r[2]) for r in rows}
+    # Bigger meshes exchange more messages and hang more.
+    assert probs[("level7", 1024)] > probs[("level5", 1024)]
+    # The calibration point itself is 'rare' territory.
+    assert probs[("level5", 128)] < 0.15

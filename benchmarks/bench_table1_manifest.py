@@ -1,0 +1,15 @@
+"""Table I: the software-stack manifest Octo-Tiger was built with."""
+
+from repro.machines import format_manifest, software_manifest
+
+from benchmarks.conftest import emit
+
+
+def test_table1_software_manifest(benchmark):
+    table = benchmark(format_manifest)
+    emit("table1_manifest", table.splitlines())
+    # Integrity: both columns resolve for every component.
+    fugaku = software_manifest("Fugaku")
+    ookami = software_manifest("Ookami")
+    assert set(fugaku) == set(ookami)
+    assert fugaku["hpx"] != ookami["hpx"]  # the paper used different HPX builds

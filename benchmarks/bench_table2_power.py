@@ -1,0 +1,60 @@
+"""Table II: average power consumption on Fugaku (PowerAPI analog).
+
+Paper values (total job power, W) for the rotating-star runs, e.g. level 5:
+373.94 @4 nodes, 1145.69 @16, 1969.14 @32, 11908.93 @128, 15228.07 @256;
+level 6: 111261.36 @1024; level 7: 55310.55 @512, 111235.41 @1024.
+"""
+
+from repro.distsim import RunConfig, simulate_step
+from repro.machines import FUGAKU
+from repro.scenarios import rotating_star
+
+from benchmarks.conftest import emit, format_series
+
+NODE_COLUMNS = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Paper Table II reference points (level, nodes) -> watts.
+PAPER_VALUES = {
+    (5, 4): 373.94,
+    (5, 16): 1145.69,
+    (5, 32): 1969.14,
+    (5, 128): 11908.93,
+    (5, 256): 15228.07,
+    (6, 128): 8659.86,
+    (6, 256): 19274.0,
+    (6, 1024): 111261.36,
+    (7, 512): 55310.55,
+    (7, 1024): 111235.41,
+}
+
+
+def run_table():
+    table = {}
+    for level in (5, 6, 7):
+        spec = rotating_star(level=level, build_mesh=False).spec
+        for nodes in NODE_COLUMNS:
+            result = simulate_step(spec, RunConfig(machine=FUGAKU, nodes=nodes))
+            table[(level, nodes)] = result.job_power_w
+    return table
+
+
+def test_table2_power_consumption(benchmark):
+    table = benchmark(run_table)
+    rows = []
+    for level in (5, 6, 7):
+        row = [f"level{level}"]
+        for nodes in NODE_COLUMNS:
+            row.append(f"{table[(level, nodes)]:.0f}")
+        rows.append(tuple(row))
+    header = "series  " + "  ".join(str(n) for n in NODE_COLUMNS)
+    emit("table2_power", format_series(header, rows))
+
+    # Modeled total power within a factor ~2.5 of every paper measurement
+    # (same order of magnitude and the same node-count trend).
+    for (level, nodes), paper_w in PAPER_VALUES.items():
+        ours = table[(level, nodes)]
+        assert 0.4 < ours / paper_w < 2.5, ((level, nodes), ours, paper_w)
+
+    # Per-node power never leaves the A64FX envelope.
+    for (level, nodes), watts in table.items():
+        assert 30.0 < watts / nodes < 120.0

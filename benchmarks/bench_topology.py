@@ -1,0 +1,61 @@
+"""Topology ablation: Tofu-D torus vs InfiniBand fat tree (Fig. 10's
+'further investigations are needed').
+
+Re-runs the Ookami/Fugaku comparison with topology-resolved latencies: the
+torus' diameter grows with the allocation while the fat tree's hop count
+saturates, widening Ookami's advantage at scale beyond what the flat-latency
+model shows.
+"""
+
+from dataclasses import replace
+
+from repro.distsim import RunConfig, simulate_step
+from repro.machines import FUGAKU, OOKAMI, FatTreeTopology, TorusTopology
+from repro.machines.topology import effective_interconnect
+from repro.scenarios import rotating_star
+
+from benchmarks.conftest import emit, format_series
+
+NODE_COUNTS = (8, 64, 512, 4096)
+
+
+def run_study():
+    spec_small = rotating_star(level=5, build_mesh=False).spec
+    spec = spec_small.with_subgrids(spec_small.n_subgrids * 32)  # keep work/node sane
+    torus = TorusTopology()
+    tree = FatTreeTopology()
+    rows = []
+    for nodes in NODE_COUNTS:
+        fugaku_t = replace(
+            FUGAKU,
+            interconnect=effective_interconnect(FUGAKU.interconnect, torus, nodes),
+        )
+        ookami_t = replace(
+            OOKAMI,
+            interconnect=effective_interconnect(OOKAMI.interconnect, tree, nodes),
+        )
+        f = simulate_step(spec, RunConfig(machine=fugaku_t, nodes=nodes))
+        o = simulate_step(spec, RunConfig(machine=ookami_t, nodes=nodes))
+        rows.append(
+            (nodes,
+             f"{fugaku_t.interconnect.latency_us:.2f}us",
+             f"{ookami_t.interconnect.latency_us:.2f}us",
+             f"{f.cells_per_second:.3e}",
+             f"{o.cells_per_second:.3e}",
+             f"{o.cells_per_second / f.cells_per_second:.3f}")
+        )
+    return rows
+
+
+def test_topology_ablation(benchmark):
+    rows = benchmark(run_study)
+    emit(
+        "ext_topology",
+        format_series(
+            "nodes  tofu_lat  ib_lat  fugaku_cells/s  ookami_cells/s  ookami/fugaku",
+            rows,
+        ),
+    )
+    ratios = {r[0]: float(r[5]) for r in rows}
+    # The torus' growing diameter erodes Fugaku's standing as the job grows.
+    assert ratios[4096] > ratios[8]

@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one of the paper's tables or figures: it computes
+the series with the performance model (or runs real kernels), prints the
+rows, and writes them to ``benchmarks/output/<name>.txt`` so EXPERIMENTS.md
+can cite stable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def emit(name: str, lines: Iterable[str]) -> str:
+    """Print a figure/table's rows and persist them to the output dir."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===")
+    print(text)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def format_series(header: str, rows: Sequence[Sequence]) -> List[str]:
+    out = [header]
+    for row in rows:
+        out.append("  ".join(str(c) for c in row))
+    return out

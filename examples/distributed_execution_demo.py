@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Distributed execution, for real: the same step as a task graph.
+
+Runs one hydro step twice — once through the serial reference integrator
+and once as a distributed task graph on the virtual AMT runtime (ghost
+messages, promise-guarded local reads, anti-dependencies) — and shows that
+the *field values are identical* while the distributed run reports genuine
+scheduling information: makespan, message counts, and the effect of the
+paper's communication optimization (SVII-B).
+
+    python examples/distributed_execution_demo.py
+"""
+
+import numpy as np
+
+from repro.core import DistributedHydroDriver
+from repro.distsim import RunConfig
+from repro.hydro import HydroIntegrator, IdealGasEOS
+from repro.machines import FUGAKU
+from repro.octree import AmrMesh, Field
+
+
+def build_mesh():
+    eos = IdealGasEOS()
+    mesh = AmrMesh(n=8, ghost=2, domain_size=2.0)
+    mesh.refine((0, 0))
+    for leaf in mesh.leaves():
+        x, y, z = leaf.cell_centers()
+        rho = 1.0 + 0.4 * np.exp(-((x + 0.3) ** 2 + y**2 + z**2) / 0.1)
+        eint = np.full_like(rho, 2.5)
+        leaf.subgrid.set_interior(Field.RHO, rho)
+        leaf.subgrid.set_interior(Field.SX, 0.05 * rho * np.cos(np.pi * y))
+        leaf.subgrid.set_interior(Field.EGAS, eint)
+        leaf.subgrid.set_interior(Field.TAU, eos.tau_from_eint(eint))
+    mesh.restrict_all()
+    return mesh, eos
+
+
+def clone(mesh):
+    from repro.octree.node import OctreeNode
+
+    out = AmrMesh(n=mesh.n, ghost=mesh.ghost, domain_size=mesh.domain_size)
+    out.nodes.clear()
+    for key, node in mesh.nodes.items():
+        c = OctreeNode(key[0], key[1], n=mesh.n, ghost=mesh.ghost,
+                       domain_size=mesh.domain_size)
+        c.is_leaf = node.is_leaf
+        np.copyto(c.subgrid.data, node.subgrid.data)
+        out.nodes[key] = c
+    return out
+
+
+def main() -> None:
+    base, eos = build_mesh()
+    dt = 1e-3
+    print(f"Mesh: {base.n_subgrids()} sub-grids, dt = {dt:g}\n")
+
+    serial_mesh = clone(base)
+    HydroIntegrator(serial_mesh, eos, reflux=False).step(dt)
+
+    print("Distributed execution across locality counts:")
+    for nodes in (1, 2, 4, 8):
+        mesh = clone(base)
+        driver = DistributedHydroDriver(
+            mesh, eos, config=RunConfig(machine=FUGAKU, nodes=nodes)
+        )
+        result = driver.step(dt)
+        worst = max(
+            np.abs(
+                mesh.nodes[k].subgrid.interior_view()
+                - serial_mesh.nodes[k].subgrid.interior_view()
+            ).max()
+            for k in base.leaf_keys()
+        )
+        print(
+            f"  {nodes} localities: makespan {result.makespan_s * 1e3:7.3f} ms, "
+            f"{result.messages:3d} messages, {result.tasks_completed:4d} tasks, "
+            f"max |field diff vs serial| = {worst:.2e}"
+        )
+
+    print("\nCommunication optimization (paper SVII-B) on 2 localities:")
+    for opt in (True, False):
+        mesh = clone(base)
+        driver = DistributedHydroDriver(
+            mesh, eos,
+            config=RunConfig(machine=FUGAKU, nodes=2, comm_local_optimization=opt),
+        )
+        result = driver.step(dt)
+        print(
+            f"  optimization {'ON ' if opt else 'OFF'}: "
+            f"{result.messages} messages, makespan {result.makespan_s * 1e3:.3f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""The Fugaku scaling study (paper SVI-D / Fig. 6 + Table II), end to end.
+
+Evaluates the distributed performance model for the rotating star at levels
+5-7 from 1 to 1024 nodes, prints the cells/s series with the step-time
+breakdown, and tabulates the job power the PowerAPI analog reports.
+
+    python examples/fugaku_scaling_study.py
+"""
+
+from repro.distsim import RunConfig, scaling_curve, simulate_step
+from repro.distsim.sweep import node_series
+from repro.machines import FUGAKU
+from repro.scenarios import ROTATING_STAR_LEVELS, rotating_star
+
+
+def main() -> None:
+    print("Rotating star on Supercomputer Fugaku (SVE + comm optimization)\n")
+    series = {5: node_series(1, 256), 6: node_series(128, 1024), 7: [400, 512, 1024]}
+
+    for level, nodes in series.items():
+        spec = rotating_star(level=level, build_mesh=False).spec
+        print(
+            f"level {level}: {ROTATING_STAR_LEVELS[level]:,} cells "
+            f"({spec.n_subgrids:,} sub-grids)"
+        )
+        curve = scaling_curve(spec, FUGAKU, nodes, simd=True)
+        print("  nodes   cells/s      hydro     gravity   multipole  sync      util")
+        for p in curve:
+            print(
+                f"  {p.nodes:5d}   {p.cells_per_second:.3e}  "
+                f"{p.hydro_s:.2e}  {p.gravity_s:.2e}  {p.multipole_s:.2e}  "
+                f"{p.sync_s:.2e}  {p.utilization:.2f}"
+            )
+        print()
+
+    print("Average job power (W), the Table II analog:")
+    print("  level   " + "  ".join(f"{n:>8d}" for n in (4, 16, 32, 128, 256, 1024)))
+    for level in (5, 6, 7):
+        spec = rotating_star(level=level, build_mesh=False).spec
+        row = []
+        for n in (4, 16, 32, 128, 256, 1024):
+            r = simulate_step(spec, RunConfig(machine=FUGAKU, nodes=n))
+            row.append(f"{r.job_power_w:8.0f}")
+        print(f"  {level:<7d}" + "  ".join(row))
+    print(
+        "\nPaper reference points: level 5 @16 nodes ~1146 W, level 6 @1024 "
+        "~111261 W, level 7 @512 ~55311 W."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Asynchronous many-task runtime (the HPX analog).
+
+This package provides the task-parallel substrate the rest of the
+reproduction runs on.  Like HPX it exposes
+
+* futures and promises with continuations (:mod:`repro.amt.future`),
+* a task scheduler over a pool of worker threads (:mod:`repro.amt.scheduler`),
+* *localities* (process-like address spaces), remote *actions* between them,
+  and channels (:mod:`repro.amt.locality`),
+* a network model for inter-locality messages (:mod:`repro.amt.network`).
+
+Unlike HPX it runs on a **deterministic discrete-event virtual clock**
+(:mod:`repro.amt.engine`): tasks execute real Python callables, but time is
+simulated, so schedules are reproducible and we can model machines we do not
+have (A64FX nodes, Tofu-D interconnects) while executing genuine numerics.
+"""
+
+from repro.amt.future import (
+    Future,
+    Promise,
+    FutureError,
+    make_ready_future,
+    when_all,
+    when_any,
+)
+from repro.amt.engine import Engine
+from repro.amt.task import Task, TaskState
+from repro.amt.scheduler import WorkerPool
+from repro.amt.locality import Locality, Runtime, Channel, ActionRegistry
+from repro.amt.network import NetworkModel, Message
+from repro.amt.pjm import PjmJob, PjmScheduler
+
+__all__ = [
+    "Future",
+    "Promise",
+    "FutureError",
+    "make_ready_future",
+    "when_all",
+    "when_any",
+    "Engine",
+    "Task",
+    "TaskState",
+    "WorkerPool",
+    "Locality",
+    "Runtime",
+    "Channel",
+    "ActionRegistry",
+    "NetworkModel",
+    "Message",
+    "PjmJob",
+    "PjmScheduler",
+]

@@ -1,0 +1,147 @@
+"""Worker-pool task scheduler over the discrete-event engine.
+
+Models an HPX thread pool: ``n_workers`` OS-thread analogues pull tasks from
+a shared ready queue.  A task occupies a worker for its virtual cost; the
+payload (real Python code) executes at task start.  The pool records
+utilisation and starvation statistics — the quantities behind the paper's
+Fig. 9 (core starvation during distributed tree traversals).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.amt.engine import Engine
+from repro.amt.future import Future
+from repro.amt.task import Task, TaskState
+
+
+class WorkerPool:
+    """A fixed pool of virtual workers fed by a FIFO ready queue."""
+
+    def __init__(self, engine: Engine, n_workers: int, name: str = "pool") -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.engine = engine
+        self.n_workers = n_workers
+        self.name = name
+        self._ready: Deque[Task] = deque()
+        self._idle_workers: List[int] = list(range(n_workers))
+        # Statistics.
+        self.tasks_completed = 0
+        self.tasks_failed = 0
+        self.busy_time = 0.0
+        self.kind_counts: Dict[str, int] = {}
+        self.kind_time: Dict[str, float] = {}
+        self._started_at = engine.now
+        self._starvation_samples: List[Tuple[float, int]] = []
+
+    # -- submission -------------------------------------------------------
+    def submit(self, task: Task) -> Future:
+        """Queue a task whose dependencies are satisfied."""
+        task.state = TaskState.READY
+        task.submitted_at = self.engine.now
+        self._ready.append(task)
+        self._dispatch()
+        return task.future
+
+    def submit_fn(
+        self,
+        fn: Optional[Callable[..., Any]],
+        *args: Any,
+        cost: Any = 0.0,
+        name: str = "",
+        kind: str = "task",
+    ) -> Future:
+        return self.submit(Task(fn, args, cost=cost, name=name, kind=kind))
+
+    def submit_after(self, deps: Iterable[Future], task: Task) -> Future:
+        """Queue ``task`` once every future in ``deps`` is ready.
+
+        Dependency failures propagate to the task's future without running
+        the payload.
+        """
+        deps = list(deps)
+        if not deps:
+            return self.submit(task)
+        remaining = [len(deps)]
+
+        def on_done(f: Future) -> None:
+            if f.has_exception():
+                if not task.future.is_ready():
+                    task.state = TaskState.FAILED
+                    task.future._set_exception(f._exception)  # noqa: SLF001
+                return
+            remaining[0] -= 1
+            if remaining[0] == 0 and not task.future.is_ready():
+                self.submit(task)
+
+        for f in deps:
+            f.add_done_callback(on_done)
+        return task.future
+
+    # -- dispatch ---------------------------------------------------------
+    def _dispatch(self) -> None:
+        while self._ready and self._idle_workers:
+            task = self._ready.popleft()
+            if task.future.is_ready():  # cancelled by a failed dependency
+                continue
+            worker = self._idle_workers.pop()
+            self._start(task, worker)
+
+    def _start(self, task: Task, worker: int) -> None:
+        task.state = TaskState.RUNNING
+        task.worker = worker
+        task.started_at = self.engine.now
+        try:
+            result = task.execute()
+            failed: Optional[BaseException] = None
+        except BaseException as exc:  # noqa: BLE001 - transported via future
+            result, failed = None, exc
+        cost = task.resolved_cost()
+
+        def finish() -> None:
+            task.finished_at = self.engine.now
+            self.busy_time += cost
+            self.kind_counts[task.kind] = self.kind_counts.get(task.kind, 0) + 1
+            self.kind_time[task.kind] = self.kind_time.get(task.kind, 0.0) + cost
+            self._idle_workers.append(worker)
+            if failed is None:
+                task.state = TaskState.DONE
+                self.tasks_completed += 1
+                task.future._set_value(result)  # noqa: SLF001
+            else:
+                task.state = TaskState.FAILED
+                self.tasks_failed += 1
+                task.future._set_exception(failed)  # noqa: SLF001
+            self._record_starvation()
+            self._dispatch()
+
+        self.engine.post(cost, finish)
+
+    def _record_starvation(self) -> None:
+        # Idle workers with an empty queue == starved cores at this instant.
+        starved = len(self._idle_workers) - len(self._ready)
+        if starved > 0:
+            self._starvation_samples.append((self.engine.now, starved))
+
+    # -- statistics -------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        return len(self._ready)
+
+    @property
+    def busy_workers(self) -> int:
+        return self.n_workers - len(self._idle_workers)
+
+    def utilization(self) -> float:
+        """Mean fraction of worker-time spent busy since construction."""
+        elapsed = self.engine.now - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.n_workers)
+
+    def starvation_events(self) -> int:
+        """Number of instants at which at least one core had no work."""
+        return len(self._starvation_samples)

@@ -1,0 +1,149 @@
+"""Command-line interface: drive scenarios and performance studies.
+
+    python -m repro.cli run --scenario rotating_star --level 2 --steps 3
+    python -m repro.cli scale --scenario rotating_star --level 5 \
+        --machine Fugaku --nodes 1 2 4 8 16
+    python -m repro.cli machines
+    python -m repro.cli manifest
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Octo-Tiger-on-HPX/Kokkos reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evolve a scenario with real physics")
+    run.add_argument("--scenario", default="rotating_star",
+                     choices=["rotating_star", "v1309", "dwd"])
+    run.add_argument("--level", type=int, default=2)
+    run.add_argument("--steps", type=int, default=3)
+    run.add_argument("--machine", default="Fugaku")
+    run.add_argument("--nodes", type=int, default=4)
+    run.add_argument("--checkpoint", default=None,
+                     help="write a checkpoint here after the run")
+
+    scale = sub.add_parser("scale", help="evaluate the distributed model")
+    scale.add_argument("--scenario", default="rotating_star",
+                       choices=["rotating_star", "v1309", "dwd"])
+    scale.add_argument("--level", type=int, default=5)
+    scale.add_argument("--machine", default="Fugaku")
+    scale.add_argument("--nodes", type=int, nargs="+",
+                       default=[1, 2, 4, 8, 16, 32, 64, 128])
+    scale.add_argument("--gpus", action="store_true")
+    scale.add_argument("--no-simd", action="store_true")
+    scale.add_argument("--multipole-tasks", type=int, default=1)
+
+    sub.add_parser("machines", help="list the machine models")
+    sub.add_parser("manifest", help="print the Table I software manifest")
+    return parser
+
+
+def _scenario_spec(name: str, level: int, build_mesh: bool):  # noqa: ANN202
+    from repro.scenarios import dwd_scenario, rotating_star, v1309_scenario
+
+    builders = {
+        "rotating_star": rotating_star,
+        "v1309": v1309_scenario,
+        "dwd": dwd_scenario,
+    }
+    return builders[name](level=level, build_mesh=build_mesh)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    from repro.core import OctoTigerSim
+    from repro.core.diagnostics import diagnostics
+    from repro.machines import MACHINES
+
+    scenario = _scenario_spec(args.scenario, args.level, build_mesh=True)
+    if scenario.mesh is None:
+        print("level too large to build in memory; use `scale`", file=sys.stderr)
+        return 2
+    machine = MACHINES[args.machine]
+    sim = OctoTigerSim(
+        scenario.mesh, eos=scenario.eos,
+        omega=getattr(scenario, "omega", 0.0),
+        machine=machine, nodes=args.nodes,
+    )
+    before = diagnostics(scenario.mesh)
+    print(f"{args.scenario} level {args.level}: {scenario.mesh.n_cells()} cells "
+          f"on {args.nodes}x {machine.name}")
+    for record in sim.run(args.steps):
+        print(f"  step {record.step}: dt={record.dt:.3e} "
+              f"{record.cells_per_second:.3e} cells/s "
+              f"{record.node_power_w:.0f} W/node")
+    after = diagnostics(scenario.mesh)
+    print(f"mass drift {after.mass - before.mass:+.3e}")
+    if args.checkpoint:
+        from repro.ioutil import save_checkpoint
+
+        path = save_checkpoint(
+            scenario.mesh, args.checkpoint, time=sim.integrator.time,
+            step=sim.integrator.steps_taken,
+        )
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def _command_scale(args: argparse.Namespace) -> int:
+    from repro.distsim import RunConfig, simulate_step
+    from repro.machines import MACHINES
+
+    scenario = _scenario_spec(args.scenario, args.level, build_mesh=False)
+    machine = MACHINES[args.machine]
+    print(f"{scenario.spec.name}: {scenario.spec.n_cells:,} cells on {machine.name}")
+    print("  nodes   cells/s      util   W(total)")
+    for nodes in args.nodes:
+        config = RunConfig(
+            machine=machine,
+            nodes=nodes,
+            use_gpus=args.gpus,
+            simd=not args.no_simd,
+            tasks_per_multipole_kernel=args.multipole_tasks,
+        )
+        r = simulate_step(scenario.spec, config)
+        print(f"  {nodes:5d}   {r.cells_per_second:.3e}  {r.utilization:.2f}  "
+              f"{r.job_power_w:8.0f}")
+    return 0
+
+
+def _command_machines() -> int:
+    from repro.machines import MACHINES
+
+    for machine in MACHINES.values():
+        node = machine.node
+        gpus = f", {len(node.gpus)}x {node.gpus[0].name}" if node.gpus else ""
+        print(f"{machine.name:<11} {node.cores} cores @ {node.freq_ghz} GHz"
+              f" ({node.simd_abi}){gpus}; {node.memory_gb:.0f} GB;"
+              f" {machine.interconnect.name}")
+    return 0
+
+
+def _command_manifest() -> int:
+    from repro.machines import format_manifest
+
+    print(format_manifest())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "scale":
+        return _command_scale(args)
+    if args.command == "machines":
+        return _command_machines()
+    return _command_manifest()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

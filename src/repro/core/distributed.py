@@ -1,0 +1,317 @@
+"""Distributed functional hydro: the HPX execution of a real timestep.
+
+Where :class:`~repro.core.driver.OctoTigerSim` computes physics serially and
+*models* the distributed timing, this driver actually executes the step as a
+distributed task graph on the AMT runtime:
+
+* every leaf lives on a locality (Morton partition);
+* each RK stage's ghost fill for a face is a task on the *destination*
+  locality, preceded by a network message when the donor is remote (or the
+  promise-guarded direct path when local and the communication optimization
+  is on — the paper's SVII-B mechanism, executed rather than modelled);
+* the hydro kernel of a leaf is a task on its owner, dependent on its six
+  face fills and the previous stage's update;
+* anti-dependencies are honoured: a leaf's stage-k update waits for every
+  neighbour fill that still reads its stage-(k-1) interior.
+
+The payoff is a strong test: the distributed execution produces **the same
+field values** as the serial reference integrator, step for step, while the
+virtual clock reports a genuinely scheduled (not estimated) makespan and the
+network reports real message counts.
+
+Scope: hydro only (no gravity, no reflux) — enough to pin the distribution
+semantics; the rotating-frame source is supported because it is local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.amt.future import Future, Promise, when_all
+from repro.amt.locality import Runtime
+from repro.amt.network import Message, NetworkModel
+from repro.distsim.model import DEFAULT_CONSTANTS, ModelConstants, _cpu_rate
+from repro.distsim.runconfig import RunConfig
+from repro.hydro.eos import IdealGasEOS
+from repro.hydro.integrator import _RK3_STAGES
+from repro.hydro.solver import dudt_subgrid
+from repro.hydro.sources import rotating_frame_source
+from repro.octree.fields import Field
+from repro.octree.ghost import (
+    _fill_boundary,
+    _fill_coarse,
+    _fill_fine,
+    _fill_same,
+)
+from repro.octree.mesh import AmrMesh
+from repro.octree.node import NodeKey, OctreeNode
+from repro.octree.partition import sfc_partition
+
+
+@dataclass
+class DistributedStepResult:
+    dt: float
+    makespan_s: float
+    messages: int
+    bytes_sent: int
+    tasks_completed: int
+    utilization: float
+
+
+class DistributedHydroDriver:
+    """Executes RK3 hydro steps as distributed task graphs."""
+
+    def __init__(
+        self,
+        mesh: AmrMesh,
+        eos: Optional[IdealGasEOS] = None,
+        omega: float = 0.0,
+        config: Optional[RunConfig] = None,
+        constants: ModelConstants = DEFAULT_CONSTANTS,
+        workers_per_locality: int = 8,
+    ) -> None:
+        from repro.machines.specs import FUGAKU
+
+        self.mesh = mesh
+        self.eos = eos or IdealGasEOS()
+        self.omega = omega
+        self.config = config or RunConfig(machine=FUGAKU, nodes=2)
+        self.constants = constants
+        self.workers = min(self.config.active_cores, workers_per_locality)
+        node_rate = _cpu_rate(self.config, constants)
+        self.core_rate = node_rate / self.workers
+        sfc_partition(mesh, self.config.nodes)
+        self.time = 0.0
+        self.steps_taken = 0
+        self.last_result: Optional[DistributedStepResult] = None
+
+    # -- cost helpers --------------------------------------------------------
+    def _kernel_cost(self) -> float:
+        cells = self.mesh.n**3
+        spec_flops = 2_200.0  # hydro flops per cell per step, 3 stages
+        return cells * spec_flops / 3.0 / self.core_rate
+
+    def _network(self) -> NetworkModel:
+        net = self.config.machine.interconnect
+        return NetworkModel(
+            latency_s=net.latency_us * 1e-6,
+            bandwidth_Bps=net.bandwidth_gbs * 1e9,
+            action_overhead_s=net.action_overhead_us * 1e-6,
+            local_copy_Bps=self.config.machine.node.memory_bw_gbs * 1e9,
+            name=net.name,
+        )
+
+    # -- step ------------------------------------------------------------------
+    def step(self, dt: float) -> DistributedStepResult:
+        mesh, eos = self.mesh, self.eos
+        leaves = mesh.leaves()
+        network = self._network()
+        runtime = Runtime(
+            n_localities=self.config.nodes,
+            workers_per_locality=self.workers,
+            network=network,
+        )
+        kernel_cost = self._kernel_cost()
+        fill_cost = self.constants.face_sync_cpu_s
+
+        u0: Dict[NodeKey, np.ndarray] = {}
+        for leaf in leaves:
+            s = leaf.subgrid.interior
+            u0[leaf.key] = leaf.subgrid.data[:, s, s, s].copy()
+
+        # Donor map: for each leaf, which (reader leaf, axis, side) fills
+        # read its interior — the anti-dependency set.
+        readers: Dict[NodeKey, List[Tuple[NodeKey, int, int]]] = {k.key: [] for k in leaves}
+        face_kinds: Dict[Tuple[NodeKey, int, int], Tuple[str, object]] = {}
+        for leaf in leaves:
+            for axis in range(3):
+                for side in (0, 1):
+                    kind, other = mesh.face_neighbor(leaf, axis, side)
+                    face_kinds[(leaf.key, axis, side)] = (kind, other)
+                    if kind == "same" or kind == "coarse":
+                        readers[other.key].append((leaf.key, axis, side))
+                    elif kind == "fine":
+                        for child in other:
+                            readers[child.key].append((leaf.key, axis, side))
+
+        update_futures: Dict[NodeKey, Future] = {
+            leaf.key: _ready() for leaf in leaves
+        }
+
+        for a0, a1 in _RK3_STAGES:
+            fill_futures: Dict[Tuple[NodeKey, int, int], Future] = {}
+            # 1. Ghost fills.
+            for leaf in leaves:
+                loc = runtime.localities[leaf.locality]
+                for axis in range(3):
+                    for side in (0, 1):
+                        kind, other = face_kinds[(leaf.key, axis, side)]
+                        deps: List[Future] = [update_futures[leaf.key]]
+                        donors: List[OctreeNode] = []
+                        if kind == "same" or kind == "coarse":
+                            donors = [other]
+                        elif kind == "fine":
+                            donors = list(other)
+                        for donor in donors:
+                            deps.append(update_futures[donor.key])
+
+                        fill_futures[(leaf.key, axis, side)] = self._fill_task(
+                            runtime, network, loc, leaf, axis, side, kind, other,
+                            deps, fill_cost,
+                        )
+            # 2. Kernels + updates with anti-dependencies.
+            new_updates: Dict[NodeKey, Future] = {}
+            rhs_store: Dict[NodeKey, np.ndarray] = {}
+            for leaf in leaves:
+                loc = runtime.localities[leaf.locality]
+                deps = [
+                    fill_futures[(leaf.key, axis, side)]
+                    for axis in range(3)
+                    for side in (0, 1)
+                ]
+
+                def compute(leaf=leaf, rhs_store=rhs_store):  # noqa: ANN001
+                    rhs, _ = dudt_subgrid(leaf.subgrid, leaf.dx, eos)
+                    if self.omega != 0.0:
+                        s = leaf.subgrid.interior
+                        u = leaf.subgrid.data[:, s, s, s]
+                        x, y, _ = leaf.cell_centers()
+                        rhs = rhs + rotating_frame_source(u, self.omega, x, y)
+                    rhs_store[leaf.key] = rhs
+
+                kernel_future = loc.async_after(
+                    deps, compute, cost=kernel_cost,
+                    name=f"hydro.{leaf.key}", kind="hydro.kernel",
+                )
+                # The update may not run until every neighbour fill that
+                # reads this leaf's current interior has executed.
+                anti = [
+                    fill_futures[reader] for reader in readers[leaf.key]
+                ]
+
+                def update(leaf=leaf, a0=a0, a1=a1, rhs_store=rhs_store):  # noqa: ANN001
+                    # Stage coefficients bound as defaults: the task body
+                    # executes after this loop has moved on.
+                    s = leaf.subgrid.interior
+                    u = leaf.subgrid.data[:, s, s, s]
+                    leaf.subgrid.data[:, s, s, s] = a0 * u0[leaf.key] + a1 * (
+                        u + dt * rhs_store[leaf.key]
+                    )
+                    self._floors(leaf)
+
+                new_updates[leaf.key] = loc.async_after(
+                    [kernel_future, *anti], update, cost=0.0,
+                    name=f"update.{leaf.key}", kind="hydro.update",
+                )
+            update_futures = new_updates
+
+        barrier = when_all(list(update_futures.values()))
+        runtime.run_until_ready(barrier)
+
+        for leaf in leaves:
+            self._resync_tau(leaf)
+        mesh.restrict_all()
+
+        self.time += dt
+        self.steps_taken += 1
+        result = DistributedStepResult(
+            dt=dt,
+            makespan_s=runtime.engine.now,
+            messages=network.messages_sent,
+            bytes_sent=network.bytes_sent,
+            tasks_completed=sum(l.pool.tasks_completed for l in runtime.localities),
+            utilization=runtime.utilization(),
+        )
+        self.last_result = result
+        return result
+
+    # -- pieces ------------------------------------------------------------------
+    def _fill_task(
+        self,
+        runtime: Runtime,
+        network: NetworkModel,
+        loc,  # noqa: ANN001
+        leaf: OctreeNode,
+        axis: int,
+        side: int,
+        kind: str,
+        other,  # noqa: ANN001
+        deps: List[Future],
+        fill_cost: float,
+    ) -> Future:
+        """Schedule one face fill with the right transport."""
+
+        def do_fill() -> None:
+            if kind == "boundary":
+                _fill_boundary(leaf, axis, side)
+            elif kind == "same":
+                _fill_same(leaf, other, axis, side)
+            elif kind == "coarse":
+                _fill_coarse(leaf, other, axis, side)
+            else:
+                _fill_fine(leaf, other, axis, side)
+
+        if kind == "boundary":
+            return loc.async_after(deps, do_fill, cost=fill_cost, kind="ghost.boundary")
+
+        donor_localities = (
+            {other.locality} if kind in ("same", "coarse") else {c.locality for c in other}
+        )
+        remote = donor_localities - {leaf.locality}
+        if not remote and self.config.comm_local_optimization:
+            # Direct memory access guarded by a promise/future pair.
+            return loc.async_after(deps, do_fill, cost=fill_cost, kind="ghost.local")
+
+        # Remote (or unoptimized local) path: the donor side sends the band.
+        promise = Promise(name=f"ghost.{leaf.key}.{axis}.{side}")
+        size = leaf.subgrid.nbytes_face()
+
+        def send(_v) -> None:  # noqa: ANN001
+            pending = [len(donor_localities)]
+
+            def deliver(_m: Message) -> None:
+                pending[0] -= 1
+                if pending[0] == 0:
+                    promise.set_value(None)
+
+            for src in donor_localities:
+                network.send(
+                    runtime.engine,
+                    Message(src, leaf.locality, None, size, tag="ghost"),
+                    deliver,
+                    local=src == leaf.locality,
+                )
+
+        when_all(deps).add_done_callback(send)
+        arrived = promise.get_future()
+        return loc.async_after([arrived], do_fill, cost=fill_cost, kind="ghost.remote")
+
+    def _floors(self, leaf: OctreeNode) -> None:
+        s = leaf.subgrid.interior
+        u = leaf.subgrid.data[:, s, s, s]
+        np.maximum(u[Field.RHO], self.eos.rho_floor, out=u[Field.RHO])
+        np.maximum(u[Field.TAU], 0.0, out=u[Field.TAU])
+        np.maximum(u[Field.FRAC1], 0.0, out=u[Field.FRAC1])
+        np.maximum(u[Field.FRAC2], 0.0, out=u[Field.FRAC2])
+
+    def _resync_tau(self, leaf: OctreeNode) -> None:
+        s = leaf.subgrid.interior
+        u = leaf.subgrid.data[:, s, s, s]
+        rho = np.maximum(u[Field.RHO], self.eos.rho_floor)
+        kinetic = 0.5 * (u[Field.SX] ** 2 + u[Field.SY] ** 2 + u[Field.SZ] ** 2) / rho
+        diff = u[Field.EGAS] - kinetic
+        healthy = diff > self.eos.dual_eta * u[Field.EGAS]
+        u[Field.TAU] = np.where(
+            healthy,
+            self.eos.tau_from_eint(np.maximum(diff, self.eos.eint_floor)),
+            u[Field.TAU],
+        )
+
+
+def _ready() -> Future:
+    from repro.amt.future import make_ready_future
+
+    return make_ready_future(None)

@@ -1,0 +1,258 @@
+"""OctoTigerSim: real physics plus machine-model timing per step.
+
+Each :meth:`OctoTigerSim.step` does two coupled things:
+
+1. advances the *actual* simulation state — SSP-RK3 hydro with FMM gravity
+   on the AMR octree (numerics identical to the serial reference
+   integrator, tested against it), and
+2. executes the step's task graph on the virtual AMT runtime under the
+   selected machine model and run configuration, yielding the timing a
+   distributed run of this mesh would take (cells/s, utilisation, power).
+
+The mesh is partitioned over localities along the Morton curve before the
+first step, mirroring Octo-Tiger's distribution, and the workload spec fed
+to the task graph is *measured from the live mesh*, so refinement changes
+propagate into the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.diagnostics import Diagnostics, diagnostics
+from repro.distsim.model import DEFAULT_CONSTANTS, ModelConstants
+from repro.distsim.runconfig import RunConfig
+from repro.distsim.taskgraph import TaskGraphResult, TaskGraphSimulator
+from repro.gravity.fmm import FmmSolver
+from repro.hydro.eos import IdealGasEOS
+from repro.hydro.integrator import HydroIntegrator
+from repro.machines.specs import FUGAKU, MachineModel
+from repro.octree.mesh import AmrMesh
+from repro.octree.node import NodeKey
+from repro.octree.partition import sfc_partition
+from repro.profiling.apex import CounterRegistry
+from repro.scenarios.spec import ScenarioSpec, workload_from_mesh
+
+
+@dataclass
+class StepRecord:
+    """Outcome of one step: physics + modelled performance."""
+
+    step: int
+    time: float
+    dt: float
+    virtual_seconds: float
+    cells_per_second: float
+    utilization: float
+    node_power_w: float
+
+
+class OctoTigerSim:
+    """The integrated driver.
+
+    Parameters
+    ----------
+    mesh:
+        An initialised AMR mesh (typically from a scenario builder).
+    machine / nodes:
+        The machine model and node count for the virtual timing.  The
+        physics is identical regardless — that is the portability property
+        the paper demonstrates.
+    config:
+        Optimization knobs (SIMD, communication optimization, multipole
+        task splitting...); defaults mirror the paper's tuned Fugaku setup.
+    """
+
+    def __init__(
+        self,
+        mesh: AmrMesh,
+        eos: Optional[IdealGasEOS] = None,
+        omega: float = 0.0,
+        cfl: float = 0.4,
+        gravity: bool = True,
+        gravity_order: int = 3,
+        machine: MachineModel = FUGAKU,
+        nodes: int = 1,
+        config: Optional[RunConfig] = None,
+        constants: ModelConstants = DEFAULT_CONSTANTS,
+        empty_mass_threshold: float = 1e-12,
+    ) -> None:
+        self.mesh = mesh
+        self.eos = eos or IdealGasEOS()
+        self.machine = machine
+        self.config = config or RunConfig(machine=machine, nodes=nodes)
+        self.constants = constants
+        self.counters = CounterRegistry()
+
+        self.gravity_solver: Optional[FmmSolver] = None
+        gravity_cb = None
+        if gravity:
+            self.gravity_solver = FmmSolver(
+                order=gravity_order, empty_mass_threshold=empty_mass_threshold
+            )
+            gravity_cb = self.gravity_solver.as_gravity_callback()
+        self.integrator = HydroIntegrator(
+            mesh, self.eos, cfl=cfl, omega=omega, gravity=gravity_cb
+        )
+        sfc_partition(mesh, self.config.nodes)
+        self._spec: Optional[ScenarioSpec] = None
+        self.records: List[StepRecord] = []
+        self.last_phi: Optional[Dict[NodeKey, np.ndarray]] = None
+
+    # -- configuration --------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        mesh: AmrMesh,
+        config,  # noqa: ANN001 - repro.util.config.Config
+        machine: MachineModel = FUGAKU,
+        nodes: int = 1,
+        omega: Optional[float] = None,
+    ) -> "OctoTigerSim":
+        """Build a driver from a validated :class:`repro.util.config.Config`.
+
+        Maps the dotted configuration keys (the Octo-Tiger-options analog)
+        onto the solver and runtime knobs; ``omega`` overrides
+        ``frame.omega`` when the scenario provides the equilibrium value.
+        """
+        eos = IdealGasEOS(
+            gamma=config["hydro.gamma"], dual_eta=config["hydro.dual_energy_eta"]
+        )
+        run_config = RunConfig(
+            machine=machine,
+            nodes=nodes,
+            simd=config["simd.abi"] != "scalar",
+            comm_local_optimization=config["comm.local_optimization"],
+            tasks_per_multipole_kernel=config["runtime.tasks_per_kernel"],
+        )
+        sim = cls(
+            mesh,
+            eos=eos,
+            omega=config["frame.omega"] if omega is None else omega,
+            cfl=config["hydro.cfl"],
+            gravity=config["gravity.enabled"],
+            gravity_order=config["gravity.order"],
+            machine=machine,
+            nodes=nodes,
+            config=run_config,
+        )
+        if sim.gravity_solver is not None:
+            sim.gravity_solver.theta = config["gravity.theta"]
+            sim.gravity_solver.angmom_correction = config["gravity.angmom_correction"]
+        sim.integrator.reconstruction = config["hydro.reconstruction"]
+        return sim
+
+    # -- restart -------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path,  # noqa: ANN001 - str | Path
+        eos: Optional[IdealGasEOS] = None,
+        **kwargs,  # noqa: ANN003 - forwarded to __init__
+    ) -> "OctoTigerSim":
+        """Resume a simulation from a checkpoint file.
+
+        Restores the mesh, simulation time and step count; remaining
+        driver options are taken from ``kwargs`` (they are configuration,
+        not state — the same checkpoint can resume on a different machine
+        model, which is the portability story in miniature).
+        """
+        from repro.ioutil import load_checkpoint
+
+        mesh, meta = load_checkpoint(path)
+        sim = cls(mesh, eos=eos, omega=meta["extra"].get("omega", 0.0), **kwargs)
+        sim.integrator.time = meta.get("time", 0.0)
+        sim.integrator.steps_taken = meta.get("step", 0)
+        return sim
+
+    def save_checkpoint(self, path, extra: Optional[Dict] = None):  # noqa: ANN001
+        """Write the current state; records time/step/omega for restart."""
+        from repro.ioutil import save_checkpoint
+
+        payload = {"omega": self.integrator.omega}
+        if extra:
+            payload.update(extra)
+        return save_checkpoint(
+            self.mesh,
+            path,
+            time=self.integrator.time,
+            step=self.integrator.steps_taken,
+            extra=payload,
+        )
+
+    # -- workload ----------------------------------------------------------
+    @property
+    def spec(self) -> ScenarioSpec:
+        if self._spec is None:
+            self._spec = workload_from_mesh(self.mesh, name="driver")
+        return self._spec
+
+    def invalidate_workload(self) -> None:
+        """Call after refinement changes the mesh structure."""
+        self._spec = None
+        sfc_partition(self.mesh, self.config.nodes)
+
+    def regrid(self, criterion, max_level: int):  # noqa: ANN001, ANN201
+        """Adapt the mesh to the current state and re-partition.
+
+        Octo-Tiger regrids periodically on density/tracer criteria
+        (paper SIII-C); returns the
+        :class:`~repro.octree.regrid.RegridResult`.
+        """
+        from repro.octree.regrid import regrid as _regrid
+
+        result = _regrid(self.mesh, criterion, max_level=max_level)
+        if result.changed:
+            self.invalidate_workload()
+            self.counters.increment("regrid.refined", result.refined)
+            self.counters.increment("regrid.coarsened", result.coarsened)
+        return result
+
+    # -- stepping ------------------------------------------------------------
+    def step(self, dt: Optional[float] = None) -> StepRecord:
+        with self.counters.timer("wall.step"):
+            dt_used = self.integrator.step(dt)
+        if self.gravity_solver is not None and self.gravity_solver.last_stats:
+            stats = self.gravity_solver.last_stats
+            self.counters.sample("fmm.m2l_pairs", stats.m2l_pairs)
+            self.counters.sample("fmm.near_pairs", stats.near_pairs)
+            self.counters.sample("fmm.p2p_pairs", stats.p2p_pairs)
+
+        timing = self._virtual_timing()
+        record = StepRecord(
+            step=self.integrator.steps_taken,
+            time=self.integrator.time,
+            dt=dt_used,
+            virtual_seconds=timing.makespan_s,
+            cells_per_second=timing.cells_per_second,
+            utilization=timing.utilization,
+            node_power_w=self.machine.power.node_power(
+                min(timing.utilization, 1.0), self.config.frequency_ghz
+            ),
+        )
+        self.records.append(record)
+        self.counters.sample("virtual.step_seconds", timing.makespan_s)
+        return record
+
+    def run(self, n_steps: int, dt: Optional[float] = None) -> List[StepRecord]:
+        return [self.step(dt) for _ in range(n_steps)]
+
+    def _virtual_timing(self) -> TaskGraphResult:
+        simulator = TaskGraphSimulator(self.spec, self.config, self.constants)
+        return simulator.run_step()
+
+    # -- diagnostics -----------------------------------------------------------
+    def diagnostics(self) -> Diagnostics:
+        phi = None
+        if self.gravity_solver is not None:
+            phi = self.gravity_solver.solve(self.mesh).phi
+            self.last_phi = phi
+        return diagnostics(self.mesh, phi)
+
+    def mean_cells_per_second(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.cells_per_second for r in self.records]))

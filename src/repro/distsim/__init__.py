@@ -1,0 +1,46 @@
+"""Distributed performance simulation (the substituted testbeds).
+
+Two tiers share one cost model:
+
+* :mod:`repro.distsim.model` — an analytic per-timestep model evaluated at
+  any scale (1 to 1024+ nodes).  Every term is physical: compute from the
+  machine's sustained flop rates, a memory-bandwidth roofline, ghost-layer
+  messages over the interconnect with task-based overlap, per-level tree
+  traversal with core starvation, and log(P) barrier rounds per solver
+  phase.  All the paper's figures regenerate from this model.
+* :mod:`repro.distsim.taskgraph` — a fine-grained discrete-event execution
+  of one timestep's real task graph on the AMT runtime, usable at small
+  scale.  Tests cross-validate it against the analytic model, so the big
+  curves rest on a mechanism that is exercised directly.
+
+Calibrated constants live in :class:`~repro.distsim.model.ModelConstants`
+with the paper observation that pinned each one.
+"""
+
+from repro.distsim.runconfig import RunConfig
+from repro.distsim.model import (
+    ModelConstants,
+    StepBreakdown,
+    simulate_step,
+    DEFAULT_CONSTANTS,
+)
+from repro.distsim.sweep import scaling_curve, speedup_series, weak_scaling_curve
+from repro.distsim.taskgraph import TaskGraphSimulator
+from repro.distsim.reliability import ReliabilityModel, hang_probability_curve
+from repro.distsim.report import ascii_loglog, curve_to_points
+
+__all__ = [
+    "RunConfig",
+    "ModelConstants",
+    "StepBreakdown",
+    "simulate_step",
+    "DEFAULT_CONSTANTS",
+    "scaling_curve",
+    "speedup_series",
+    "weak_scaling_curve",
+    "TaskGraphSimulator",
+    "ReliabilityModel",
+    "hang_probability_curve",
+    "ascii_loglog",
+    "curve_to_points",
+]

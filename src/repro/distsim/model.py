@@ -1,0 +1,301 @@
+"""The analytic per-timestep performance model.
+
+One Octo-Tiger timestep decomposes into:
+
+* **hydro compute** — three RK stages of reconstruction/flux/update over
+  every local cell; vectorizable, so the SIMD factor applies,
+* **gravity compute** — P2P near-field plus the Multipole (M2L) kernel;
+  the Multipole part is modelled per tree level because its parallelism
+  shrinks towards the root (core starvation, Fig. 9),
+* **ghost communication** — face messages per RK stage, remote fraction
+  from the SFC partition's surface-to-volume ratio, overlapped with compute
+  by the task runtime, with the local-communication optimization trading
+  per-message action overhead against promise/future synchronisation
+  (Fig. 8),
+* **synchronisation** — log2(P) message rounds per solver phase (tree
+  traversals and the global timestep reduction); this is what bends the
+  scaling curves at the paper's knee positions (Fig. 6),
+* a **memory-bandwidth roofline** and a sub-linear frequency sensitivity
+  (cache/latency stalls do not speed up with clock), which is why boost
+  mode only helps marginally (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.distsim.runconfig import RunConfig
+from repro.scenarios.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class ModelConstants:
+    """Calibrated constants; each notes the observation that pins it."""
+
+    #: DRAM traffic per cell per step (field loads/stores + stencil scratch).
+    bytes_per_cell_traffic: float = 1_200.0
+    #: Flops of one same-level multipole (M2L) interaction between sub-grids.
+    flops_per_interaction: float = 25_000.0
+    #: HPX task spawn/schedule overhead; visible when a kernel is split into
+    #: many tasks on an un-starved node (Fig. 9's "OFF better at 1 node").
+    task_overhead_s: float = 2.0e-6
+    #: Single-core CPU cost of handling one ghost face through the HPX
+    #: action path (serialization + dispatch + buffer copy) versus the
+    #: direct-access path guarded by a promise/future (the "overhead of a
+    #: different kind", Fig. 8).  Their 3:1 ratio puts the optimization's
+    #: break-even at ~8 nodes for the level-5 rotating star (Fig. 8).
+    face_action_cpu_s: float = 6.0e-6
+    face_sync_cpu_s: float = 2.0e-6
+    #: GPU machines stage ghosts through pinned buffers; the effective CPU
+    #: cost per face is reduced and the work overlaps the device kernels.
+    gpu_ghost_staging_factor: float = 0.25
+    #: Synchronisation rounds per timestep: 3 RK ghost phases + 3 gravity
+    #: tree phases + timestep reduction.
+    barrier_rounds_per_step: float = 7.0
+    #: Remote-face fraction of the Morton partition:
+    #: min(1, coeff * s_p^(-1/3)).  The coefficient folds in the raggedness
+    #: of Morton chunks over density-refined meshes; calibrated so the
+    #: local-communication optimization's break-even lands at 8 nodes for
+    #: the level-5 rotating star on Ookami (Fig. 8).
+    sfc_surface_coeff: float = 5.8
+    #: Fraction of wire time hidden under compute by task-based overlap.
+    overlap_fraction: float = 0.7
+    #: Exponent of the sustained-rate vs clock relation; < 1 because part of
+    #: the stall time is memory latency (boost mode is "marginal", Fig. 3).
+    frequency_sensitivity: float = 0.4
+    #: Per-core parallel efficiency roll-off within a node (shared L2/HBM
+    #: contention on A64FX CMGs).
+    core_contention: float = 0.0022
+
+
+DEFAULT_CONSTANTS = ModelConstants()
+
+
+@dataclass(frozen=True)
+class StepBreakdown:
+    """Timing of one simulated timestep on one configuration."""
+
+    spec_name: str
+    machine: str
+    nodes: int
+    subgrids_per_node: float
+    hydro_s: float
+    gravity_s: float
+    multipole_s: float
+    comm_s: float
+    exposed_comm_s: float
+    sync_s: float
+    total_s: float
+    cells_per_second: float
+    utilization: float
+    node_power_w: float
+    job_power_w: float
+
+    @property
+    def subgrids_per_second(self) -> float:
+        return self.cells_per_second / 512.0
+
+
+def _cpu_rate(config: RunConfig, constants: ModelConstants) -> float:
+    """Sustained node flop rate of the active CPU cores."""
+    node = config.machine.node
+    base = node.sustained_cpu_flops(simd=False, boost=False)
+    if config.simd:
+        from repro.simd.abi import get_abi
+
+        ideal = get_abi(node.simd_abi).speedup_factor()
+        base *= 1.0 + (ideal - 1.0) * config.simd_maturity
+    # Frequency sensitivity: boost raises the clock but only part of the
+    # stall budget scales with it.
+    if config.boost and node.boost_freq_ghz:
+        base *= (node.boost_freq_ghz / node.freq_ghz) ** constants.frequency_sensitivity
+    # Core count scaling with mild contention roll-off.
+    cores = config.active_cores
+    eff_cores = cores / (1.0 + constants.core_contention * cores)
+    full_cores = node.cores / (1.0 + constants.core_contention * node.cores)
+    return base * eff_cores / full_cores
+
+
+def _tree_levels(spec: ScenarioSpec) -> list:
+    """(level, node_count) pairs of an idealised complete octree holding
+    ``spec.n_subgrids`` leaves."""
+    levels = []
+    count = spec.n_subgrids
+    level = spec.max_level
+    while level >= 0 and count >= 1:
+        levels.append((level, max(int(count), 1)))
+        count /= 8.0
+        level -= 1
+    return levels
+
+
+def _multipole_time(
+    spec: ScenarioSpec, config: RunConfig, constants: ModelConstants, core_rate: float
+) -> float:
+    """Per-level Multipole (M2L) kernel time with starvation and the
+    tasks-per-kernel knob.
+
+    At each tree level a locality owns ``n_l / P`` octree nodes; each node's
+    kernel splits into K tasks.  If that is fewer concurrent tasks than
+    cores, the remaining cores starve and the level runs at reduced
+    parallelism.  K > 1 adds task-spawn overhead, which is why splitting
+    only pays off once nodes are starved (Fig. 9).
+    """
+    cores = config.active_cores
+    k = config.tasks_per_multipole_kernel
+    p = config.nodes
+    per_core_rate = core_rate / cores
+    total = 0.0
+    for _level, n_l in _tree_levels(spec):
+        local_nodes = n_l / p
+        work = (
+            local_nodes
+            * spec.fmm_interactions_per_subgrid
+            * constants.flops_per_interaction
+        )
+        concurrency = min(cores, max(local_nodes * k, 1e-9))
+        time = work / (per_core_rate * concurrency)
+        # Task overhead: every kernel launch spawns k tasks.
+        time += local_nodes * k * constants.task_overhead_s / cores
+        total += time
+    return total
+
+
+def _communication(
+    spec: ScenarioSpec, config: RunConfig, constants: ModelConstants
+) -> tuple:
+    """Ghost communication of one step per node.
+
+    Returns ``(wire_s, cpu_s)``: wire time is overlappable with compute by
+    the task runtime; the local-path cost (buffer copies / action dispatch /
+    promise-future synchronisation) occupies worker cores and adds to
+    compute.
+    """
+    p = config.nodes
+    net = config.machine.interconnect
+    s_p = spec.n_subgrids / p
+    stages = 3.0  # RK stages each exchange ghosts
+
+    faces_total = s_p * spec.ghost_faces_per_subgrid * stages
+    if p == 1:
+        remote_fraction = 0.0
+    else:
+        remote_fraction = min(1.0, constants.sfc_surface_coeff * s_p ** (-1.0 / 3.0))
+    remote_faces = faces_total * remote_fraction
+    local_faces = faces_total - remote_faces
+
+    wire = remote_faces * (
+        (net.latency_us + net.action_overhead_us) * 1e-6
+        + spec.face_bytes / (net.bandwidth_gbs * 1e9)
+    )
+    if config.comm_local_optimization:
+        # Local neighbours read memory directly; every face (local and
+        # remote alike) pays the promise/future synchronisation instead.
+        cpu_core_seconds = faces_total * constants.face_sync_cpu_s
+    else:
+        # Local transfers go through the HPX action path with buffers;
+        # remote faces' host-side costs ride in the wire term.
+        cpu_core_seconds = local_faces * constants.face_action_cpu_s
+    # Ghost handling is parallel work across the node's cores.
+    cpu = cpu_core_seconds / config.active_cores
+    if config.use_gpus:
+        cpu *= constants.gpu_ghost_staging_factor
+    return wire, cpu
+
+
+def _sync_time(config: RunConfig, constants: ModelConstants) -> float:
+    """log2(P) message rounds per solver phase per step."""
+    p = config.nodes
+    if p == 1:
+        return 0.0
+    net = config.machine.interconnect
+    round_cost = (net.latency_us + net.action_overhead_us) * 1e-6
+    return constants.barrier_rounds_per_step * math.ceil(math.log2(p)) * round_cost
+
+
+def simulate_step(
+    spec: ScenarioSpec,
+    config: RunConfig,
+    constants: ModelConstants = DEFAULT_CONSTANTS,
+) -> StepBreakdown:
+    """Model one timestep of ``spec`` under ``config``."""
+    p = config.nodes
+    s_p = spec.n_subgrids / p
+    cells_per_node = s_p * spec.subgrid_n**3
+    node = config.machine.node
+
+    if config.use_gpus:
+        gpu_rate = node.sustained_gpu_flops()
+        flops = cells_per_node * (
+            spec.hydro_flops_per_cell + spec.gravity_flops_per_cell
+        ) + s_p * spec.fmm_interactions_per_subgrid * constants.flops_per_interaction
+        launches = s_p * spec.kernels_per_subgrid_per_step / config.gpu_aggregation
+        streams = 4.0 * max(len(node.gpus), 1)
+        launch_lat = node.gpus[0].kernel_launch_latency_us * 1e-6 if node.gpus else 0.0
+        hydro_time = (
+            cells_per_node * spec.hydro_flops_per_cell / gpu_rate
+            + launches * launch_lat / streams * 0.6
+        )
+        gravity_time = (
+            cells_per_node * spec.gravity_flops_per_cell / gpu_rate
+            + launches * launch_lat / streams * 0.4
+        )
+        multipole_time = (
+            s_p
+            * spec.fmm_interactions_per_subgrid
+            * constants.flops_per_interaction
+            / gpu_rate
+        )
+        roofline = 0.0  # HBM on device; not the binding constraint here
+    else:
+        rate = _cpu_rate(config, constants)
+        hydro_flops = cells_per_node * spec.hydro_flops_per_cell
+        gravity_flops = cells_per_node * spec.gravity_flops_per_cell
+        hydro_time = hydro_flops / rate
+        gravity_time = gravity_flops / rate
+        multipole_time = _multipole_time(spec, config, constants, rate)
+        roofline = (
+            cells_per_node
+            * constants.bytes_per_cell_traffic
+            / (node.memory_bw_gbs * 1e9)
+        )
+
+    wire, comm_cpu = _communication(spec, config, constants)
+    if config.use_gpus:
+        # Host-side ghost staging overlaps the device kernels; whichever is
+        # longer binds the step (the host side is the known scaling limit of
+        # GPU AMR codes, which is what work aggregation [paper ref. 9]
+        # attacks).
+        compute = max(hydro_time + gravity_time + multipole_time, comm_cpu)
+    else:
+        compute = hydro_time + gravity_time + multipole_time + comm_cpu
+    compute = max(compute, roofline)
+
+    comm = wire + comm_cpu
+    sync = _sync_time(config, constants)
+    exposed = max(0.0, wire - constants.overlap_fraction * compute)
+
+    total = compute + exposed + sync
+    cells_per_second = spec.n_cells / total  # aggregate over the whole job
+    utilization = min(1.0, compute / total)
+
+    power = config.machine.power
+    node_power = power.node_power(utilization, config.frequency_ghz)
+    return StepBreakdown(
+        spec_name=spec.name,
+        machine=config.machine.name,
+        nodes=p,
+        subgrids_per_node=s_p,
+        hydro_s=hydro_time,
+        gravity_s=gravity_time,
+        multipole_s=multipole_time,
+        comm_s=comm,
+        exposed_comm_s=exposed,
+        sync_s=sync,
+        total_s=total,
+        cells_per_second=cells_per_second,
+        utilization=utilization,
+        node_power_w=node_power,
+        job_power_w=node_power * p,
+    )

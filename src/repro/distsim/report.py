@@ -1,0 +1,70 @@
+"""Text rendering of scaling curves: the figures, as ASCII.
+
+The benches persist raw series; this module renders them the way the
+paper's log-log plots read, so a terminal user can eyeball the knees and
+crossovers without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Glyphs assigned to series in insertion order.
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_loglog(
+    curves: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "nodes",
+    y_label: str = "cells/s",
+) -> List[str]:
+    """Render ``{name: [(x, y), ...]}`` as a log-log scatter.
+
+    Returns the plot as a list of lines (legend first).  Raises on
+    non-positive coordinates — log axes cannot show them.
+    """
+    if not curves:
+        raise ValueError("no curves to plot")
+    points = [(x, y) for series in curves.values() for x, y in series]
+    if not points:
+        raise ValueError("curves contain no points")
+    if any(x <= 0 or y <= 0 for x, y in points):
+        raise ValueError("log-log plot needs positive coordinates")
+
+    lx = [math.log10(x) for x, _ in points]
+    ly = [math.log10(y) for _, y in points]
+    x_lo, x_hi = min(lx), max(lx)
+    y_lo, y_hi = min(ly), max(ly)
+    x_span = max(x_hi - x_lo, 1e-9)
+    y_span = max(y_hi - y_lo, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, series) in enumerate(curves.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        legend.append(f"{glyph} = {name}")
+        for x, y in series:
+            col = int((math.log10(x) - x_lo) / x_span * (width - 1))
+            row = int((math.log10(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = ["   ".join(legend)]
+    top = f"{10 ** y_hi:.2e}"
+    bottom = f"{10 ** y_lo:.2e}"
+    pad = max(len(top), len(bottom))
+    for i, row in enumerate(grid):
+        label = top if i == 0 else (bottom if i == height - 1 else "")
+        lines.append(f"{label:>{pad}} |{''.join(row)}|")
+    lines.append(
+        f"{'':>{pad}} +{'-' * width}+  {y_label} vs {x_label} "
+        f"[{10 ** x_lo:g} .. {10 ** x_hi:g}]"
+    )
+    return lines
+
+
+def curve_to_points(curve) -> List[Tuple[float, float]]:  # noqa: ANN001
+    """(nodes, cells/s) pairs from a list of StepBreakdown."""
+    return [(p.nodes, p.cells_per_second) for p in curve]

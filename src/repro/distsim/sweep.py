@@ -1,0 +1,93 @@
+"""Scaling sweeps: the curves the paper's figures plot.
+
+``scaling_curve`` evaluates the model over a node-count series;
+``speedup_series`` normalises to the smallest node count the scenario fits
+in — exactly how Figs. 4b and 5b define S.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.distsim.model import (
+    DEFAULT_CONSTANTS,
+    ModelConstants,
+    StepBreakdown,
+    simulate_step,
+)
+from repro.distsim.runconfig import RunConfig  # noqa: F401 - re-exported
+from repro.machines.specs import MachineModel
+from repro.scenarios.spec import ScenarioSpec
+
+
+def node_series(start: int, stop: int) -> List[int]:
+    """Powers of two from ``start`` to ``stop`` inclusive."""
+    if start < 1 or stop < start:
+        raise ValueError("need 1 <= start <= stop")
+    out = []
+    n = start
+    while n <= stop:
+        out.append(n)
+        n *= 2
+    return out
+
+
+def scaling_curve(
+    spec: ScenarioSpec,
+    machine: MachineModel,
+    nodes: Iterable[int],
+    constants: ModelConstants = DEFAULT_CONSTANTS,
+    **config_kwargs,  # noqa: ANN003
+) -> List[StepBreakdown]:
+    """Evaluate the step model across node counts on one machine."""
+    out = []
+    for n in nodes:
+        cfg = RunConfig(machine=machine, nodes=n, **config_kwargs)
+        out.append(simulate_step(spec, cfg, constants))
+    return out
+
+
+def speedup_series(curve: Sequence[StepBreakdown]) -> List[float]:
+    """Speedup relative to the first (smallest-node) entry, scaled by its
+    node count — S(N) = rate(N) / rate(N_min)."""
+    if not curve:
+        return []
+    base = curve[0].cells_per_second
+    return [point.cells_per_second / base for point in curve]
+
+
+def weak_scaling_curve(
+    spec: ScenarioSpec,
+    machine: MachineModel,
+    nodes: Iterable[int],
+    subgrids_per_node: Optional[int] = None,
+    constants: ModelConstants = DEFAULT_CONSTANTS,
+    **config_kwargs,  # noqa: ANN003
+) -> List[StepBreakdown]:
+    """Weak scaling: the workload grows with the node count.
+
+    Not one of the paper's plots, but the natural companion study — perfect
+    weak scaling means constant time per step; the sync and surface terms
+    make it degrade logarithmically/geometrically instead.
+    """
+    if subgrids_per_node is None:
+        subgrids_per_node = max(spec.n_subgrids, 1)
+    out = []
+    for n in nodes:
+        scaled = spec.with_subgrids(subgrids_per_node * n)
+        cfg = RunConfig(machine=machine, nodes=n, **config_kwargs)
+        out.append(simulate_step(scaled, cfg, constants))
+    return out
+
+
+def min_nodes_for(
+    spec: ScenarioSpec, machine: MachineModel, power_of_two: bool = True
+) -> int:
+    """Smallest node count whose memory holds the scenario (Fig. 4's
+    starting points: Summit 1, Piz Daint 4, Fugaku 16 for v1309)."""
+    need = spec.memory_bytes
+    node_mem = machine.node.memory_gb * 1e9
+    nodes = 1
+    while nodes * node_mem < need:
+        nodes = nodes * 2 if power_of_two else nodes + 1
+    return nodes

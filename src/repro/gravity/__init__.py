@@ -1,0 +1,51 @@
+"""Fast-multipole-method gravity (Octo-Tiger's FMM analog).
+
+The FMM piggybacks on the hydro octree: every node carries multipole
+moments (monopole, quadrupole and — for the angular-momentum machinery —
+octupole) about its centre of mass.  A solve is the paper's three phases:
+
+1. **bottom-up** — P2M on leaves, M2M up the tree,
+2. **same-level cell-to-cell** — M2L between well-separated node pairs
+   found by a dual tree traversal (the Multipole kernel of Fig. 9),
+3. **top-down** — L2L down the tree, then per-cell evaluation (L2P) plus
+   direct near-field sums (P2P).
+
+Conservation: P2P interactions are pairwise antisymmetric, so the near field
+conserves linear and angular momentum identically.  The truncated M2L far
+field does not; :mod:`repro.gravity.conservation` restores both with global
+projections (a different mechanism from Octo-Tiger's symmetric-kernel +
+octupole-correction construction, but delivering the same machine-precision
+invariants — see DESIGN.md).
+"""
+
+from repro.gravity.multipole import (
+    Multipole,
+    LocalExpansion,
+    stacked_octant_moments,
+)
+from repro.gravity.kernels import d_tensors, m2l, m2l_batch, p2l
+from repro.gravity.fmm import FmmSolver, FmmResult
+from repro.gravity.direct import direct_sum
+from repro.gravity.conservation import (
+    project_momentum,
+    project_angular_momentum,
+    total_force,
+    total_torque,
+)
+
+__all__ = [
+    "Multipole",
+    "LocalExpansion",
+    "stacked_octant_moments",
+    "d_tensors",
+    "m2l",
+    "m2l_batch",
+    "p2l",
+    "FmmSolver",
+    "FmmResult",
+    "direct_sum",
+    "project_momentum",
+    "project_angular_momentum",
+    "total_force",
+    "total_torque",
+]

@@ -1,0 +1,120 @@
+"""Machine-precision conservation projections for the far field.
+
+The P2P near field is pairwise antisymmetric and conserves linear and
+angular momentum identically.  The truncated M2L far field does not.
+Octo-Tiger restores linear momentum through the symmetry of its interaction
+kernels and angular momentum through an octupole correction term; we obtain
+the same invariants with two global projections:
+
+* :func:`project_momentum` removes the net force as a uniform acceleration,
+* :func:`project_angular_momentum` removes the net torque about the system
+  COM as a rigid angular-acceleration field ``alpha x d`` with
+  ``alpha = I^-1 tau``.
+
+Both corrections are orthogonal (a uniform field exerts no torque about the
+COM; a rigid rotation field exerts no net force) and scale with the M2L
+truncation error, i.e. they vanish as the expansion order grows — which the
+tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.octree.node import NodeKey
+
+
+def total_force(
+    masses: Dict[NodeKey, np.ndarray], accel: Dict[NodeKey, np.ndarray]
+) -> np.ndarray:
+    """Net force sum m_i a_i over all leaves; accel blocks are (3, N, N, N)."""
+    force = np.zeros(3)
+    for key, m in masses.items():
+        a = accel[key].reshape(3, -1)
+        force += a @ m
+    return force
+
+
+def total_torque(
+    masses: Dict[NodeKey, np.ndarray],
+    positions: Dict[NodeKey, np.ndarray],
+    accel: Dict[NodeKey, np.ndarray],
+    about: np.ndarray = None,  # noqa: RUF013
+) -> np.ndarray:
+    """Net torque sum m_i r_i x a_i (about ``about`` or the origin)."""
+    torque = np.zeros(3)
+    for key, m in masses.items():
+        pos = positions[key]
+        if about is not None:
+            pos = pos - about
+        a = accel[key].reshape(3, -1).T
+        torque += np.einsum("n,ni->i", m, np.cross(pos, a))
+    return torque
+
+
+def _center_of_mass(
+    masses: Dict[NodeKey, np.ndarray], positions: Dict[NodeKey, np.ndarray]
+) -> Tuple[float, np.ndarray]:
+    total = 0.0
+    weighted = np.zeros(3)
+    for key, m in masses.items():
+        total += float(m.sum())
+        weighted += m @ positions[key]
+    if total <= 0.0:
+        return 0.0, np.zeros(3)
+    return total, weighted / total
+
+
+def project_momentum(
+    masses: Dict[NodeKey, np.ndarray], accel: Dict[NodeKey, np.ndarray]
+) -> np.ndarray:
+    """Subtract the uniform acceleration that zeroes the net force.
+
+    Mutates ``accel`` in place; returns the correction applied (per unit
+    mass), whose magnitude measures the far-field truncation error.
+    """
+    total_mass = sum(float(m.sum()) for m in masses.values())
+    if total_mass <= 0.0:
+        return np.zeros(3)
+    correction = total_force(masses, accel) / total_mass
+    for key in accel:
+        accel[key] -= correction[:, None, None, None]
+    return correction
+
+
+def project_angular_momentum(
+    masses: Dict[NodeKey, np.ndarray],
+    positions: Dict[NodeKey, np.ndarray],
+    accel: Dict[NodeKey, np.ndarray],
+) -> np.ndarray:
+    """Subtract the rigid field ``alpha x d`` that zeroes the net torque.
+
+    ``I alpha = tau`` with I the inertia tensor about the COM.  Mutates
+    ``accel``; returns ``alpha``.  Degenerate inertia tensors (all mass
+    collinear) are handled with the pseudo-inverse.
+    """
+    total_mass, com = _center_of_mass(masses, positions)
+    if total_mass <= 0.0:
+        return np.zeros(3)
+    tau = total_torque(masses, positions, accel, about=com)
+
+    inertia = np.zeros((3, 3))
+    for key, m in masses.items():
+        d = positions[key] - com
+        r2 = np.einsum("ni,ni->n", d, d)
+        inertia += np.einsum("n,n->", m, r2) * np.eye(3) - np.einsum(
+            "n,ni,nj->ij", m, d, d
+        )
+    # Solve I alpha = tau; fall back to pinv for degenerate distributions.
+    try:
+        alpha = np.linalg.solve(inertia, tau)
+    except np.linalg.LinAlgError:
+        alpha = np.linalg.pinv(inertia) @ tau
+
+    for key in accel:
+        d = positions[key] - com
+        delta = np.cross(alpha[None, :], d)  # (n, 3)
+        accel[key] -= delta.T.reshape(accel[key].shape)
+    return alpha

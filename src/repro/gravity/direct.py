@@ -1,0 +1,52 @@
+"""Direct O(n^2) gravity: the accuracy oracle for the FMM.
+
+Sums every cell-cell interaction over all leaves, in memory-bounded blocks.
+Quadratic and only usable on small meshes, which is exactly its job: the
+tests compare FMM output against it and assert the error bounds the
+expansion order implies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.gravity.pairwise import direct_field
+from repro.octree.fields import Field
+from repro.octree.mesh import AmrMesh
+from repro.octree.node import NodeKey
+
+
+def direct_sum(
+    mesh: AmrMesh, g_newton: float = 1.0
+) -> Tuple[Dict[NodeKey, np.ndarray], Dict[NodeKey, np.ndarray]]:
+    """Exact potential and acceleration per leaf: (phi, accel) dicts
+    matching :class:`~repro.gravity.fmm.FmmResult` shapes."""
+    leaves = mesh.leaves()
+    n = mesh.n
+
+    all_pos = []
+    all_mass = []
+    offsets = {}
+    cursor = 0
+    for leaf in leaves:
+        x, y, z = leaf.cell_centers()
+        pos = np.stack([x.ravel(), y.ravel(), z.ravel()], axis=1)
+        mass = leaf.subgrid.interior_view(Field.RHO).ravel() * leaf.cell_volume
+        all_pos.append(pos)
+        all_mass.append(mass)
+        offsets[leaf.key] = (cursor, cursor + pos.shape[0])
+        cursor += pos.shape[0]
+    pos = np.concatenate(all_pos)
+    mass = np.concatenate(all_mass)
+
+    phi_flat, acc_flat = direct_field(pos, mass, g_newton=g_newton)
+
+    phi: Dict[NodeKey, np.ndarray] = {}
+    accel: Dict[NodeKey, np.ndarray] = {}
+    for leaf in leaves:
+        lo, hi = offsets[leaf.key]
+        phi[leaf.key] = phi_flat[lo:hi].reshape(n, n, n)
+        accel[leaf.key] = acc_flat[lo:hi].T.reshape(3, n, n, n)
+    return phi, accel

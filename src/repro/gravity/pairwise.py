@@ -1,0 +1,102 @@
+"""GEMM-formulated pairwise gravity sums.
+
+The naive P2P forms the (n_a, n_b, 3) separation tensor; for sub-grid pairs
+that is wasteful and for global direct sums it exhausts memory.  Both users
+route through :func:`pairwise_accumulate`, which expresses the interaction
+with matrix products only:
+
+    r^2_ab   = |p_a|^2 + |p_b|^2 - 2 p_a . p_b          (one GEMM)
+    phi_a    = -G (1/r) m_b                              (one GEMV)
+    acc_a    = -G [ p_a * rowsum(W) - W p_b ],  W = m_b / r^3
+
+The hot loop is written with in-place ufuncs to keep the number of
+(n_a x n_b) temporaries at three.  The cancellation error of the quadratic
+expansion is ~1e-16 * |p|^2 / r^2, negligible for O(1) domains with
+cell-scale minimum separations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def pairwise_accumulate(
+    pos_a: np.ndarray,
+    mass_a: np.ndarray,
+    pos_b: np.ndarray,
+    mass_b: np.ndarray,
+    self_pair: bool,
+    g_newton: float = 1.0,
+    compute_b: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
+    """Potentials and accelerations both sides of one interaction block.
+
+    Returns ``(phi_a, acc_a, phi_b, acc_b)``; the ``b`` outputs are ``None``
+    when ``compute_b`` is false (used by the blocked direct sum, which visits
+    every ordered block anyway).  ``self_pair`` masks the diagonal.
+    """
+    # r2 = |a|^2 + |b|^2 - 2 a.b, built in place on the GEMM output.
+    r2 = pos_a @ pos_b.T
+    r2 *= -2.0
+    r2 += np.einsum("ni,ni->n", pos_a, pos_a)[:, None]
+    r2 += np.einsum("ni,ni->n", pos_b, pos_b)[None, :]
+    np.maximum(r2, 0.0, out=r2)
+    if self_pair:
+        np.fill_diagonal(r2, np.inf)
+
+    inv_r = np.sqrt(r2)
+    np.reciprocal(inv_r, out=inv_r)
+    inv_r3 = inv_r * inv_r
+    inv_r3 *= inv_r
+
+    phi_a = inv_r @ mass_b
+    phi_a *= -g_newton
+    w = inv_r3 * mass_b[None, :]
+    acc_a = pos_a * w.sum(axis=1)[:, None]
+    acc_a -= w @ pos_b
+    acc_a *= -g_newton
+
+    if not compute_b:
+        return phi_a, acc_a, None, None
+    phi_b = mass_a @ inv_r
+    phi_b *= -g_newton
+    inv_r3 *= mass_a[:, None]  # reuse the buffer: V = m_a / r^3
+    acc_b = inv_r3.T @ pos_a
+    acc_b -= pos_b * inv_r3.sum(axis=0)[:, None]
+    acc_b *= g_newton
+    return phi_a, acc_a, phi_b, acc_b
+
+
+def direct_field(
+    pos: np.ndarray,
+    mass: np.ndarray,
+    g_newton: float = 1.0,
+    block: int = 2048,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact phi (n,) and acceleration (n, 3) of a full particle set,
+    computed in row blocks to bound memory at ``block * n`` floats."""
+    n = pos.shape[0]
+    phi = np.zeros(n)
+    acc = np.zeros((n, 3))
+    norm = np.einsum("ni,ni->n", pos, pos)
+    for lo in range(0, n, block):
+        hi = min(lo + block, n)
+        r2 = pos[lo:hi] @ pos.T
+        r2 *= -2.0
+        r2 += norm[lo:hi, None]
+        r2 += norm[None, :]
+        np.maximum(r2, 0.0, out=r2)
+        rows = np.arange(lo, hi)
+        r2[rows - lo, rows] = np.inf
+        inv_r = np.sqrt(r2)
+        np.reciprocal(inv_r, out=inv_r)
+        inv_r3 = inv_r * inv_r
+        inv_r3 *= inv_r
+        phi[lo:hi] = -g_newton * (inv_r @ mass)
+        inv_r3 *= mass[None, :]
+        acc[lo:hi] = pos[lo:hi] * inv_r3.sum(axis=1)[:, None]
+        acc[lo:hi] -= inv_r3 @ pos
+        acc[lo:hi] *= -g_newton
+    return phi, acc

@@ -1,0 +1,173 @@
+"""Equations of state.
+
+:class:`IdealGasEOS` closes the Euler system and implements the dual-energy
+formalism: total gas energy loses internal energy to float cancellation in
+highly supersonic flow, so Octo-Tiger carries the entropy tracer
+``tau = (rho * eps)**(1/gamma)`` and reconstructs the internal energy from it
+wherever the kinetic energy dominates.
+
+:class:`PolytropicEOS` (``p = K rho**(1 + 1/n)``) serves the SCF initial
+models; white dwarfs use n = 1.5 (non-relativistic degenerate), main
+sequence stars n = 3 polytropes (bi-polytropic structures combine two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IdealGasEOS:
+    """Gamma-law gas with dual-energy switch.
+
+    ``dual_eta`` is the fraction of total energy below which the internal
+    energy is recovered from the entropy tracer instead of the energy
+    difference (Octo-Tiger uses a comparable switch).
+    """
+
+    gamma: float = 5.0 / 3.0
+    dual_eta: float = 1e-3
+    rho_floor: float = 1e-12
+    eint_floor: float = 1e-15
+
+    def pressure(self, rho: np.ndarray, eint: np.ndarray) -> np.ndarray:
+        """p = (gamma - 1) rho eps, with eint the internal energy *density*."""
+        return (self.gamma - 1.0) * np.maximum(eint, self.eint_floor)
+
+    def sound_speed(self, rho: np.ndarray, pressure: np.ndarray) -> np.ndarray:
+        rho = np.maximum(rho, self.rho_floor)
+        return np.sqrt(self.gamma * np.maximum(pressure, 0.0) / rho)
+
+    def tau_from_eint(self, eint: np.ndarray) -> np.ndarray:
+        """Entropy tracer from internal energy density."""
+        return np.maximum(eint, self.eint_floor) ** (1.0 / self.gamma)
+
+    def eint_from_tau(self, tau: np.ndarray) -> np.ndarray:
+        return np.maximum(tau, 0.0) ** self.gamma
+
+    def dual_energy_eint(
+        self, rho: np.ndarray, egas: np.ndarray, kinetic: np.ndarray, tau: np.ndarray
+    ) -> np.ndarray:
+        """Internal energy density with the dual-energy switch applied."""
+        diff = egas - kinetic
+        use_tau = diff < self.dual_eta * egas
+        return np.where(use_tau, self.eint_from_tau(tau), np.maximum(diff, self.eint_floor))
+
+
+@dataclass(frozen=True)
+class BipolytropicEOS:
+    """Core/envelope bi-polytrope (paper SIV-C: MS stars have a different
+    effective index in the convective envelope than in the core).
+
+    Below ``rho_transition`` the gas follows the envelope polytrope
+    ``p = K_env rho^(1 + 1/n_env)``; above it the core polytrope, with
+    ``K_core`` fixed by pressure continuity at the transition.  The
+    specific enthalpy h = integral dp/rho is continuous by construction and
+    linear in ``K_env``, which is what lets the SCF iteration rescale the
+    whole structure to pin the maximum density.
+    """
+
+    K_env: float = 1.0
+    n_core: float = 3.0
+    n_env: float = 1.5
+    rho_transition: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.rho_transition <= 0:
+            raise ValueError("rho_transition must be positive")
+        if self.K_env <= 0:
+            raise ValueError("K_env must be positive")
+
+    @property
+    def Gamma_core(self) -> float:
+        return 1.0 + 1.0 / self.n_core
+
+    @property
+    def Gamma_env(self) -> float:
+        return 1.0 + 1.0 / self.n_env
+
+    @property
+    def K_core(self) -> float:
+        """Pressure continuity at the transition density."""
+        return (
+            self.K_env
+            * self.rho_transition ** (self.Gamma_env - self.Gamma_core)
+        )
+
+    def pressure(self, rho: np.ndarray) -> np.ndarray:
+        rho = np.maximum(np.asarray(rho, dtype=np.float64), 0.0)
+        core = self.K_core * rho**self.Gamma_core
+        env = self.K_env * rho**self.Gamma_env
+        return np.where(rho > self.rho_transition, core, env)
+
+    def _h_transition(self) -> float:
+        return (self.n_env + 1.0) * self.K_env * self.rho_transition ** (
+            1.0 / self.n_env
+        )
+
+    def enthalpy(self, rho: np.ndarray) -> np.ndarray:
+        """Continuous specific enthalpy h(rho) = integral dp / rho."""
+        rho = np.maximum(np.asarray(rho, dtype=np.float64), 0.0)
+        h_env = (self.n_env + 1.0) * self.K_env * rho ** (1.0 / self.n_env)
+        h_t = self._h_transition()
+        h_core = h_t + (self.n_core + 1.0) * self.K_core * (
+            rho ** (1.0 / self.n_core)
+            - self.rho_transition ** (1.0 / self.n_core)
+        )
+        return np.where(rho > self.rho_transition, h_core, h_env)
+
+    def rho_from_enthalpy(self, h: np.ndarray) -> np.ndarray:
+        """Piecewise inversion of :meth:`enthalpy` (vacuum below h = 0)."""
+        h = np.asarray(h, dtype=np.float64)
+        h_t = self._h_transition()
+        rho_env = (
+            np.maximum(h, 0.0) / ((self.n_env + 1.0) * self.K_env)
+        ) ** self.n_env
+        core_base = (
+            np.maximum(h - h_t, 0.0) / ((self.n_core + 1.0) * self.K_core)
+            + self.rho_transition ** (1.0 / self.n_core)
+        )
+        rho_core = core_base**self.n_core
+        return np.where(h > h_t, rho_core, rho_env)
+
+    def with_K_env(self, K_env: float) -> "BipolytropicEOS":
+        """Rescaled copy (the SCF normalisation step)."""
+        from dataclasses import replace
+
+        return replace(self, K_env=K_env)
+
+    def internal_energy_density(self, rho: np.ndarray) -> np.ndarray:
+        """eps * rho = n p with the local index."""
+        rho = np.maximum(np.asarray(rho, dtype=np.float64), 0.0)
+        n_local = np.where(rho > self.rho_transition, self.n_core, self.n_env)
+        return n_local * self.pressure(rho)
+
+
+@dataclass(frozen=True)
+class PolytropicEOS:
+    """Barotropic p = K rho**Gamma with Gamma = 1 + 1/n."""
+
+    K: float = 1.0
+    n: float = 1.5
+
+    @property
+    def Gamma(self) -> float:
+        return 1.0 + 1.0 / self.n
+
+    def pressure(self, rho: np.ndarray) -> np.ndarray:
+        return self.K * np.maximum(rho, 0.0) ** self.Gamma
+
+    def enthalpy(self, rho: np.ndarray) -> np.ndarray:
+        """Specific enthalpy h = (n + 1) K rho**(1/n)."""
+        return (self.n + 1.0) * self.K * np.maximum(rho, 0.0) ** (1.0 / self.n)
+
+    def rho_from_enthalpy(self, h: np.ndarray) -> np.ndarray:
+        """Invert the enthalpy relation; negative enthalpy maps to vacuum."""
+        base = np.maximum(h, 0.0) / ((self.n + 1.0) * self.K)
+        return base**self.n
+
+    def internal_energy_density(self, rho: np.ndarray) -> np.ndarray:
+        """eps * rho = n K rho**Gamma = n p (polytrope thermodynamics)."""
+        return self.n * self.pressure(rho)

@@ -1,0 +1,94 @@
+"""HLL approximate Riemann solver for the Euler equations.
+
+Operates on dictionaries of primitive face states produced by the
+reconstruction, vectorised over whole face arrays.  The flux vector along
+``axis`` for conserved state U = (rho, sx, sy, sz, egas, tau, tracers...):
+
+    F(rho)   = rho u
+    F(s_i)   = s_i u + delta_{i,axis} p
+    F(egas)  = (egas + p) u
+    F(tau)   = tau u          (entropy advects)
+    F(tracer)= tracer u       (passive advection)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.hydro.eos import IdealGasEOS
+from repro.octree.fields import NFIELDS, Field
+
+#: Primitive variable keys carried through reconstruction.
+PRIM_KEYS = ("rho", "vx", "vy", "vz", "p", "tau", "f1", "f2")
+_VEL = ("vx", "vy", "vz")
+
+
+def _conserved_from_prim(w: Dict[str, np.ndarray], eos: IdealGasEOS) -> np.ndarray:
+    """Stack conserved fields (NFIELDS, ...) from primitive face states."""
+    rho = np.maximum(w["rho"], eos.rho_floor)
+    vx, vy, vz = w["vx"], w["vy"], w["vz"]
+    kinetic = 0.5 * rho * (vx**2 + vy**2 + vz**2)
+    eint = np.maximum(w["p"], 0.0) / (eos.gamma - 1.0)
+    u = np.empty((NFIELDS,) + rho.shape, dtype=rho.dtype)
+    u[Field.RHO] = rho
+    u[Field.SX] = rho * vx
+    u[Field.SY] = rho * vy
+    u[Field.SZ] = rho * vz
+    u[Field.EGAS] = kinetic + eint
+    u[Field.TAU] = w["tau"]
+    u[Field.FRAC1] = w["f1"]
+    u[Field.FRAC2] = w["f2"]
+    return u
+
+
+def _physical_flux(
+    u: np.ndarray, w: Dict[str, np.ndarray], axis: int
+) -> np.ndarray:
+    vel = w[_VEL[axis]]
+    p = np.maximum(w["p"], 0.0)
+    f = u * vel[None]
+    f[Field.SX + axis] += p
+    f[Field.EGAS] += p * vel
+    return f
+
+
+def hll_flux(
+    w_left: Dict[str, np.ndarray],
+    w_right: Dict[str, np.ndarray],
+    axis: int,
+    eos: IdealGasEOS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """HLL flux through faces given left/right primitive states.
+
+    Returns ``(flux, max_signal)`` where ``flux`` has shape
+    ``(NFIELDS,) + face_shape`` and ``max_signal`` is the largest wave speed
+    (feeds the CFL condition).
+    """
+    ul = _conserved_from_prim(w_left, eos)
+    ur = _conserved_from_prim(w_right, eos)
+    fl = _physical_flux(ul, w_left, axis)
+    fr = _physical_flux(ur, w_right, axis)
+
+    cl = eos.sound_speed(w_left["rho"], w_left["p"])
+    cr = eos.sound_speed(w_right["rho"], w_right["p"])
+    vl = w_left[_VEL[axis]]
+    vr = w_right[_VEL[axis]]
+
+    s_left = np.minimum(vl - cl, vr - cr)
+    s_right = np.maximum(vl + cl, vr + cr)
+
+    # HLL average in the star region; clamp the denominator for the
+    # degenerate s_left == s_right == 0 case (static vacuum).
+    denom = s_right - s_left
+    safe = np.where(np.abs(denom) > 1e-300, denom, 1.0)
+    f_star = (
+        s_right[None] * fl - s_left[None] * fr + (s_left * s_right)[None] * (ur - ul)
+    ) / safe[None]
+
+    flux = np.where(
+        (s_left >= 0.0)[None], fl, np.where((s_right <= 0.0)[None], fr, f_star)
+    )
+    max_signal = np.maximum(np.abs(s_left), np.abs(s_right))
+    return flux, max_signal

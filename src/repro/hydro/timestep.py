@@ -1,0 +1,40 @@
+"""Timestep control.
+
+Octo-Tiger does **not** use adaptive (per-level) time stepping: one global
+dt, the minimum CFL limit over every leaf, advances the whole tree — that is
+what keeps conservation at machine precision.  We reproduce that policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hydro.eos import IdealGasEOS
+from repro.hydro.solver import primitives_from_conserved
+from repro.octree.mesh import AmrMesh
+from repro.octree.subgrid import SubGrid
+
+
+def cfl_timestep_subgrid(
+    sg: SubGrid, dx: float, eos: IdealGasEOS, cfl: float = 0.4
+) -> float:
+    """CFL limit of one sub-grid's interior: cfl * dx / max(|v| + c)."""
+    s = sg.interior
+    u = sg.data[:, s, s, s]
+    w = primitives_from_conserved(u, eos)
+    c = eos.sound_speed(w["rho"], w["p"])
+    speed = np.abs(w["vx"]) + np.abs(w["vy"]) + np.abs(w["vz"]) + 3.0 * c
+    peak = float(speed.max())
+    if peak <= 0.0:
+        return np.inf
+    return cfl * dx / peak
+
+
+def global_timestep(mesh: AmrMesh, eos: IdealGasEOS, cfl: float = 0.4) -> float:
+    """The single global dt: minimum CFL limit over all leaves."""
+    dt = np.inf
+    for leaf in mesh.leaves():
+        dt = min(dt, cfl_timestep_subgrid(leaf.subgrid, leaf.dx, eos, cfl))
+    if not np.isfinite(dt):
+        raise ValueError("global timestep is unbounded: mesh holds no signal")
+    return dt

@@ -1,0 +1,83 @@
+"""Checkpoint series: the Silo-style output directory of a production run.
+
+Octo-Tiger writes a numbered Silo file per output interval; restarting
+resumes from the newest.  :class:`CheckpointSeries` manages that layout on
+the ``.npz`` container: step-numbered files, listing, latest-lookup, and
+pruning (production runs cap the number of retained checkpoints).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.ioutil.checkpoint import load_checkpoint, save_checkpoint
+from repro.octree.mesh import AmrMesh
+
+_STEP_RE = re.compile(r"_(\d{6})\.npz$")
+
+
+class CheckpointSeries:
+    """A directory of step-numbered checkpoints."""
+
+    def __init__(self, directory: Union[str, Path], prefix: str = "octotiger") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if not prefix or "/" in prefix:
+            raise ValueError("prefix must be a simple name")
+        self.prefix = prefix
+
+    # -- paths -----------------------------------------------------------
+    def path_for(self, step: int) -> Path:
+        if step < 0 or step > 999_999:
+            raise ValueError("step must be in [0, 999999]")
+        return self.directory / f"{self.prefix}_{step:06d}.npz"
+
+    def steps(self) -> List[int]:
+        """Sorted step numbers present on disk."""
+        out = []
+        for path in self.directory.glob(f"{self.prefix}_*.npz"):
+            match = _STEP_RE.search(path.name)
+            if match:
+                out.append(int(match.group(1)))
+        return sorted(out)
+
+    def latest_step(self) -> Optional[int]:
+        steps = self.steps()
+        return steps[-1] if steps else None
+
+    # -- io -----------------------------------------------------------------
+    def write(
+        self,
+        mesh: AmrMesh,
+        step: int,
+        time: float = 0.0,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        return save_checkpoint(mesh, self.path_for(step), time=time, step=step,
+                               extra=extra)
+
+    def load(self, step: int) -> Tuple[AmrMesh, Dict[str, Any]]:
+        path = self.path_for(step)
+        if not path.exists():
+            raise FileNotFoundError(f"no checkpoint for step {step} in {self.directory}")
+        return load_checkpoint(path)
+
+    def load_latest(self) -> Tuple[AmrMesh, Dict[str, Any]]:
+        step = self.latest_step()
+        if step is None:
+            raise FileNotFoundError(f"no checkpoints under {self.directory}")
+        return self.load(step)
+
+    def prune(self, keep_last: int) -> int:
+        """Delete all but the newest ``keep_last`` checkpoints; returns the
+        number removed."""
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        steps = self.steps()
+        removed = 0
+        for step in steps[:-keep_last]:
+            self.path_for(step).unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,117 @@
+"""Kernel dispatch entry points: parallel_for / parallel_reduce / parallel_scan.
+
+Synchronous variants drive the AMT engine until the kernel completes (only
+valid outside other tasks, like ``Kokkos::fence``).  ``*_async`` variants
+return AMT futures — the HPX-Kokkos integration that lets kernels join HPX
+dependency graphs and continuation chains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.amt.future import Future
+from repro.amt.locality import Runtime
+from repro.kokkos.policies import MDRangePolicy, RangePolicy
+from repro.kokkos.spaces import ExecutionSpace
+
+
+def _as_range(policy) -> RangePolicy:  # noqa: ANN001
+    from repro.kokkos.policies import TeamPolicy
+
+    if isinstance(policy, (MDRangePolicy, TeamPolicy)):
+        return policy.flatten()
+    if isinstance(policy, RangePolicy):
+        return policy
+    raise TypeError(f"not an execution policy: {policy!r}")
+
+
+def parallel_for_async(
+    space: ExecutionSpace,
+    policy,  # noqa: ANN001
+    functor: Callable[[int, int], Any],
+    kind: str = "parallel_for",
+) -> Future:
+    """Launch a for-kernel; returns a future resolved on completion."""
+    return space.dispatch(_as_range(policy), functor, kind)
+
+
+def parallel_for(
+    space: ExecutionSpace,
+    policy,  # noqa: ANN001
+    functor: Callable[[int, int], Any],
+    kind: str = "parallel_for",
+    runtime: Optional[Runtime] = None,
+) -> None:
+    """Launch a for-kernel and fence.
+
+    For spaces backed by a runtime the caller must pass it (or the space's
+    locality runtime is used) so the virtual clock can advance.
+    """
+    future = parallel_for_async(space, policy, functor, kind)
+    _fence(space, future, runtime)
+
+
+def parallel_reduce_async(
+    space: ExecutionSpace,
+    policy,  # noqa: ANN001
+    functor: Callable[[int, int], float],
+    kind: str = "parallel_reduce",
+    combine: Callable[[float, float], float] = lambda a, b: a + b,
+    init: float = 0.0,
+) -> Future:
+    """Launch a reduce-kernel; the future carries the combined value."""
+    chunk_future = space.dispatch(_as_range(policy), functor, kind)
+
+    def combine_all(partials: List[Any]) -> float:
+        acc = init
+        for p in partials:
+            if p is not None:
+                acc = combine(acc, p)
+        return acc
+
+    return chunk_future.then(combine_all)
+
+
+def parallel_reduce(
+    space: ExecutionSpace,
+    policy,  # noqa: ANN001
+    functor: Callable[[int, int], float],
+    kind: str = "parallel_reduce",
+    combine: Callable[[float, float], float] = lambda a, b: a + b,
+    init: float = 0.0,
+    runtime: Optional[Runtime] = None,
+) -> float:
+    future = parallel_reduce_async(space, policy, functor, kind, combine, init)
+    _fence(space, future, runtime)
+    return future.get()
+
+
+def parallel_scan(
+    values: np.ndarray,
+    exclusive: bool = True,
+) -> np.ndarray:
+    """Prefix sum over a host array (Kokkos parallel_scan semantics).
+
+    Used by the load balancer to compute partition offsets; runs inline
+    because it is latency- not throughput-bound.
+    """
+    values = np.asarray(values)
+    if exclusive:
+        out = np.zeros_like(values)
+        np.cumsum(values[:-1], out=out[1:])
+        return out
+    return np.cumsum(values)
+
+
+def _fence(space: ExecutionSpace, future: Future, runtime: Optional[Runtime]) -> None:
+    if future.is_ready():
+        return
+    rt = runtime or getattr(space, "locality", None) and space.locality.runtime
+    if rt is None:
+        raise RuntimeError(
+            f"cannot fence space {space.name!r} without a runtime to drive"
+        )
+    rt.run_until_ready(future)

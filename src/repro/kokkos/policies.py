@@ -1,0 +1,126 @@
+"""Execution policies: the iteration spaces kernels run over.
+
+A policy describes *what* to iterate (a 1-D range or an N-D box) and the
+cost-model metadata (work per item, SIMD-vectorisability) that execution
+spaces use to derive virtual kernel durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class RangePolicy:
+    """A half-open 1-D index range ``[begin, end)``.
+
+    ``work_per_item`` is the modelled flop count of one iteration;
+    ``vectorizable`` marks kernels whose inner loop uses the SIMD types (the
+    only ones the SVE speedup applies to — matching the paper's remark that
+    "only the compute kernels" are vectorised).
+    """
+
+    begin: int = 0
+    end: int = 0
+    work_per_item: float = 100.0
+    vectorizable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.end < self.begin:
+            raise ValueError(f"invalid range [{self.begin}, {self.end})")
+
+    @property
+    def size(self) -> int:
+        return self.end - self.begin
+
+    @property
+    def total_work(self) -> float:
+        return self.size * self.work_per_item
+
+    def chunks(self, n_chunks: int) -> List[Tuple[int, int]]:
+        """Split into at most ``n_chunks`` contiguous sub-ranges.
+
+        Remainders spread over the leading chunks, so sizes differ by at
+        most one — the balanced chunking Kokkos' HPX backend uses.
+        """
+        if n_chunks < 1:
+            raise ValueError("n_chunks must be >= 1")
+        size = self.size
+        if size == 0:
+            return []
+        n_chunks = min(n_chunks, size)
+        base, extra = divmod(size, n_chunks)
+        out: List[Tuple[int, int]] = []
+        start = self.begin
+        for i in range(n_chunks):
+            length = base + (1 if i < extra else 0)
+            out.append((start, start + length))
+            start += length
+        return out
+
+
+@dataclass(frozen=True)
+class TeamPolicy:
+    """Hierarchical parallelism: a league of teams (``Kokkos::TeamPolicy``).
+
+    Each league member is one task; within it the functor receives
+    ``(league_rank, team_size)`` and is expected to vectorise over the team
+    dimension itself (the pack layer plays the role of ThreadVector range).
+    ``flatten`` maps the league onto a RangePolicy so every execution space
+    dispatches it unchanged — one item per league member, the team's work
+    folded into ``work_per_item``.
+    """
+
+    league_size: int = 0
+    team_size: int = 1
+    work_per_team: float = 100.0
+    vectorizable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.league_size < 0:
+            raise ValueError("league_size must be non-negative")
+        if self.team_size < 1:
+            raise ValueError("team_size must be >= 1")
+
+    @property
+    def size(self) -> int:
+        return self.league_size
+
+    def flatten(self) -> RangePolicy:
+        return RangePolicy(
+            0,
+            self.league_size,
+            work_per_item=self.work_per_team,
+            vectorizable=self.vectorizable,
+        )
+
+
+@dataclass(frozen=True)
+class MDRangePolicy:
+    """An N-dimensional rectangular iteration space.
+
+    Kernels receive flattened ``(begin, end)`` ranges plus the box shape so
+    they can unravel indices; Octo-Tiger's cell kernels iterate 8x8x8 boxes.
+    """
+
+    shape: Tuple[int, ...] = ()
+    work_per_item: float = 100.0
+    vectorizable: bool = True
+
+    def __post_init__(self) -> None:
+        for extent in self.shape:
+            if extent < 0:
+                raise ValueError(f"negative extent in {self.shape}")
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for extent in self.shape:
+            total *= extent
+        return total if self.shape else 0
+
+    def flatten(self) -> RangePolicy:
+        return RangePolicy(
+            0, self.size, work_per_item=self.work_per_item, vectorizable=self.vectorizable
+        )

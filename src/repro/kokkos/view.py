@@ -1,0 +1,95 @@
+"""Views: labelled, memory-space-tagged multidimensional arrays.
+
+A ``Kokkos::View`` couples storage with a memory space so kernels can only
+touch data where they execute.  Here a view wraps a NumPy array plus a space
+tag; :func:`deep_copy` is the only sanctioned way to move data between
+spaces, and it counts the bytes moved (feeding the GPU-offload cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MemorySpaceTag:
+    name: str
+    is_device: bool = False
+
+
+HostSpace = MemorySpaceTag("Host")
+DeviceSpaceTag = MemorySpaceTag("Device", is_device=True)
+
+#: Total bytes moved host<->device by deep_copy (reset by tests as needed).
+transfer_counter = {"h2d_bytes": 0, "d2h_bytes": 0, "copies": 0}
+
+
+class View:
+    """A labelled array in a memory space."""
+
+    __slots__ = ("label", "space", "data")
+
+    def __init__(
+        self,
+        label: str,
+        shape: Tuple[int, ...],
+        space: MemorySpaceTag = HostSpace,
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        self.label = label
+        self.space = space
+        self.data = np.zeros(shape, dtype=dtype)
+
+    @classmethod
+    def from_array(
+        cls, label: str, array: np.ndarray, space: MemorySpaceTag = HostSpace
+    ) -> "View":
+        view = cls.__new__(cls)
+        view.label = label
+        view.space = space
+        view.data = array
+        return view
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def mirror(self, space: MemorySpaceTag) -> "View":
+        """An uninitialised view of the same shape in another space
+        (``create_mirror_view``)."""
+        out = View(self.label + "_mirror", self.data.shape, space=space, dtype=self.data.dtype)
+        return out
+
+    def __getitem__(self, idx):  # noqa: ANN001, ANN204 - array passthrough
+        return self.data[idx]
+
+    def __setitem__(self, idx, value) -> None:  # noqa: ANN001
+        self.data[idx] = value
+
+    def __repr__(self) -> str:
+        return f"<View {self.label!r} {self.data.shape} @{self.space.name}>"
+
+
+def deep_copy(dst: View, src: View) -> None:
+    """Copy between views, accounting host<->device traffic."""
+    if dst.data.shape != src.data.shape:
+        raise ValueError(
+            f"deep_copy shape mismatch: {dst.data.shape} vs {src.data.shape}"
+        )
+    np.copyto(dst.data, src.data)
+    transfer_counter["copies"] += 1
+    if src.space.is_device and not dst.space.is_device:
+        transfer_counter["d2h_bytes"] += src.nbytes
+    elif dst.space.is_device and not src.space.is_device:
+        transfer_counter["h2d_bytes"] += src.nbytes

@@ -1,0 +1,49 @@
+"""Machine models of the five systems in the paper's evaluation.
+
+Hardware parameters (cores, frequencies, peak flops, memory capacity and
+bandwidth, GPU counts, interconnect latency/bandwidth) come from the
+published system descriptions; *sustained efficiency* parameters are
+calibrated so the cross-machine orderings the paper reports reproduce
+(Summit > Piz Daint >~ Fugaku for v1309; Perlmutter-GPU ~ two orders above
+Perlmutter-CPU >~ Fugaku for the DWD).  Every calibrated constant lives in
+:mod:`repro.machines.specs` with a comment saying what pinned it.
+"""
+
+from repro.machines.specs import (
+    GpuSpec,
+    NodeSpec,
+    InterconnectSpec,
+    MachineModel,
+    FUGAKU,
+    OOKAMI,
+    SUMMIT,
+    PIZ_DAINT,
+    PERLMUTTER,
+    MACHINES,
+)
+from repro.machines.power import PowerModel
+from repro.machines.manifest import software_manifest, format_manifest
+from repro.machines.topology import (
+    TorusTopology,
+    FatTreeTopology,
+    effective_interconnect,
+)
+
+__all__ = [
+    "GpuSpec",
+    "NodeSpec",
+    "InterconnectSpec",
+    "MachineModel",
+    "PowerModel",
+    "FUGAKU",
+    "OOKAMI",
+    "SUMMIT",
+    "PIZ_DAINT",
+    "PERLMUTTER",
+    "MACHINES",
+    "software_manifest",
+    "format_manifest",
+    "TorusTopology",
+    "FatTreeTopology",
+    "effective_interconnect",
+]

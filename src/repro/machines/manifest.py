@@ -1,0 +1,50 @@
+"""Software-stack manifest (the paper's Table I).
+
+Octo-Tiger 6848ea1/8e42394 was built against these compiler and library
+versions on Fugaku and Ookami; the manifest is data so the Table I bench can
+print it and the tests can assert its integrity (every entry versioned, the
+two-machine split preserved).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: (fugaku_version, ookami_version); identical strings where Table I lists
+#: a single version for both machines.
+_STACK: Dict[str, Tuple[str, str]] = {
+    "gcc": ("11.2.0", "12.1.0"),
+    "hwloc": ("1.11.12", "2.8.0"),
+    "boost": ("1.79.0", "1.78.0"),
+    "mpi": ("Fujitsu MPI 3.0", "Fujitsu MPI 3.1"),
+    "hdf5": ("1.8.12", "1.8.12"),
+    "cmake": ("3.19.5", "3.24.2"),
+    "Vc": ("1.4.1", "1.4.1"),
+    "hpx": ("1.7.1", "1.8.1/b25e70b17c"),
+    "kokkos": ("2640cf70d", "7658a1136"),
+    "hpx-kokkos": ("20a4496", "8ec88ae"),
+    "sve": ("a058275", "a058275"),
+    "silo": ("4.10.2", "4.10.2"),
+    "cppuddle": ("8ccd07a16e1715c", "8ccd07a16e1715c"),
+    "gperftools": ("bf8b714", "bf8b714"),
+    "openmpi": ("4.1.4", "4.1.4"),
+    "jemalloc": ("5.1.0", "5.1.0"),
+    "octo-tiger": ("6848ea1", "8e4239411cfc36e9"),
+}
+
+
+def software_manifest(machine: str = "Fugaku") -> Dict[str, str]:
+    """The component -> version map for ``machine`` ("Fugaku" or "Ookami")."""
+    if machine not in ("Fugaku", "Ookami"):
+        raise KeyError(f"manifest covers Fugaku and Ookami, not {machine!r}")
+    column = 0 if machine == "Fugaku" else 1
+    return {component: versions[column] for component, versions in _STACK.items()}
+
+
+def format_manifest() -> str:
+    """Render the two-machine manifest as an aligned text table."""
+    lines = [f"{'component':<12} {'Fugaku':<24} {'Ookami':<24}"]
+    lines.append("-" * 60)
+    for component, (fugaku, ookami) in sorted(_STACK.items()):
+        lines.append(f"{component:<12} {fugaku:<24} {ookami:<24}")
+    return "\n".join(lines)

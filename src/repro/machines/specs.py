@@ -1,0 +1,212 @@
+"""Hardware specifications and the five machine presets.
+
+Peak numbers are from public system documentation.  The ``*_efficiency``
+fields are the only free parameters; they represent the sustained fraction
+of peak an Octo-Tiger-like AMR code achieves and are calibrated against the
+relative performance the paper reports (see module docstring of
+:mod:`repro.machines`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.machines.power import PowerModel
+from repro.simd.abi import get_abi
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One accelerator."""
+
+    name: str
+    fp64_tflops: float
+    memory_gb: float
+    kernel_launch_latency_us: float = 10.0
+    #: Sustained fraction of peak for Octo-Tiger's aggregated kernels.
+    efficiency: float = 0.10
+
+    @property
+    def sustained_flops(self) -> float:
+        return self.fp64_tflops * 1e12 * self.efficiency
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node."""
+
+    name: str
+    cores: int
+    freq_ghz: float
+    flops_per_cycle_per_core: float  # peak DP flops per cycle per core
+    memory_gb: float  # usable memory (the paper quotes 28 GB on Fugaku)
+    memory_bw_gbs: float
+    simd_abi: str  # the widest SIMD ISA the node supports
+    #: Sustained fraction of peak for *scalar* (non-SIMD-typed) kernels;
+    #: explicit SIMD types multiply this by the ABI speedup factor.
+    scalar_efficiency: float = 0.015
+    boost_freq_ghz: Optional[float] = None
+    gpus: Tuple[GpuSpec, ...] = ()
+
+    def peak_flops(self, boost: bool = False) -> float:
+        freq = (self.boost_freq_ghz or self.freq_ghz) if boost else self.freq_ghz
+        return self.cores * freq * 1e9 * self.flops_per_cycle_per_core
+
+    def sustained_cpu_flops(self, simd: bool = True, boost: bool = False) -> float:
+        """Node-level sustained flop rate of the CPU cores.
+
+        ``simd=True`` models kernels built with the explicit SIMD types
+        (the paper's SVE build); ``simd=False`` the scalar build.
+        """
+        factor = get_abi(self.simd_abi).speedup_factor() if simd else 1.0
+        return self.peak_flops(boost=boost) * self.scalar_efficiency * factor
+
+    def sustained_gpu_flops(self) -> float:
+        return sum(g.sustained_flops for g in self.gpus)
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Network fabric between nodes."""
+
+    name: str
+    latency_us: float
+    bandwidth_gbs: float  # per-node injection bandwidth
+    #: Per-message software overhead (HPX action/serialization path).
+    action_overhead_us: float = 1.0
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    name: str
+    node: NodeSpec
+    interconnect: InterconnectSpec
+    power: PowerModel
+    max_nodes: int = 1024
+
+
+# --------------------------------------------------------------------------
+# A64FX machines.  48 compute cores, 2x 512-bit SVE FMA pipes -> 32 DP
+# flops/cycle/core.  Fugaku: 2.0 GHz nominal silicon run at 1.8 GHz default
+# with a 2.2 GHz boost mode (paper SVI-A); Tofu-D interconnect.  The paper
+# quotes 28 GB usable per node.  scalar_efficiency = 0.013 calibrated so a
+# non-SVE Fugaku node lands just below a CPU-only Perlmutter node (Fig. 5).
+_A64FX = dict(
+    cores=48,
+    flops_per_cycle_per_core=32.0,
+    memory_bw_gbs=1024.0,
+    simd_abi="sve512",
+    scalar_efficiency=0.013,
+)
+
+FUGAKU = MachineModel(
+    name="Fugaku",
+    node=NodeSpec(
+        name="A64FX (Fugaku)",
+        freq_ghz=1.8,
+        boost_freq_ghz=2.2,
+        memory_gb=28.0,
+        **_A64FX,
+    ),
+    interconnect=InterconnectSpec(
+        name="Tofu-D", latency_us=0.9, bandwidth_gbs=40.8, action_overhead_us=1.4
+    ),
+    power=PowerModel(idle_w=35.0, peak_w=110.0, reference_freq_ghz=1.8),
+    max_nodes=158_976,
+)
+
+OOKAMI = MachineModel(
+    name="Ookami",
+    node=NodeSpec(
+        name="A64FX (FX700)",
+        freq_ghz=1.8,
+        memory_gb=32.0,
+        **_A64FX,
+    ),
+    # HDR-100 InfiniBand; lower per-message software overhead with OpenMPI
+    # than the paper observed with Fujitsu MPI (their Fig. 10 discussion).
+    interconnect=InterconnectSpec(
+        name="InfiniBand HDR100", latency_us=1.1, bandwidth_gbs=12.5,
+        action_overhead_us=0.9,
+    ),
+    power=PowerModel(idle_w=40.0, peak_w=120.0, reference_freq_ghz=1.8),
+    max_nodes=174,
+)
+
+# GPU machines.  GPU efficiency 0.10 calibrated to put Summit ~an order of
+# magnitude over Piz Daint per node (6x V100 vs 1x P100) with Fugaku close
+# behind Piz Daint (Fig. 4).
+SUMMIT = MachineModel(
+    name="Summit",
+    node=NodeSpec(
+        name="POWER9 + 6x V100",
+        cores=42,
+        freq_ghz=3.1,
+        flops_per_cycle_per_core=8.0,
+        memory_gb=512.0,
+        memory_bw_gbs=340.0,
+        simd_abi="scalar",  # VSX kernels ran scalar in these builds
+        scalar_efficiency=0.02,
+        gpus=tuple(
+            GpuSpec("V100", fp64_tflops=7.8, memory_gb=16.0) for _ in range(6)
+        ),
+    ),
+    interconnect=InterconnectSpec(
+        name="EDR InfiniBand (dual rail)", latency_us=1.0, bandwidth_gbs=25.0
+    ),
+    power=PowerModel(idle_w=500.0, peak_w=2200.0, reference_freq_ghz=3.1),
+    max_nodes=4608,
+)
+
+PIZ_DAINT = MachineModel(
+    name="Piz Daint",
+    node=NodeSpec(
+        name="Xeon E5-2690v3 + 1x P100",
+        cores=12,
+        freq_ghz=2.6,
+        flops_per_cycle_per_core=16.0,
+        memory_gb=64.0,
+        memory_bw_gbs=68.0,
+        simd_abi="avx2",
+        scalar_efficiency=0.02,
+        # P100 efficiency 0.055: the Piz Daint results predate the GPU work
+        # aggregation of paper ref. [9]; calibrated so a Fugaku node (SVE)
+        # lands "close to" a Piz Daint node (Fig. 4).
+        gpus=(GpuSpec("P100", fp64_tflops=4.7, memory_gb=16.0, efficiency=0.055),),
+    ),
+    interconnect=InterconnectSpec(name="Aries", latency_us=1.3, bandwidth_gbs=10.2),
+    power=PowerModel(idle_w=100.0, peak_w=450.0, reference_freq_ghz=2.6),
+    max_nodes=5704,
+)
+
+# Perlmutter phase 1 (the paper's disclaimer).  scalar_efficiency 0.018 and
+# the A100 efficiency 0.18 put the CPU-only node roughly two orders of
+# magnitude below the 4x A100 configuration, with a non-SVE Fugaku node
+# slightly below the CPU-only Perlmutter node (Fig. 5).
+PERLMUTTER = MachineModel(
+    name="Perlmutter",
+    node=NodeSpec(
+        name="EPYC 7763 + 4x A100",
+        cores=64,
+        freq_ghz=2.45,
+        flops_per_cycle_per_core=16.0,
+        memory_gb=256.0,
+        memory_bw_gbs=204.8,
+        simd_abi="avx2",
+        scalar_efficiency=0.018,
+        gpus=tuple(
+            GpuSpec("A100", fp64_tflops=9.7, memory_gb=40.0, efficiency=0.18)
+            for _ in range(4)
+        ),
+    ),
+    interconnect=InterconnectSpec(
+        name="Slingshot-10", latency_us=1.1, bandwidth_gbs=12.5
+    ),
+    power=PowerModel(idle_w=300.0, peak_w=1800.0, reference_freq_ghz=2.45),
+    max_nodes=1536,
+)
+
+MACHINES: Dict[str, MachineModel] = {
+    m.name: m for m in (FUGAKU, OOKAMI, SUMMIT, PIZ_DAINT, PERLMUTTER)
+}

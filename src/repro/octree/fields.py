@@ -1,0 +1,32 @@
+"""Evolved field inventory.
+
+Matches Octo-Tiger's state vector: density, three momentum components, gas
+energy, the entropy tracer ``tau`` (dual-energy formalism), and two passive
+tracer fields tracking the mass fractions of the binary components (used by
+the refinement criterion and by merger diagnostics).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Field(enum.IntEnum):
+    RHO = 0  # mass density
+    SX = 1  # x momentum density
+    SY = 2  # y momentum density
+    SZ = 3  # z momentum density
+    EGAS = 4  # total gas energy density (kinetic + internal)
+    TAU = 5  # entropy tracer (rho * eps)**(1/gamma), dual-energy formalism
+    FRAC1 = 6  # passive tracer: mass fraction from star 1
+    FRAC2 = 7  # passive tracer: mass fraction from star 2
+
+
+NFIELDS = len(Field)
+
+#: Fields whose domain integral must be conserved to machine precision on a
+#: uniform mesh (the paper's conservation claims).
+CONSERVED = (Field.RHO, Field.SX, Field.SY, Field.SZ, Field.EGAS)
+
+MOMENTA = (Field.SX, Field.SY, Field.SZ)
+TRACERS = (Field.FRAC1, Field.FRAC2)

@@ -1,0 +1,116 @@
+"""Octree node: topology, geometry and per-node payload.
+
+A node is addressed by ``(level, morton_code)``.  Geometry derives from the
+address: the root covers a cube of edge ``domain_size`` centred on the
+origin; a node at level ``l`` covers ``domain_size / 2**l`` and its sub-grid
+cells are ``node_size / n`` across.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.octree.subgrid import SubGrid
+from repro.util.morton import morton_children, morton_decode3, morton_parent
+
+
+NodeKey = Tuple[int, int]  # (level, morton code)
+
+
+class OctreeNode:
+    """One octant of the AMR tree."""
+
+    __slots__ = (
+        "level",
+        "code",
+        "subgrid",
+        "is_leaf",
+        "locality",
+        "domain_size",
+    )
+
+    def __init__(
+        self,
+        level: int,
+        code: int,
+        n: int = 8,
+        ghost: int = 2,
+        domain_size: float = 2.0,
+    ) -> None:
+        self.level = level
+        self.code = code
+        self.subgrid = SubGrid(n, ghost)
+        self.is_leaf = True
+        self.locality = 0
+        self.domain_size = domain_size
+
+    # -- addressing ----------------------------------------------------------
+    @property
+    def key(self) -> NodeKey:
+        return (self.level, self.code)
+
+    @property
+    def parent_key(self) -> Optional[NodeKey]:
+        if self.level == 0:
+            return None
+        return (self.level - 1, morton_parent(self.code))
+
+    def children_keys(self) -> List[NodeKey]:
+        return [(self.level + 1, c) for c in morton_children(self.code)]
+
+    @property
+    def coords(self) -> Tuple[int, int, int]:
+        return morton_decode3(self.code)
+
+    @property
+    def octant(self) -> int:
+        """This node's index (0..7) within its parent."""
+        return self.code & 0b111
+
+    # -- geometry --------------------------------------------------------------
+    @property
+    def node_size(self) -> float:
+        return self.domain_size / (1 << self.level)
+
+    @property
+    def dx(self) -> float:
+        return self.node_size / self.subgrid.n
+
+    @property
+    def cell_volume(self) -> float:
+        return self.dx**3
+
+    @property
+    def origin(self) -> np.ndarray:
+        """Lower corner of the node in physical coordinates."""
+        ix, iy, iz = self.coords
+        half = self.domain_size / 2.0
+        return np.array([ix, iy, iz], dtype=np.float64) * self.node_size - half
+
+    @property
+    def center(self) -> np.ndarray:
+        return self.origin + self.node_size / 2.0
+
+    def cell_centers(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Meshgrids (N, N, N) of interior cell-centre coordinates."""
+        n = self.subgrid.n
+        edges = self.origin[:, None] + self.dx * (np.arange(n) + 0.5)[None, :]
+        return np.meshgrid(edges[0], edges[1], edges[2], indexing="ij")
+
+    def face_neighbor_coords(self, axis: int, side: int) -> Optional[Tuple[int, int, int]]:
+        """Integer coords of the same-level face neighbour, or None at the
+        domain boundary."""
+        ix, iy, iz = self.coords
+        delta = [0, 0, 0]
+        delta[axis] = 1 if side == 1 else -1
+        jx, jy, jz = ix + delta[0], iy + delta[1], iz + delta[2]
+        n = 1 << self.level
+        if not (0 <= jx < n and 0 <= jy < n and 0 <= jz < n):
+            return None
+        return (jx, jy, jz)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "interior"
+        return f"<OctreeNode L{self.level} code={self.code} {kind} loc={self.locality}>"

@@ -1,0 +1,142 @@
+"""Dynamic regridding: refinement criteria evaluated during evolution.
+
+Octo-Tiger adapts its mesh on the density field and on the tracer fields
+that track the binary components' original mass fractions (paper SIII-C).
+A :class:`RefinementCriterion` decides per leaf whether it should refine or
+may coarsen; :func:`regrid` applies the decisions while preserving the
+2:1 balance and conservation (prolongation/restriction are conservative,
+tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.octree.fields import Field
+from repro.octree.mesh import AmrMesh
+from repro.octree.node import OctreeNode
+
+
+class RefinementCriterion(Protocol):
+    """Per-leaf refinement decision."""
+
+    def wants_refinement(self, leaf: OctreeNode) -> bool: ...  # noqa: D102, E704
+
+    def allows_coarsening(self, leaf: OctreeNode) -> bool: ...  # noqa: D102, E704
+
+
+@dataclass(frozen=True)
+class DensityCriterion:
+    """Refine where the density exceeds a threshold (Octo-Tiger's primary
+    criterion); allow coarsening well below it (hysteresis avoids refine/
+    coarsen flapping at the threshold)."""
+
+    refine_above: float = 1e-3
+    coarsen_below: Optional[float] = None  # default: refine_above / 10
+
+    def wants_refinement(self, leaf: OctreeNode) -> bool:
+        return leaf.subgrid.max_abs(Field.RHO) > self.refine_above
+
+    def allows_coarsening(self, leaf: OctreeNode) -> bool:
+        threshold = (
+            self.refine_above / 10.0 if self.coarsen_below is None else self.coarsen_below
+        )
+        return leaf.subgrid.max_abs(Field.RHO) < threshold
+
+
+@dataclass(frozen=True)
+class TracerCriterion:
+    """Refine where a component's tracer fraction is significant — the
+    paper's 'refine the mesh on the basis of the density field and a field
+    of tracer variables' (e.g. resolving the accretion stream by donor
+    material rather than total density)."""
+
+    field: Field = Field.FRAC2
+    refine_above: float = 1e-4
+
+    def wants_refinement(self, leaf: OctreeNode) -> bool:
+        rho = np.maximum(leaf.subgrid.interior_view(Field.RHO), 1e-300)
+        fraction = leaf.subgrid.interior_view(self.field) / rho
+        return bool((fraction * rho > self.refine_above).any())
+
+    def allows_coarsening(self, leaf: OctreeNode) -> bool:
+        return not self.wants_refinement(leaf)
+
+
+@dataclass(frozen=True)
+class CombinedCriterion:
+    """Refine if any member wants it; coarsen only if all members allow."""
+
+    members: tuple
+
+    def wants_refinement(self, leaf: OctreeNode) -> bool:
+        return any(m.wants_refinement(leaf) for m in self.members)
+
+    def allows_coarsening(self, leaf: OctreeNode) -> bool:
+        return all(m.allows_coarsening(leaf) for m in self.members)
+
+
+@dataclass
+class RegridResult:
+    refined: int
+    coarsened: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.refined or self.coarsened)
+
+
+def regrid(
+    mesh: AmrMesh,
+    criterion: RefinementCriterion,
+    max_level: int,
+    min_level: int = 0,
+    max_rounds: int = 8,
+) -> RegridResult:
+    """Apply a refinement criterion to the evolving mesh.
+
+    Refinement first (cascades preserve 2:1 balance automatically), then
+    conservative coarsening of sibling groups whose eight leaves all allow
+    it.  Coarsening that would violate balance is skipped, not forced.
+    """
+    refined = 0
+    for _ in range(max_rounds):
+        to_refine = [
+            leaf.key
+            for leaf in mesh.leaves()
+            if leaf.level < max_level and criterion.wants_refinement(leaf)
+        ]
+        if not to_refine:
+            break
+        for key in to_refine:
+            node = mesh.get(key)
+            if node is not None and node.is_leaf:
+                mesh.refine(key)
+                refined += 1
+
+    coarsened = 0
+    # Visit parents of leaf octets, deepest level first.
+    for level in range(mesh.max_level(), min_level, -1):
+        parents = {
+            leaf.parent_key
+            for leaf in mesh.leaves()
+            if leaf.level == level and leaf.parent_key is not None
+        }
+        for parent_key in sorted(parents):
+            parent = mesh.get(parent_key)
+            if parent is None or parent.is_leaf:
+                continue
+            children = [mesh.get(k) for k in parent.children_keys()]
+            if any(c is None or not c.is_leaf for c in children):
+                continue
+            if not all(criterion.allows_coarsening(c) for c in children):
+                continue
+            try:
+                mesh.derefine(parent_key)
+            except ValueError:
+                continue  # would break 2:1 balance; keep refined
+            coarsened += 1
+    return RegridResult(refined=refined, coarsened=coarsened)

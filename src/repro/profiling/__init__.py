@@ -1,0 +1,30 @@
+"""Performance instrumentation (the APEX analog, paper ref. [38]).
+
+Counters aggregate per kernel kind; timers measure wall or virtual time;
+the registry renders the same per-kernel tables HPX performance counters
+and APEX produce for Octo-Tiger.
+"""
+
+from repro.profiling.apex import (
+    CounterRegistry,
+    ScopedTimer,
+    global_registry,
+    report,
+)
+from repro.profiling.trace import (
+    TaskTrace,
+    TraceEvent,
+    TraceRecorder,
+    capture_runtime_trace,
+)
+
+__all__ = [
+    "CounterRegistry",
+    "ScopedTimer",
+    "global_registry",
+    "report",
+    "TaskTrace",
+    "TraceEvent",
+    "TraceRecorder",
+    "capture_runtime_trace",
+]

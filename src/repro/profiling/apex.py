@@ -1,0 +1,103 @@
+"""Counter registry and scoped timers.
+
+APEX attaches counters and timers to HPX tasks; here the registry is
+explicit: components report named samples (counts and seconds) and the
+report renders an aggregate table.  Virtual-time users pass elapsed
+durations directly; wall-time users use :class:`ScopedTimer`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class _Counter:
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class CounterRegistry:
+    """Named counters with aggregate statistics."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, _Counter] = {}
+
+    def sample(self, name: str, value: float) -> None:
+        self._counters.setdefault(name, _Counter()).add(value)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self.sample(name, float(amount))
+
+    def get(self, name: str) -> Optional[_Counter]:
+        return self._counters.get(name)
+
+    def count(self, name: str) -> int:
+        counter = self._counters.get(name)
+        return counter.count if counter else 0
+
+    def total(self, name: str) -> float:
+        counter = self._counters.get(name)
+        return counter.total if counter else 0.0
+
+    def names(self):  # noqa: ANN201
+        return sorted(self._counters)
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def timer(self, name: str) -> "ScopedTimer":
+        return ScopedTimer(self, name)
+
+    def report(self) -> str:
+        lines = [f"{'counter':<36} {'count':>8} {'total':>12} {'mean':>12} {'max':>12}"]
+        lines.append("-" * 84)
+        for name in self.names():
+            c = self._counters[name]
+            lines.append(
+                f"{name:<36} {c.count:>8d} {c.total:>12.6g} {c.mean:>12.6g} "
+                f"{c.maximum:>12.6g}"
+            )
+        return "\n".join(lines)
+
+
+class ScopedTimer:
+    """Wall-clock context manager feeding a registry counter."""
+
+    def __init__(self, registry: CounterRegistry, name: str) -> None:
+        self.registry = registry
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "ScopedTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:  # noqa: ANN002
+        self.registry.sample(self.name, time.perf_counter() - self._start)
+
+
+#: Process-wide registry, like APEX's default instance.
+_GLOBAL = CounterRegistry()
+
+
+def global_registry() -> CounterRegistry:
+    return _GLOBAL
+
+
+def report() -> str:
+    return _GLOBAL.report()

@@ -1,0 +1,162 @@
+"""Task-timeline traces (APEX / Chrome-trace export).
+
+APEX can emit OTF2/Chrome traces of HPX task execution; this module records
+(task, worker, start, end) tuples from a virtual-runtime run and exports the
+Chrome ``chrome://tracing`` / Perfetto JSON format, so a simulated schedule
+can be inspected with the same tools used for real Octo-Tiger runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.amt.locality import Runtime
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    name: str
+    kind: str
+    locality: int
+    worker: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class TaskTrace:
+    """A collection of task execution records."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def add(self, event: TraceEvent) -> None:
+        if event.end_s < event.start_s:
+            raise ValueError("event ends before it starts")
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- analysis -----------------------------------------------------------
+    def span(self) -> float:
+        if not self.events:
+            return 0.0
+        return max(e.end_s for e in self.events) - min(e.start_s for e in self.events)
+
+    def busy_time(self) -> float:
+        return sum(e.duration_s for e in self.events)
+
+    def by_kind(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0.0) + e.duration_s
+        return out
+
+    def critical_kind(self) -> Optional[str]:
+        kinds = self.by_kind()
+        if not kinds:
+            return None
+        return max(kinds, key=kinds.get)  # type: ignore[arg-type]
+
+    # -- export ---------------------------------------------------------------
+    def to_chrome_trace(self) -> List[dict]:
+        """Chrome-trace 'X' (complete) events, microsecond timestamps."""
+        out = []
+        for e in self.events:
+            out.append(
+                {
+                    "name": e.name,
+                    "cat": e.kind,
+                    "ph": "X",
+                    "ts": e.start_s * 1e6,
+                    "dur": e.duration_s * 1e6,
+                    "pid": e.locality,
+                    "tid": e.worker,
+                }
+            )
+        return out
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps({"traceEvents": self.to_chrome_trace()}))
+        return path
+
+
+def capture_runtime_trace(runtime: Runtime) -> TaskTrace:
+    """Build a trace from a runtime by monkey-free inspection.
+
+    The scheduler stamps ``started_at`` / ``finished_at`` / ``worker`` on
+    each task; this helper cannot see tasks after their futures are
+    garbage-collected, so production users attach a
+    :class:`TraceRecorder` instead.  Kept for ad-hoc inspection.
+    """
+    trace = TaskTrace()
+    # Tasks are not retained by pools; this records only aggregate rows.
+    for loc in runtime.localities:
+        for kind, total in loc.pool.kind_time.items():
+            trace.add(
+                TraceEvent(
+                    name=f"{kind} (aggregate)",
+                    kind=kind,
+                    locality=loc.id,
+                    worker=-1,
+                    start_s=0.0,
+                    end_s=total,
+                )
+            )
+    return trace
+
+
+class TraceRecorder:
+    """Hooks a WorkerPool to record every task completion.
+
+    Usage::
+
+        recorder = TraceRecorder()
+        recorder.attach(runtime)
+        ... run ...
+        trace = recorder.trace
+    """
+
+    def __init__(self) -> None:
+        self.trace = TaskTrace()
+        self._detach = []
+
+    def attach(self, runtime: Runtime) -> None:
+        for loc in runtime.localities:
+            pool = loc.pool
+            original = pool._start  # noqa: SLF001
+
+            def wrapped(task, worker, pool=pool, loc=loc, original=original):  # noqa: ANN001
+                engine = pool.engine
+                start = engine.now
+                original(task, worker)
+
+                def record(_f):  # noqa: ANN001
+                    self.trace.add(
+                        TraceEvent(
+                            name=task.name,
+                            kind=task.kind,
+                            locality=loc.id,
+                            worker=worker,
+                            start_s=start,
+                            end_s=engine.now,
+                        )
+                    )
+
+                task.future.add_done_callback(record)
+
+            pool._start = wrapped  # noqa: SLF001
+            self._detach.append((pool, original))
+
+    def detach(self) -> None:
+        for pool, original in self._detach:
+            pool._start = original  # noqa: SLF001
+        self._detach.clear()

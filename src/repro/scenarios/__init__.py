@@ -1,0 +1,37 @@
+"""The paper's three scenario families.
+
+* :func:`~repro.scenarios.rotating_star.rotating_star` — the rotating-star
+  problem used for the Fugaku/Ookami scaling studies (Figs. 6-10), at the
+  paper's refinement levels 5 (2.5 M cells), 6 (14.2 M) and 7 (88.6 M) or
+  any smaller level that fits in laptop memory,
+* :func:`~repro.scenarios.v1309.v1309_scenario` — the V1309 Scorpii contact
+  binary (Figs. 4a/4b),
+* :func:`~repro.scenarios.dwd.dwd_scenario` — the q = 0.7 double white
+  dwarf (Figs. 5a/5b).
+
+Each builder returns a ready-to-evolve mesh plus a
+:class:`~repro.scenarios.spec.ScenarioSpec` describing the workload
+(sub-grid counts, cells, refinement levels) that the distributed performance
+simulator consumes.  Builders accept a ``level`` parameter: paper-scale
+levels describe workloads analytically (the spec), while small levels are
+actually constructed and evolved.
+"""
+
+from repro.scenarios.spec import ScenarioSpec, workload_from_mesh
+from repro.scenarios.rotating_star import rotating_star, ROTATING_STAR_LEVELS
+from repro.scenarios.v1309 import v1309_scenario, V1309_CELLS
+from repro.scenarios.dwd import dwd_scenario, DWD_CELLS
+from repro.scenarios.blast import sedov_blast, BlastScenario
+
+__all__ = [
+    "ScenarioSpec",
+    "workload_from_mesh",
+    "rotating_star",
+    "ROTATING_STAR_LEVELS",
+    "v1309_scenario",
+    "V1309_CELLS",
+    "dwd_scenario",
+    "DWD_CELLS",
+    "sedov_blast",
+    "BlastScenario",
+]

@@ -1,0 +1,68 @@
+"""Physical constants and code-unit conversions.
+
+Octo-Tiger runs in CGS internally; for numerical robustness at unit scale we
+work in "code units" where G = 1 and the binary's total mass and initial
+separation are O(1).  :class:`CodeUnits` converts between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# CGS values (2018 CODATA / IAU nominal).
+G_NEWTON = 6.674_30e-8  # cm^3 g^-1 s^-2
+M_SUN = 1.988_92e33  # g
+R_SUN = 6.957e10  # cm
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class CodeUnits:
+    """Conversion between CGS and code units with G = 1.
+
+    Choosing a mass unit ``m_unit`` (g) and length unit ``l_unit`` (cm)
+    fixes the time unit through ``G = 1``:
+
+        t_unit = sqrt(l_unit**3 / (G * m_unit))
+
+    All simulation state is stored in code units; scenario builders accept
+    astrophysical inputs (solar masses, solar radii) and convert once.
+    """
+
+    m_unit: float = M_SUN
+    l_unit: float = R_SUN
+
+    @property
+    def t_unit(self) -> float:
+        return (self.l_unit**3 / (G_NEWTON * self.m_unit)) ** 0.5
+
+    @property
+    def rho_unit(self) -> float:
+        return self.m_unit / self.l_unit**3
+
+    @property
+    def v_unit(self) -> float:
+        return self.l_unit / self.t_unit
+
+    @property
+    def e_unit(self) -> float:
+        """Energy density unit (erg cm^-3)."""
+        return self.rho_unit * self.v_unit**2
+
+    def mass_to_code(self, grams: float) -> float:
+        return grams / self.m_unit
+
+    def length_to_code(self, cm: float) -> float:
+        return cm / self.l_unit
+
+    def time_to_code(self, seconds: float) -> float:
+        return seconds / self.t_unit
+
+    def mass_to_cgs(self, code: float) -> float:
+        return code * self.m_unit
+
+    def length_to_cgs(self, code: float) -> float:
+        return code * self.l_unit
+
+    def time_to_cgs(self, code: float) -> float:
+        return code * self.t_unit

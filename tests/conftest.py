@@ -1,0 +1,55 @@
+"""Shared fixtures: small meshes and common solver setups.
+
+Mesh-building is the expensive part of many tests, so the heavier fixtures
+are session-scoped and treated as read-only; tests that mutate state build
+their own meshes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hydro.eos import IdealGasEOS
+from repro.octree.fields import Field
+from repro.octree.mesh import AmrMesh
+
+
+def make_uniform_mesh(levels: int = 1, n: int = 8, domain: float = 2.0) -> AmrMesh:
+    mesh = AmrMesh(n=n, ghost=2, domain_size=domain)
+    for _ in range(levels):
+        for key in list(mesh.leaf_keys()):
+            mesh.refine(key)
+    return mesh
+
+
+def fill_gaussian(mesh: AmrMesh, center=(0.2, -0.1, 0.0), width: float = 0.05) -> None:
+    for leaf in mesh.leaves():
+        x, y, z = leaf.cell_centers()
+        r2 = (x - center[0]) ** 2 + (y - center[1]) ** 2 + (z - center[2]) ** 2
+        leaf.subgrid.set_interior(Field.RHO, np.exp(-r2 / width))
+    mesh.restrict_all()
+
+
+@pytest.fixture(scope="session")
+def gaussian_mesh_l2() -> AmrMesh:
+    """Uniform level-2 mesh (64 sub-grids) with an off-centre Gaussian blob.
+
+    Session-scoped and read-only: used by the gravity accuracy tests.
+    """
+    mesh = make_uniform_mesh(levels=2)
+    fill_gaussian(mesh)
+    return mesh
+
+
+@pytest.fixture(scope="session")
+def direct_reference(gaussian_mesh_l2):
+    """Exact potential/acceleration of the Gaussian mesh (computed once)."""
+    from repro.gravity.direct import direct_sum
+
+    return direct_sum(gaussian_mesh_l2)
+
+
+@pytest.fixture()
+def eos() -> IdealGasEOS:
+    return IdealGasEOS(gamma=1.4)

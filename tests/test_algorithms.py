@@ -1,0 +1,109 @@
+"""HPX parallel-algorithms analog."""
+
+import numpy as np
+import pytest
+
+from repro.amt.algorithms import (
+    ParallelPolicy,
+    exclusive_scan,
+    for_each,
+    for_each_async,
+    inclusive_scan,
+    seq,
+    transform_reduce,
+)
+from repro.amt.locality import Runtime
+
+
+def make_policy(workers=4, chunks=4, cost=0.0):
+    rt = Runtime(1, workers)
+    return rt, ParallelPolicy(rt.here(), chunks=chunks, cost_per_item=cost)
+
+
+class TestForEach:
+    def test_seq_runs_inline(self):
+        data = np.zeros(10)
+
+        def body(b, e):
+            data[b:e] = 1.0
+
+        for_each(seq, 10, body)
+        assert (data == 1.0).all()
+
+    def test_par_covers_range_once(self):
+        rt, par = make_policy(chunks=3)
+        hits = np.zeros(100, dtype=int)
+
+        def body(b, e):
+            hits[b:e] += 1
+
+        for_each(par, 100, body)
+        assert (hits == 1).all()
+
+    def test_par_parallelises_virtual_time(self):
+        rt1, par1 = make_policy(workers=4, chunks=1, cost=1.0)
+        for_each(par1, 8, lambda b, e: None)
+        serial_time = rt1.engine.now
+
+        rt4, par4 = make_policy(workers=4, chunks=4, cost=1.0)
+        for_each(par4, 8, lambda b, e: None)
+        assert rt4.engine.now == pytest.approx(serial_time / 4)
+
+    def test_async_returns_future(self):
+        rt, par = make_policy()
+        future = for_each_async(par, 10, lambda b, e: None)
+        assert not future.is_ready()
+        rt.run_until_ready(future)
+
+    def test_empty_range(self):
+        calls = []
+        for_each(seq, 0, lambda b, e: calls.append((b, e)))
+        assert calls == []
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            for_each_async(seq, -1, lambda b, e: None)
+
+    def test_policy_validation(self):
+        rt = Runtime(1, 1)
+        with pytest.raises(ValueError):
+            ParallelPolicy(rt.here(), chunks=0)
+        with pytest.raises(ValueError):
+            ParallelPolicy(rt.here(), cost_per_item=-1.0)
+
+
+class TestTransformReduce:
+    def test_seq(self):
+        data = np.arange(100.0)
+        total = transform_reduce(seq, 100, lambda b, e: float(data[b:e].sum()))
+        assert total == data.sum()
+
+    def test_par_matches_seq(self):
+        data = np.arange(101.0)  # odd size: uneven chunks
+        rt, par = make_policy(chunks=4)
+        total = transform_reduce(par, 101, lambda b, e: float(data[b:e].sum()))
+        assert total == pytest.approx(data.sum())
+
+    def test_custom_reduce_op(self):
+        data = np.array([3.0, 9.0, 1.0, 7.0])
+        rt, par = make_policy(chunks=2)
+        best = transform_reduce(
+            par, 4, lambda b, e: float(data[b:e].max()), reduce_op=max, init=-np.inf
+        )
+        assert best == 9.0
+
+    def test_empty(self):
+        assert transform_reduce(seq, 0, lambda b, e: 1.0, init=5.0) == 5.0
+
+
+class TestScans:
+    def test_inclusive(self):
+        assert inclusive_scan([1, 2, 3]) == [1, 3, 6]
+
+    def test_exclusive(self):
+        assert exclusive_scan([1, 2, 3]) == [0, 1, 3]
+        assert exclusive_scan([1, 2, 3], init=10) == [10, 11, 13]
+
+    def test_empty(self):
+        assert inclusive_scan([]) == []
+        assert exclusive_scan([]) == []

@@ -1,0 +1,100 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.amt.engine import Engine
+
+
+class TestOrdering:
+    def test_time_order(self):
+        eng = Engine()
+        log = []
+        eng.post(2.0, lambda: log.append("b"))
+        eng.post(1.0, lambda: log.append("a"))
+        eng.run()
+        assert log == ["a", "b"]
+        assert eng.now == 2.0
+
+    def test_fifo_for_simultaneous_events(self):
+        eng = Engine()
+        log = []
+        for i in range(10):
+            eng.post(1.0, lambda i=i: log.append(i))
+        eng.run()
+        assert log == list(range(10))
+
+    def test_post_during_run(self):
+        eng = Engine()
+        log = []
+
+        def first():
+            log.append("first")
+            eng.post(0.5, lambda: log.append("nested"))
+
+        eng.post(1.0, first)
+        eng.post(2.0, lambda: log.append("last"))
+        eng.run()
+        assert log == ["first", "nested", "last"]
+        assert eng.now == 2.0
+
+    def test_post_at_absolute(self):
+        eng = Engine()
+        eng.post_at(5.0, lambda: None)
+        eng.run()
+        assert eng.now == 5.0
+
+    def test_post_into_past_rejected(self):
+        eng = Engine()
+        eng.post(1.0, lambda: eng.post_at(0.5, lambda: None))
+        with pytest.raises(ValueError):
+            eng.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().post(-1.0, lambda: None)
+
+
+class TestControl:
+    def test_run_until(self):
+        eng = Engine()
+        log = []
+        eng.post(1.0, lambda: log.append(1))
+        eng.post(3.0, lambda: log.append(3))
+        eng.run(until=2.0)
+        assert log == [1]
+        assert eng.now == 2.0
+        eng.run()
+        assert log == [1, 3]
+
+    def test_max_events(self):
+        eng = Engine()
+        for _ in range(10):
+            eng.post(1.0, lambda: None)
+        eng.run(max_events=4)
+        assert eng.events_processed == 4
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_reset(self):
+        eng = Engine()
+        eng.post(1.0, lambda: None)
+        eng.run()
+        eng.reset()
+        assert eng.now == 0.0
+        assert eng.empty()
+        assert eng.events_processed == 0
+
+    def test_not_reentrant(self):
+        eng = Engine()
+        errors = []
+
+        def reenter():
+            try:
+                eng.run()
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        eng.post(1.0, reenter)
+        eng.run()
+        assert len(errors) == 1

@@ -1,0 +1,51 @@
+"""PJM job-manager analog: environment parsing, boost policy, launch."""
+
+import pytest
+
+from repro.amt.pjm import PjmJob, PjmScheduler
+
+
+class TestEnvironment:
+    def test_round_trip(self):
+        job = PjmJob(nodes=16, procs_per_node=1, job_name="octo")
+        parsed = PjmJob.from_environment(job.environment())
+        assert parsed.nodes == 16
+        assert parsed.procs_per_node == 1
+        assert parsed.job_name == "octo"
+
+    def test_missing_keys(self):
+        with pytest.raises(KeyError):
+            PjmJob.from_environment({})
+
+    def test_inconsistent_environment(self):
+        env = PjmJob(nodes=4).environment()
+        env["PJM_MPI_PROC"] = "7"
+        with pytest.raises(ValueError):
+            PjmJob.from_environment(env)
+
+
+class TestScheduler:
+    def test_launch_builds_runtime(self):
+        scheduler = PjmScheduler()
+        rt = scheduler.launch(PjmJob(nodes=4, cores_per_proc=2))
+        assert rt.n_localities == 4
+        assert rt.localities[0].pool.n_workers == 2
+        assert scheduler.submitted[0].nodes == 4
+
+    def test_boost_allowed_small(self):
+        PjmScheduler(boost_max_nodes=10).validate(PjmJob(nodes=8, boost_mode=True))
+
+    def test_boost_rejected_large(self):
+        # Fugaku restricts boost mode to small allocations (paper SVI-A).
+        with pytest.raises(ValueError, match="boost"):
+            PjmScheduler(boost_max_nodes=384).launch(
+                PjmJob(nodes=1024, boost_mode=True)
+            )
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            PjmScheduler().validate(PjmJob(nodes=0))
+
+    def test_multi_proc_per_node(self):
+        rt = PjmScheduler().launch(PjmJob(nodes=2, procs_per_node=4))
+        assert rt.n_localities == 8

@@ -1,0 +1,135 @@
+"""Worker-pool scheduler: occupancy, dependencies, statistics."""
+
+import pytest
+
+from repro.amt.engine import Engine
+from repro.amt.future import when_all
+from repro.amt.scheduler import WorkerPool
+from repro.amt.task import Task, TaskState
+
+
+def make_pool(workers: int = 2):
+    engine = Engine()
+    return engine, WorkerPool(engine, workers)
+
+
+class TestExecution:
+    def test_task_runs_and_resolves(self):
+        engine, pool = make_pool()
+        future = pool.submit_fn(lambda a, b: a + b, 2, 3, cost=1.0)
+        engine.run()
+        assert future.get() == 5
+        assert engine.now == 1.0
+
+    def test_worker_occupancy_serialises(self):
+        # 4 unit-cost tasks on 2 workers take 2 virtual seconds.
+        engine, pool = make_pool(2)
+        for _ in range(4):
+            pool.submit_fn(None, cost=1.0)
+        engine.run()
+        assert engine.now == pytest.approx(2.0)
+        assert pool.tasks_completed == 4
+
+    def test_single_worker_fifo(self):
+        engine, pool = make_pool(1)
+        order = []
+        for i in range(5):
+            pool.submit_fn(lambda i=i: order.append(i), cost=0.1)
+        engine.run()
+        assert order == list(range(5))
+
+    def test_callable_cost(self):
+        engine, pool = make_pool(1)
+        pool.submit_fn(None, cost=lambda: 2.5)
+        engine.run()
+        assert engine.now == pytest.approx(2.5)
+
+    def test_negative_cost_rejected(self):
+        engine, pool = make_pool(1)
+        # Dispatch is eager when a worker is idle, so the cost validation
+        # fires at submission time.
+        with pytest.raises(ValueError):
+            pool.submit_fn(None, cost=-1.0)
+            engine.run()
+
+    def test_failing_task_sets_exception(self):
+        engine, pool = make_pool(1)
+
+        def boom():
+            raise RuntimeError("kernel crashed")
+
+        future = pool.submit_fn(boom, cost=1.0)
+        engine.run()
+        assert future.has_exception()
+        assert pool.tasks_failed == 1
+
+
+class TestDependencies:
+    def test_submit_after_waits(self):
+        engine, pool = make_pool(2)
+        first = pool.submit_fn(lambda: "a", cost=2.0)
+        second = pool.submit_after([first], Task(lambda: "b", cost=1.0))
+        engine.run()
+        assert second.get() == "b"
+        assert engine.now == pytest.approx(3.0)
+
+    def test_submit_after_multiple(self):
+        engine, pool = make_pool(4)
+        deps = [pool.submit_fn(None, cost=c) for c in (1.0, 3.0, 2.0)]
+        done = pool.submit_after(deps, Task(None, cost=0.5))
+        engine.run()
+        assert done.is_ready()
+        assert engine.now == pytest.approx(3.5)
+
+    def test_dependency_failure_cancels(self):
+        engine, pool = make_pool(2)
+
+        def boom():
+            raise ValueError("dep failed")
+
+        bad = pool.submit_fn(boom, cost=1.0)
+        ran = []
+        dependent = pool.submit_after([bad], Task(lambda: ran.append(1), cost=1.0))
+        engine.run()
+        assert dependent.has_exception()
+        assert ran == []
+
+    def test_empty_deps_run_immediately(self):
+        engine, pool = make_pool(1)
+        future = pool.submit_after([], Task(lambda: 7, cost=1.0))
+        engine.run()
+        assert future.get() == 7
+
+
+class TestStatistics:
+    def test_utilization_full(self):
+        engine, pool = make_pool(2)
+        for _ in range(4):
+            pool.submit_fn(None, cost=1.0)
+        engine.run()
+        assert pool.utilization() == pytest.approx(1.0)
+
+    def test_utilization_half(self):
+        engine, pool = make_pool(2)
+        pool.submit_fn(None, cost=2.0)  # one worker idle throughout
+        engine.run()
+        assert pool.utilization() == pytest.approx(0.5)
+
+    def test_kind_accounting(self):
+        engine, pool = make_pool(2)
+        pool.submit_fn(None, cost=1.0, kind="hydro")
+        pool.submit_fn(None, cost=2.0, kind="hydro")
+        pool.submit_fn(None, cost=0.5, kind="fmm")
+        engine.run()
+        assert pool.kind_counts == {"hydro": 2, "fmm": 1}
+        assert pool.kind_time["hydro"] == pytest.approx(3.0)
+
+    def test_starvation_recorded_when_workers_idle(self):
+        engine, pool = make_pool(4)
+        pool.submit_fn(None, cost=1.0)
+        engine.run()
+        assert pool.starvation_events() > 0
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(Engine(), 0)

@@ -1,0 +1,117 @@
+"""Bi-polytropic core/envelope structures (paper SIV-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hydro.eos import BipolytropicEOS
+
+
+def make_eos(**kw):
+    defaults = dict(K_env=2.0, n_core=3.0, n_env=1.5, rho_transition=0.2)
+    defaults.update(kw)
+    return BipolytropicEOS(**defaults)
+
+
+class TestThermodynamics:
+    def test_pressure_continuity_at_transition(self):
+        eos = make_eos()
+        t = eos.rho_transition
+        below = float(eos.pressure(np.array(t * (1 - 1e-10))))
+        above = float(eos.pressure(np.array(t * (1 + 1e-10))))
+        assert below == pytest.approx(above, rel=1e-8)
+
+    def test_enthalpy_continuity_at_transition(self):
+        eos = make_eos()
+        t = eos.rho_transition
+        below = float(eos.enthalpy(np.array(t * (1 - 1e-10))))
+        above = float(eos.enthalpy(np.array(t * (1 + 1e-10))))
+        assert below == pytest.approx(above, rel=1e-8)
+
+    def test_k_core_from_continuity(self):
+        eos = make_eos()
+        t = eos.rho_transition
+        assert eos.K_core * t**eos.Gamma_core == pytest.approx(
+            eos.K_env * t**eos.Gamma_env
+        )
+
+    def test_envelope_limit_is_pure_polytrope(self):
+        from repro.hydro.eos import PolytropicEOS
+
+        eos = make_eos()
+        mono = PolytropicEOS(K=eos.K_env, n=eos.n_env)
+        rho = np.array([0.01, 0.05, 0.15])
+        np.testing.assert_allclose(eos.pressure(rho), mono.pressure(rho))
+        np.testing.assert_allclose(eos.enthalpy(rho), mono.enthalpy(rho))
+
+    @given(st.floats(min_value=1e-4, max_value=10.0))
+    @settings(max_examples=60)
+    def test_enthalpy_round_trip(self, rho):
+        eos = make_eos()
+        r = np.array([rho])
+        np.testing.assert_allclose(
+            eos.rho_from_enthalpy(eos.enthalpy(r)), r, rtol=1e-10
+        )
+
+    def test_enthalpy_monotone(self):
+        eos = make_eos()
+        rho = np.linspace(0.0, 2.0, 500)
+        assert (np.diff(eos.enthalpy(rho)) > 0).all()
+
+    def test_negative_enthalpy_is_vacuum(self):
+        assert make_eos().rho_from_enthalpy(np.array(-0.5)) == 0.0
+
+    def test_linear_in_K_env(self):
+        eos1 = make_eos(K_env=1.0)
+        eos3 = eos1.with_K_env(3.0)
+        rho = np.array([0.05, 0.5])
+        np.testing.assert_allclose(eos3.enthalpy(rho), 3.0 * eos1.enthalpy(rho))
+
+    def test_internal_energy_uses_local_index(self):
+        eos = make_eos()
+        rho_env = np.array([0.05])
+        rho_core = np.array([0.5])
+        assert eos.internal_energy_density(rho_env) == pytest.approx(
+            eos.n_env * eos.pressure(rho_env)
+        )
+        assert eos.internal_energy_density(rho_core) == pytest.approx(
+            eos.n_core * eos.pressure(rho_core)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_eos(rho_transition=0.0)
+        with pytest.raises(ValueError):
+            make_eos(K_env=-1.0)
+
+
+@pytest.mark.slow
+class TestBipolytropicScf:
+    def test_converges_and_is_more_condensed(self):
+        from repro.scf import SingleStarSCF
+
+        bipoly = SingleStarSCF(
+            rho_max=1.0, r_equator=0.5, r_pole=0.5, n=40,
+            structure=BipolytropicEOS(n_core=3.0, n_env=1.5, rho_transition=0.3),
+        ).run()
+        mono = SingleStarSCF(
+            rho_max=1.0, r_equator=0.5, r_pole=0.5, poly_n=1.5, n=40
+        ).run()
+        assert bipoly.converged
+        assert isinstance(bipoly.polytropes[0], BipolytropicEOS)
+        # The n=3 core is more centrally condensed: less total mass for the
+        # same radius and maximum density.
+        assert bipoly.star_masses[0] < mono.star_masses[0]
+
+    def test_deposits_to_mesh(self):
+        from repro.hydro.eos import IdealGasEOS
+        from repro.scf import SingleStarSCF
+        from tests.conftest import make_uniform_mesh
+
+        result = SingleStarSCF(
+            rho_max=1.0, r_equator=0.5, r_pole=0.5, n=32,
+            structure=BipolytropicEOS(n_core=3.0, n_env=1.5, rho_transition=0.3),
+        ).run()
+        mesh = make_uniform_mesh(levels=1)
+        result.deposit_to_mesh(mesh, IdealGasEOS())
+        assert mesh.total_mass() == pytest.approx(result.total_mass(), rel=0.1)

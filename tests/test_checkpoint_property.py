@@ -1,0 +1,63 @@
+"""Property-based checkpoint round-trips over random meshes and data."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ioutil import load_checkpoint, save_checkpoint
+from repro.octree import AmrMesh
+
+
+@st.composite
+def random_mesh(draw):
+    """A small random 2:1-balanced mesh with random field data."""
+    mesh = AmrMesh(n=4, ghost=2, domain_size=2.0)
+    mesh.refine((0, 0))
+    picks = draw(st.lists(st.integers(0, 200), min_size=0, max_size=4))
+    for pick in picks:
+        leaves = sorted(mesh.leaf_keys())
+        key = leaves[pick % len(leaves)]
+        if key[0] < 3 and mesh.nodes[key].is_leaf:
+            mesh.refine(key)
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    for node in mesh.nodes.values():
+        node.subgrid.data[:] = rng.standard_normal(node.subgrid.data.shape)
+    return mesh
+
+
+class TestCheckpointProperties:
+    @given(mesh=random_mesh())
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_round_trip_is_identity(self, mesh, tmp_path_factory):
+        path = tmp_path_factory.mktemp("chk") / "state"
+        written = save_checkpoint(mesh, path, time=0.25, step=7)
+        restored, meta = load_checkpoint(written)
+        assert meta["step"] == 7
+        assert set(restored.nodes) == set(mesh.nodes)
+        for key, node in mesh.nodes.items():
+            other = restored.nodes[key]
+            assert other.is_leaf == node.is_leaf
+            np.testing.assert_array_equal(other.subgrid.data, node.subgrid.data)
+        restored.check_invariants()
+
+    @given(mesh=random_mesh())
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_double_round_trip_stable(self, mesh, tmp_path_factory):
+        base = tmp_path_factory.mktemp("chk2")
+        p1 = save_checkpoint(mesh, base / "a")
+        m1, _ = load_checkpoint(p1)
+        p2 = save_checkpoint(m1, base / "b")
+        m2, _ = load_checkpoint(p2)
+        for key in mesh.nodes:
+            np.testing.assert_array_equal(
+                m2.nodes[key].subgrid.data, mesh.nodes[key].subgrid.data
+            )

@@ -1,0 +1,82 @@
+"""Order-of-accuracy checks for the hydro scheme.
+
+Advect a smooth density pulse at constant velocity across a periodic-free
+domain (measured before anything reaches the boundary): the MUSCL scheme
+converges at close to second order on smooth data; the constant scheme at
+first order.  Exact advection solutions make the errors parameter-free.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hydro import HydroIntegrator, IdealGasEOS
+from repro.octree import AmrMesh, Field
+
+
+def advection_mesh(levels, velocity=0.5, width=0.04):
+    """Uniform mesh with a Gaussian pulse advected in +x by pressure-free
+    balance (uniform pressure, uniform velocity: the exact solution is pure
+    translation)."""
+    eos = IdealGasEOS(gamma=1.4)
+    mesh = AmrMesh(n=8, ghost=2, domain_size=2.0)
+    for _ in range(levels):
+        for key in list(mesh.leaf_keys()):
+            mesh.refine(key)
+    p0 = 1.0
+    for leaf in mesh.leaves():
+        x, y, z = leaf.cell_centers()
+        rho = 1.0 + 0.3 * np.exp(-(x**2 + y**2 + z**2) / width)
+        eint = np.full_like(rho, p0 / (eos.gamma - 1.0))
+        leaf.subgrid.set_interior(Field.RHO, rho)
+        leaf.subgrid.set_interior(Field.SX, rho * velocity)
+        leaf.subgrid.set_interior(Field.EGAS, eint + 0.5 * rho * velocity**2)
+        leaf.subgrid.set_interior(Field.TAU, eos.tau_from_eint(eint))
+    mesh.restrict_all()
+    return mesh, eos
+
+
+def advection_error(levels, t_end=0.08, velocity=0.5, reconstruction="muscl"):
+    mesh, eos = advection_mesh(levels, velocity=velocity)
+    integ = HydroIntegrator(mesh, eos, cfl=0.3, reconstruction=reconstruction)
+    integ.run(t_end)
+    err = 0.0
+    volume = 0.0
+    for leaf in mesh.leaves():
+        x, y, z = leaf.cell_centers()
+        exact = 1.0 + 0.3 * np.exp(
+            -(((x - velocity * integ.time) ** 2) + y**2 + z**2) / 0.04
+        )
+        err += float(
+            np.abs(leaf.subgrid.interior_view(Field.RHO) - exact).sum()
+        ) * leaf.cell_volume
+        volume += leaf.cell_volume * leaf.subgrid.n**0  # count volume once
+    return err
+
+
+@pytest.mark.slow
+class TestAdvectionConvergence:
+    def test_muscl_converges_between_first_and_second_order(self):
+        coarse = advection_error(1)
+        fine = advection_error(2)
+        rate = np.log2(coarse / fine)
+        # Smooth advection: minmod-MUSCL typically lands ~1.5-2.
+        assert 1.2 < rate < 2.4, rate
+
+    def test_muscl_beats_constant_reconstruction(self):
+        muscl = advection_error(2, reconstruction="muscl")
+        constant = advection_error(2, reconstruction="constant")
+        assert muscl < 0.6 * constant
+
+    def test_pulse_actually_moves(self):
+        mesh, eos = advection_mesh(1)
+        from repro.core.diagnostics import center_of_mass
+
+        # COM of the over-density, before and after.
+        integ = HydroIntegrator(mesh, eos, cfl=0.3)
+        com0 = center_of_mass(mesh)
+        integ.run(0.08)
+        com1 = center_of_mass(mesh)
+        assert com1[0] > com0[0]
+        # The mean density is 1 everywhere, so the COM shift understates the
+        # pulse motion; just require the right direction and same y/z.
+        assert abs(com1[1] - com0[1]) < 1e-10

@@ -1,0 +1,198 @@
+"""Core driver, diagnostics, checkpointing, profiling."""
+
+import numpy as np
+import pytest
+
+from repro.core import OctoTigerSim
+from repro.core.diagnostics import (
+    center_of_mass,
+    conserved_totals,
+    diagnostics,
+    total_angular_momentum_z,
+    total_energy,
+)
+from repro.ioutil import load_checkpoint, save_checkpoint
+from repro.machines import FUGAKU, OOKAMI
+from repro.octree import AmrMesh, Field
+from repro.profiling import CounterRegistry, global_registry
+
+from tests.conftest import fill_gaussian, make_uniform_mesh
+
+
+class TestDiagnostics:
+    def test_conserved_totals(self):
+        mesh = make_uniform_mesh(levels=1)
+        fill_gaussian(mesh)
+        totals = conserved_totals(mesh)
+        assert totals["mass"] == pytest.approx(mesh.total_mass())
+        assert totals["sx"] == 0.0
+
+    def test_angular_momentum_of_rigid_rotation(self):
+        mesh = make_uniform_mesh(levels=1)
+        omega = 0.5
+        for leaf in mesh.leaves():
+            x, y, _ = leaf.cell_centers()
+            leaf.subgrid.set_interior(Field.RHO, np.ones((8, 8, 8)))
+            leaf.subgrid.set_interior(Field.SX, -omega * y)
+            leaf.subgrid.set_interior(Field.SY, omega * x)
+        lz = total_angular_momentum_z(mesh)
+        # L_z = omega * integral rho (x^2 + y^2) dV over the cube.
+        dx = 2.0 / 16
+        centers = -1.0 + dx * (np.arange(16) + 0.5)
+        x, y, _ = np.meshgrid(centers, centers, centers, indexing="ij")
+        expected = omega * ((x**2 + y**2) * dx**3).sum()
+        assert lz == pytest.approx(expected, rel=1e-10)
+
+    def test_center_of_mass_tracks_blob(self):
+        mesh = make_uniform_mesh(levels=2)
+        fill_gaussian(mesh, center=(0.3, 0.0, -0.2))
+        com = center_of_mass(mesh)
+        np.testing.assert_allclose(com, [0.3, 0.0, -0.2], atol=0.02)
+
+    def test_total_energy_with_potential(self):
+        mesh = make_uniform_mesh(levels=1)
+        fill_gaussian(mesh)
+        phi = {leaf.key: -np.ones((8, 8, 8)) for leaf in mesh.leaves()}
+        e = total_energy(mesh, phi)
+        assert e == pytest.approx(
+            mesh.integral(Field.EGAS) - 0.5 * mesh.total_mass()
+        )
+
+    def test_diagnostics_bundle(self):
+        mesh = make_uniform_mesh(levels=1)
+        fill_gaussian(mesh)
+        d = diagnostics(mesh)
+        assert d.mass > 0
+        assert d.energy_total == d.energy_gas  # no potential supplied
+        assert d.tracer_masses.shape == (2,)
+
+
+class TestCheckpoint(object):
+    def test_round_trip_bit_identical(self, tmp_path):
+        mesh = AmrMesh()
+        mesh.refine((0, 0))
+        mesh.refine((1, 0))
+        fill_gaussian(mesh)
+        path = save_checkpoint(mesh, tmp_path / "chk", time=1.5, step=42,
+                               extra={"omega": 0.3})
+        restored, meta = load_checkpoint(path)
+        assert meta["time"] == 1.5
+        assert meta["step"] == 42
+        assert meta["extra"]["omega"] == 0.3
+        assert set(restored.nodes) == set(mesh.nodes)
+        for key, node in mesh.nodes.items():
+            other = restored.nodes[key]
+            assert other.is_leaf == node.is_leaf
+            np.testing.assert_array_equal(other.subgrid.data, node.subgrid.data)
+
+    def test_suffix_added(self, tmp_path):
+        mesh = AmrMesh()
+        path = save_checkpoint(mesh, tmp_path / "state")
+        assert path.suffix == ".npz"
+
+    def test_localities_preserved(self, tmp_path):
+        from repro.octree.partition import sfc_partition
+
+        mesh = make_uniform_mesh(levels=1)
+        sfc_partition(mesh, 4)
+        path = save_checkpoint(mesh, tmp_path / "part")
+        restored, _ = load_checkpoint(path)
+        for key in mesh.leaf_keys():
+            assert restored.nodes[key].locality == mesh.nodes[key].locality
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        mesh = AmrMesh()
+        path = save_checkpoint(mesh, tmp_path / "v")
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        meta["format_version"] = 99
+        data["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="format"):
+            load_checkpoint(path)
+
+
+class TestProfiling:
+    def test_counters(self):
+        reg = CounterRegistry()
+        reg.sample("kernel.time", 1.0)
+        reg.sample("kernel.time", 3.0)
+        counter = reg.get("kernel.time")
+        assert counter.count == 2
+        assert counter.total == 4.0
+        assert counter.mean == 2.0
+        assert counter.maximum == 3.0
+
+    def test_increment(self):
+        reg = CounterRegistry()
+        reg.increment("launches")
+        reg.increment("launches", 5)
+        assert reg.count("launches") == 2
+        assert reg.total("launches") == 6.0
+
+    def test_scoped_timer(self):
+        reg = CounterRegistry()
+        with reg.timer("wall"):
+            sum(range(1000))
+        assert reg.count("wall") == 1
+        assert reg.total("wall") > 0
+
+    def test_report_format(self):
+        reg = CounterRegistry()
+        reg.sample("a.b", 2.0)
+        report = reg.report()
+        assert "a.b" in report
+        assert "count" in report
+
+    def test_reset(self):
+        reg = CounterRegistry()
+        reg.sample("x", 1.0)
+        reg.reset()
+        assert reg.names() == []
+
+    def test_global_registry_is_singleton(self):
+        assert global_registry() is global_registry()
+
+
+@pytest.mark.slow
+class TestDriver:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        from repro.scenarios import rotating_star
+
+        return rotating_star(level=2, scf_grid=32)
+
+    def test_step_conserves_and_times(self, scenario):
+        sim = OctoTigerSim(
+            scenario.mesh, eos=scenario.eos, omega=scenario.omega,
+            machine=FUGAKU, nodes=4,
+        )
+        mass0 = scenario.mesh.total_mass()
+        record = sim.step()
+        assert scenario.mesh.total_mass() == pytest.approx(mass0, rel=1e-12)
+        assert record.virtual_seconds > 0
+        assert record.cells_per_second > 0
+        assert 0 < record.utilization <= 1
+        assert 35 <= record.node_power_w <= 120
+
+    def test_counters_populated(self, scenario):
+        sim = OctoTigerSim(scenario.mesh, eos=scenario.eos, machine=OOKAMI, nodes=2)
+        sim.step()
+        assert sim.counters.count("wall.step") == 1
+        assert sim.counters.count("fmm.p2p_pairs") == 1
+        assert sim.counters.total("virtual.step_seconds") > 0
+
+    def test_partition_applied(self, scenario):
+        sim = OctoTigerSim(scenario.mesh, eos=scenario.eos, nodes=4)
+        localities = {leaf.locality for leaf in scenario.mesh.leaves()}
+        assert localities == {0, 1, 2, 3}
+
+    def test_gravity_free_driver(self, scenario):
+        sim = OctoTigerSim(scenario.mesh, eos=scenario.eos, gravity=False, nodes=1)
+        record = sim.step(dt=1e-4)
+        assert record.dt == 1e-4
+        assert sim.gravity_solver is None

@@ -1,0 +1,275 @@
+"""Performance model: the paper's qualitative results as assertions.
+
+Every figure's *shape* claim is a test here; the benches print the full
+series, but these assertions are what pin the model against the paper.
+"""
+
+import pytest
+
+from repro.distsim import (
+    DEFAULT_CONSTANTS,
+    RunConfig,
+    scaling_curve,
+    simulate_step,
+    speedup_series,
+)
+from repro.distsim.sweep import min_nodes_for, node_series
+from repro.machines import FUGAKU, OOKAMI, PERLMUTTER, PIZ_DAINT, SUMMIT
+from repro.scenarios import dwd_scenario, rotating_star, v1309_scenario
+
+
+@pytest.fixture(scope="module")
+def level5():
+    return rotating_star(level=5, build_mesh=False).spec
+
+
+@pytest.fixture(scope="module")
+def level6():
+    return rotating_star(level=6, build_mesh=False).spec
+
+
+@pytest.fixture(scope="module")
+def level7():
+    return rotating_star(level=7, build_mesh=False).spec
+
+
+class TestRunConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunConfig(machine=FUGAKU, nodes=0)
+        with pytest.raises(ValueError):
+            RunConfig(machine=FUGAKU, use_gpus=True)
+        with pytest.raises(ValueError):
+            RunConfig(machine=OOKAMI, boost=True)  # FX700 has no boost mode
+        with pytest.raises(ValueError):
+            RunConfig(machine=FUGAKU, tasks_per_multipole_kernel=0)
+        with pytest.raises(ValueError):
+            RunConfig(machine=FUGAKU, cores=100)
+        with pytest.raises(ValueError):
+            RunConfig(machine=FUGAKU, simd_maturity=1.5)
+
+    def test_frequency_selection(self):
+        assert RunConfig(machine=FUGAKU).frequency_ghz == 1.8
+        assert RunConfig(machine=FUGAKU, boost=True).frequency_ghz == 2.2
+
+    def test_active_cores_default(self):
+        assert RunConfig(machine=FUGAKU).active_cores == 48
+        assert RunConfig(machine=FUGAKU, cores=12).active_cores == 12
+
+
+class TestFig3BoostMode:
+    def test_boost_gain_is_marginal(self, level5):
+        """Paper SVI-A: boost mode gives only a marginal improvement."""
+        normal = simulate_step(level5, RunConfig(machine=FUGAKU, nodes=1))
+        boost = simulate_step(level5, RunConfig(machine=FUGAKU, nodes=1, boost=True))
+        gain = boost.cells_per_second / normal.cells_per_second - 1.0
+        assert 0.0 < gain < 0.22  # below the raw 2.2/1.8 clock ratio
+
+    def test_node_level_core_scaling(self, level5):
+        rates = [
+            simulate_step(level5, RunConfig(machine=FUGAKU, nodes=1, cores=c)).cells_per_second
+            for c in (1, 12, 24, 48)
+        ]
+        assert rates == sorted(rates)
+        # Sub-linear but reasonable: 48 cores give at least 30x one core.
+        assert rates[-1] / rates[0] > 30
+
+
+class TestFig4V1309:
+    def test_machine_ordering(self):
+        """Summit fastest per node, Piz Daint second, Fugaku close behind."""
+        spec = v1309_scenario(level=11, build_mesh=False).spec
+        summit = simulate_step(spec, RunConfig(machine=SUMMIT, nodes=16, use_gpus=True))
+        daint = simulate_step(spec, RunConfig(machine=PIZ_DAINT, nodes=16, use_gpus=True))
+        fugaku = simulate_step(spec, RunConfig(machine=FUGAKU, nodes=16, simd=True))
+        assert summit.cells_per_second > daint.cells_per_second > fugaku.cells_per_second
+        # "Close": same order of magnitude.
+        assert daint.cells_per_second / fugaku.cells_per_second < 10.0
+
+    def test_minimum_node_counts_ordering(self):
+        """Memory capacity sets the entry points: Summit < Piz Daint < Fugaku."""
+        spec = v1309_scenario(level=11, build_mesh=False).spec
+        assert min_nodes_for(spec, SUMMIT) == 1
+        assert min_nodes_for(spec, SUMMIT) < min_nodes_for(spec, PIZ_DAINT)
+        assert min_nodes_for(spec, PIZ_DAINT) <= min_nodes_for(spec, FUGAKU)
+
+    def test_speedup_series_normalised(self):
+        spec = v1309_scenario(level=11, build_mesh=False).spec
+        curve = scaling_curve(spec, FUGAKU, node_series(16, 128))
+        s = speedup_series(curve)
+        assert s[0] == pytest.approx(1.0)
+        assert all(b > a for a, b in zip(s, s[1:]))
+
+
+class TestFig5Dwd:
+    def test_gpu_two_orders_above_cpu(self):
+        spec = dwd_scenario(level=12, build_mesh=False).spec
+        gpu = simulate_step(spec, RunConfig(machine=PERLMUTTER, nodes=1, use_gpus=True))
+        cpu = simulate_step(spec, RunConfig(machine=PERLMUTTER, nodes=1, simd=False))
+        ratio = gpu.cells_per_second / cpu.cells_per_second
+        assert 40.0 < ratio < 300.0  # "a drop of two orders of magnitude"
+
+    def test_fugaku_close_below_perlmutter_cpu(self):
+        spec = dwd_scenario(level=12, build_mesh=False).spec
+        cpu = simulate_step(spec, RunConfig(machine=PERLMUTTER, nodes=1, simd=False))
+        fugaku = simulate_step(spec, RunConfig(machine=FUGAKU, nodes=1, simd=False))
+        ratio = fugaku.cells_per_second / cpu.cells_per_second
+        assert 0.4 < ratio < 1.0
+
+
+class TestFig6FugakuScaling:
+    @staticmethod
+    def efficiency(curve):
+        base = curve[0]
+        out = []
+        for point in curve:
+            ideal = base.cells_per_second * point.nodes / base.nodes
+            out.append(point.cells_per_second / ideal)
+        return out
+
+    def test_level5_stops_scaling_beyond_64(self, level5):
+        curve = scaling_curve(level5, FUGAKU, node_series(1, 256))
+        eff = self.efficiency(curve)
+        by_nodes = {c.nodes: e for c, e in zip(curve, eff)}
+        assert by_nodes[64] > 0.45  # still delivering speedup at 64
+        assert by_nodes[256] < 0.35  # ran out of work per core
+        assert by_nodes[256] < by_nodes[64] < by_nodes[16]
+
+    def test_level6_scales_to_512(self, level6):
+        curve = scaling_curve(level6, FUGAKU, node_series(128, 1024))
+        by_nodes = {c.nodes: c.cells_per_second for c in curve}
+        assert by_nodes[512] / by_nodes[128] > 2.0  # 4x nodes -> > 2x rate
+        assert by_nodes[1024] / by_nodes[512] < 1.5  # knee past 512
+
+    def test_level7_scales_to_1024(self, level7):
+        curve = scaling_curve(level7, FUGAKU, [400, 512, 1024])
+        assert curve[-1].cells_per_second / curve[0].cells_per_second > 1.8
+
+    def test_more_cells_more_throughput_at_fixed_nodes(self, level5, level6, level7):
+        rates = [
+            simulate_step(spec, RunConfig(machine=FUGAKU, nodes=1024)).cells_per_second
+            for spec in (level5, level6, level7)
+        ]
+        assert rates == sorted(rates)
+
+
+class TestTable2Power:
+    def test_total_power_tracks_nodes(self, level5):
+        p128 = simulate_step(level5, RunConfig(machine=FUGAKU, nodes=128)).job_power_w
+        p1024 = simulate_step(level5, RunConfig(machine=FUGAKU, nodes=1024)).job_power_w
+        assert 4.0 < p1024 / p128 < 9.0  # sub-linear: starving nodes idle down
+
+    def test_1024_node_power_matches_paper_scale(self, level5):
+        """Paper Table II: ~111 kW at 1024 nodes for the rotating star."""
+        result = simulate_step(level5, RunConfig(machine=FUGAKU, nodes=1024))
+        assert 70_000 < result.job_power_w < 150_000
+
+    def test_per_node_power_in_a64fx_envelope(self, level5):
+        for nodes in (4, 64, 1024):
+            result = simulate_step(level5, RunConfig(machine=FUGAKU, nodes=nodes))
+            assert 35.0 <= result.node_power_w <= 115.0
+
+
+class TestFig7Sve:
+    def test_sve_speedup_two_to_three(self, level5):
+        """Fig. 7 / SVII-A: SVE gives ~2-3x across node counts."""
+        for nodes in (1, 8, 64, 128):
+            sve = simulate_step(level5, RunConfig(machine=OOKAMI, nodes=nodes, simd=True))
+            scalar = simulate_step(level5, RunConfig(machine=OOKAMI, nodes=nodes, simd=False))
+            ratio = sve.cells_per_second / scalar.cells_per_second
+            assert 1.8 < ratio < 3.0, (nodes, ratio)
+
+    def test_simd_maturity_degrades(self, level5):
+        mature = simulate_step(level5, RunConfig(machine=FUGAKU, nodes=4, simd_maturity=1.0))
+        older = simulate_step(level5, RunConfig(machine=FUGAKU, nodes=4, simd_maturity=0.7))
+        assert older.cells_per_second < mature.cells_per_second
+
+
+class TestFig8CommOptimization:
+    def test_benefit_at_small_node_counts(self, level5):
+        for nodes in (1, 2):
+            on = simulate_step(level5, RunConfig(machine=OOKAMI, nodes=nodes))
+            off = simulate_step(
+                level5, RunConfig(machine=OOKAMI, nodes=nodes, comm_local_optimization=False)
+            )
+            assert on.cells_per_second > off.cells_per_second, nodes
+
+    def test_break_even_then_slightly_worse(self, level5):
+        """Break-even around 8 nodes; slightly worse beyond (Fig. 8)."""
+        at8 = [
+            simulate_step(
+                level5,
+                RunConfig(machine=OOKAMI, nodes=8, comm_local_optimization=flag),
+            ).cells_per_second
+            for flag in (True, False)
+        ]
+        assert at8[0] / at8[1] == pytest.approx(1.0, abs=0.05)
+        at128 = [
+            simulate_step(
+                level5,
+                RunConfig(machine=OOKAMI, nodes=128, comm_local_optimization=flag),
+            ).cells_per_second
+            for flag in (True, False)
+        ]
+        assert 0.85 < at128[0] / at128[1] < 1.0
+
+
+class TestFig9MultipoleSplitting:
+    def test_single_node_prefers_one_task(self, level5):
+        one = simulate_step(level5, RunConfig(machine=OOKAMI, nodes=1, tasks_per_multipole_kernel=1))
+        sixteen = simulate_step(level5, RunConfig(machine=OOKAMI, nodes=1, tasks_per_multipole_kernel=16))
+        assert sixteen.cells_per_second <= one.cells_per_second
+
+    def test_128_nodes_prefer_sixteen_tasks(self, level5):
+        one = simulate_step(level5, RunConfig(machine=OOKAMI, nodes=128, tasks_per_multipole_kernel=1))
+        sixteen = simulate_step(level5, RunConfig(machine=OOKAMI, nodes=128, tasks_per_multipole_kernel=16))
+        assert sixteen.cells_per_second / one.cells_per_second > 1.1
+
+    def test_multipole_time_floor_without_splitting(self, level5):
+        """Starvation: the multipole phase stops shrinking with node count."""
+        t64 = simulate_step(level5, RunConfig(machine=FUGAKU, nodes=64)).multipole_s
+        t1024 = simulate_step(level5, RunConfig(machine=FUGAKU, nodes=1024)).multipole_s
+        assert t1024 > 0.5 * t64  # nowhere near ideal 16x reduction
+
+
+class TestFig10OokamiVsFugaku:
+    def test_crossover(self, level5):
+        """Fully optimized Ookami overtakes Fugaku (older SVE, no multipole
+        split) at scale; they are comparable at small node counts."""
+        for nodes, expect_ookami_ahead in ((1, False), (8, False), (128, True)):
+            ookami = simulate_step(
+                level5,
+                RunConfig(machine=OOKAMI, nodes=nodes, tasks_per_multipole_kernel=16),
+            )
+            fugaku = simulate_step(
+                level5,
+                RunConfig(machine=FUGAKU, nodes=nodes, simd_maturity=0.7),
+            )
+            ratio = ookami.cells_per_second / fugaku.cells_per_second
+            if expect_ookami_ahead:
+                assert ratio > 1.15, (nodes, ratio)
+            else:
+                assert 0.8 < ratio < 1.25, (nodes, ratio)
+
+
+class TestModelInternals:
+    def test_breakdown_sums(self, level5):
+        r = simulate_step(level5, RunConfig(machine=FUGAKU, nodes=16))
+        assert r.total_s >= r.hydro_s + r.gravity_s + r.multipole_s
+        assert 0 < r.utilization <= 1.0
+        assert r.subgrids_per_second == pytest.approx(r.cells_per_second / 512)
+
+    def test_single_node_has_no_wire_or_sync(self, level5):
+        r = simulate_step(level5, RunConfig(machine=FUGAKU, nodes=1))
+        assert r.sync_s == 0.0
+        assert r.exposed_comm_s == 0.0
+
+    def test_gpu_config_uses_device_rate(self):
+        spec = dwd_scenario(level=12, build_mesh=False).spec
+        gpu = simulate_step(spec, RunConfig(machine=SUMMIT, nodes=4, use_gpus=True))
+        cpu = simulate_step(spec, RunConfig(machine=SUMMIT, nodes=4, use_gpus=False))
+        assert gpu.cells_per_second > cpu.cells_per_second
+
+    def test_constants_are_documented_defaults(self):
+        assert DEFAULT_CONSTANTS.overlap_fraction == 0.7
+        assert DEFAULT_CONSTANTS.face_action_cpu_s > DEFAULT_CONSTANTS.face_sync_cpu_s

@@ -1,0 +1,62 @@
+"""Config-driven driver construction."""
+
+import pytest
+
+from repro.core import OctoTigerSim
+from repro.machines import OOKAMI
+from repro.util.config import Config
+
+from tests.conftest import fill_gaussian, make_uniform_mesh
+
+
+class TestFromConfig:
+    def make(self, **overrides):
+        mesh = make_uniform_mesh(levels=1)
+        fill_gaussian(mesh)
+        cfg = Config(overrides)
+        return OctoTigerSim.from_config(mesh, cfg, machine=OOKAMI, nodes=2)
+
+    def test_defaults_map_through(self):
+        sim = self.make()
+        assert sim.eos.gamma == pytest.approx(5.0 / 3.0)
+        assert sim.integrator.cfl == 0.4
+        assert sim.gravity_solver is not None
+        assert sim.config.machine is OOKAMI
+        assert sim.config.nodes == 2
+
+    def test_hydro_keys(self):
+        sim = self.make(**{"hydro.gamma": 1.4, "hydro.cfl": 0.25,
+                           "hydro.reconstruction": "constant"})
+        assert sim.eos.gamma == 1.4
+        assert sim.integrator.cfl == 0.25
+        assert sim.integrator.reconstruction == "constant"
+
+    def test_gravity_keys(self):
+        sim = self.make(**{"gravity.enabled": False})
+        assert sim.gravity_solver is None
+        sim2 = self.make(**{"gravity.order": 2, "gravity.theta": 0.4,
+                            "gravity.angmom_correction": False})
+        assert sim2.gravity_solver.order == 2
+        assert sim2.gravity_solver.theta == 0.4
+        assert sim2.gravity_solver.angmom_correction is False
+
+    def test_runtime_keys(self):
+        sim = self.make(**{"runtime.tasks_per_kernel": 16,
+                           "simd.abi": "scalar",
+                           "comm.local_optimization": False})
+        assert sim.config.tasks_per_multipole_kernel == 16
+        assert sim.config.simd is False
+        assert sim.config.comm_local_optimization is False
+
+    def test_frame_omega(self):
+        sim = self.make(**{"frame.omega": 0.5})
+        assert sim.integrator.omega == 0.5
+        mesh = make_uniform_mesh(levels=1)
+        sim2 = OctoTigerSim.from_config(mesh, Config({"frame.omega": 0.5}),
+                                        machine=OOKAMI, omega=0.9)
+        assert sim2.integrator.omega == 0.9
+
+    def test_configured_step_runs(self):
+        sim = self.make(**{"gravity.enabled": False, "hydro.gamma": 1.4})
+        record = sim.step(dt=1e-4)
+        assert record.dt == 1e-4

@@ -1,0 +1,52 @@
+"""The examples stay importable and structurally sound.
+
+Full executions live in the examples themselves (and a couple run for
+minutes); here we compile each one and check its contract: a module
+docstring explaining what it shows and a ``main`` entry point guarded by
+``__main__``.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+class TestExampleStructure:
+    def test_compiles(self, path):
+        ast.parse(path.read_text(), filename=str(path))
+
+    def test_has_docstring_and_main(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+        names = {n.name for n in tree.body if isinstance(n, ast.FunctionDef)}
+        assert names, f"{path.name} defines no functions"
+        guard = any(
+            isinstance(node, ast.If)
+            and isinstance(node.test, ast.Compare)
+            and getattr(node.test.left, "id", "") == "__name__"
+            for node in tree.body
+        )
+        assert guard, f"{path.name} lacks the __main__ guard"
+
+    def test_imports_resolve(self, path):
+        """Every repro import in the example exists in the installed package."""
+        import importlib
+
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing"
+                    )
+
+
+def test_at_least_five_examples_exist():
+    assert len(EXAMPLES) >= 5

@@ -1,0 +1,272 @@
+"""Kokkos analog: views, policies, execution spaces, parallel dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.amt.future import when_all
+from repro.amt.locality import Runtime
+from repro.kokkos import (
+    DeviceSpace,
+    DeviceSpaceTag,
+    HostSpace,
+    HpxSpace,
+    MDRangePolicy,
+    RangePolicy,
+    SerialSpace,
+    View,
+    deep_copy,
+    parallel_for,
+    parallel_for_async,
+    parallel_reduce,
+    parallel_scan,
+)
+from repro.kokkos.view import transfer_counter
+
+
+class TestView:
+    def test_construction(self):
+        v = View("rho", (4, 4))
+        assert v.shape == (4, 4)
+        assert v.space is HostSpace
+        assert (v.data == 0).all()
+
+    def test_from_array_shares_storage(self):
+        arr = np.arange(6.0)
+        v = View.from_array("x", arr)
+        v[0] = 99.0
+        assert arr[0] == 99.0
+
+    def test_indexing(self):
+        v = View("x", (3,))
+        v[1] = 5.0
+        assert v[1] == 5.0
+
+    def test_mirror(self):
+        v = View("x", (2, 2), space=DeviceSpaceTag)
+        m = v.mirror(HostSpace)
+        assert m.space is HostSpace
+        assert m.shape == v.shape
+
+    def test_deep_copy_and_accounting(self):
+        transfer_counter["h2d_bytes"] = 0
+        host = View("h", (8,))
+        host.data[:] = 3.0
+        dev = View("d", (8,), space=DeviceSpaceTag)
+        deep_copy(dev, host)
+        assert (dev.data == 3.0).all()
+        assert transfer_counter["h2d_bytes"] == 64
+
+    def test_deep_copy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            deep_copy(View("a", (2,)), View("b", (3,)))
+
+
+class TestPolicies:
+    def test_range_size(self):
+        assert RangePolicy(3, 10).size == 7
+        assert RangePolicy(3, 10, work_per_item=2.0).total_work == 14.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            RangePolicy(5, 2)
+
+    def test_chunks_balanced(self):
+        chunks = RangePolicy(0, 10).chunks(3)
+        assert chunks == [(0, 4), (4, 7), (7, 10)]
+        assert sum(e - b for b, e in chunks) == 10
+
+    def test_chunks_more_than_items(self):
+        assert len(RangePolicy(0, 3).chunks(8)) == 3
+
+    def test_chunks_empty_range(self):
+        assert RangePolicy(5, 5).chunks(4) == []
+
+    def test_chunks_invalid(self):
+        with pytest.raises(ValueError):
+            RangePolicy(0, 4).chunks(0)
+
+    def test_mdrange_flatten(self):
+        policy = MDRangePolicy((2, 3, 4), work_per_item=7.0)
+        flat = policy.flatten()
+        assert flat.size == 24
+        assert flat.work_per_item == 7.0
+
+    def test_mdrange_negative_extent(self):
+        with pytest.raises(ValueError):
+            MDRangePolicy((2, -1))
+
+
+class TestSerialSpace:
+    def test_runs_inline(self):
+        space = SerialSpace()
+        data = np.zeros(10)
+
+        def body(b, e):
+            data[b:e] = 1.0
+
+        parallel_for(space, RangePolicy(0, 10), body)
+        assert (data == 1.0).all()
+        assert space.stats.launches == 1
+
+    def test_simd_lowers_cost(self):
+        scalar = SerialSpace(simd_abi="scalar")
+        sve = SerialSpace(simd_abi="sve512")
+        policy = RangePolicy(0, 100, work_per_item=100.0)
+        assert sve.item_cost(policy) < scalar.item_cost(policy)
+
+    def test_non_vectorizable_ignores_simd(self):
+        sve = SerialSpace(simd_abi="sve512")
+        policy = RangePolicy(0, 10, vectorizable=False)
+        scalar_policy = RangePolicy(0, 10, vectorizable=True)
+        assert sve.item_cost(policy) > sve.item_cost(scalar_policy)
+
+
+class TestHpxSpace:
+    def make(self, tasks_per_kernel=4, workers=4):
+        rt = Runtime(1, workers)
+        return rt, HpxSpace(rt.here(), tasks_per_kernel=tasks_per_kernel)
+
+    def test_functional_result(self):
+        rt, space = self.make()
+        data = np.zeros(100)
+
+        def body(b, e):
+            data[b:e] = np.arange(b, e)
+
+        parallel_for(space, RangePolicy(0, 100), body)
+        np.testing.assert_array_equal(data, np.arange(100))
+
+    def test_task_splitting_counts(self):
+        rt, space = self.make(tasks_per_kernel=4)
+        parallel_for(space, RangePolicy(0, 100), lambda b, e: None)
+        assert space.stats.launches == 1
+        assert space.stats.tasks == 4
+
+    def test_splitting_reduces_makespan(self):
+        """Fig. 9's mechanism: K tasks on K workers beat one task."""
+        rt1, one = self.make(tasks_per_kernel=1, workers=4)
+        parallel_for(one, RangePolicy(0, 64, work_per_item=1e6), lambda b, e: None)
+        t_one = rt1.engine.now
+
+        rt4, four = self.make(tasks_per_kernel=4, workers=4)
+        parallel_for(four, RangePolicy(0, 64, work_per_item=1e6), lambda b, e: None)
+        assert rt4.engine.now == pytest.approx(t_one / 4.0)
+
+    def test_empty_policy(self):
+        rt, space = self.make()
+        future = parallel_for_async(space, RangePolicy(0, 0), lambda b, e: None)
+        assert future.is_ready()
+
+    def test_invalid_tasks_per_kernel(self):
+        rt = Runtime(1, 2)
+        with pytest.raises(ValueError):
+            HpxSpace(rt.here(), tasks_per_kernel=0)
+
+    def test_async_returns_future(self):
+        rt, space = self.make()
+        hits = []
+        future = parallel_for_async(
+            space, RangePolicy(0, 8), lambda b, e: hits.append((b, e))
+        )
+        assert not future.is_ready()
+        rt.run_until_ready(future)
+        assert sum(e - b for b, e in hits) == 8
+
+
+class TestParallelReduce:
+    def test_sum_over_chunks(self):
+        rt = Runtime(1, 4)
+        space = HpxSpace(rt.here(), tasks_per_kernel=4)
+        data = np.arange(100.0)
+        total = parallel_reduce(
+            space, RangePolicy(0, 100), lambda b, e: float(data[b:e].sum())
+        )
+        assert total == pytest.approx(data.sum())
+
+    def test_custom_combine_and_init(self):
+        space = SerialSpace()
+        result = parallel_reduce(
+            space,
+            RangePolicy(0, 10),
+            lambda b, e: float(e),
+            combine=max,
+            init=-1.0,
+        )
+        assert result == 10.0
+
+    def test_serial_reduce(self):
+        space = SerialSpace()
+        data = np.ones(7)
+        total = parallel_reduce(space, RangePolicy(0, 7), lambda b, e: float(data[b:e].sum()))
+        assert total == 7.0
+
+
+class TestParallelScan:
+    def test_exclusive(self):
+        np.testing.assert_array_equal(
+            parallel_scan(np.array([1, 2, 3, 4])), [0, 1, 3, 6]
+        )
+
+    def test_inclusive(self):
+        np.testing.assert_array_equal(
+            parallel_scan(np.array([1, 2, 3, 4]), exclusive=False), [1, 3, 6, 10]
+        )
+
+
+class TestDeviceSpace:
+    def test_aggregation_batches_launches(self):
+        rt = Runtime(1, 2)
+        dev = DeviceSpace(rt.here(), aggregation_size=4)
+        futures = [
+            parallel_for_async(dev, RangePolicy(0, 8, work_per_item=1e3), lambda b, e: None, kind="k")
+            for _ in range(8)
+        ]
+        rt.run_until_ready(when_all(futures))
+        assert dev.stats.launches == 2  # 8 kernels fused into 2 device launches
+        assert dev.stats.items == 64
+
+    def test_unbatched_flushes_via_engine(self):
+        rt = Runtime(1, 2)
+        dev = DeviceSpace(rt.here(), aggregation_size=16)
+        future = parallel_for_async(dev, RangePolicy(0, 8), lambda b, e: None)
+        rt.run_until_ready(future)
+        assert dev.stats.launches == 1
+
+    def test_launch_latency_dominates_small_kernels(self):
+        rt = Runtime(1, 2)
+        dev = DeviceSpace(rt.here(), launch_latency_s=1.0, flops_per_second=1e15)
+        future = parallel_for_async(dev, RangePolicy(0, 4, work_per_item=1.0), lambda b, e: None)
+        rt.run_until_ready(future)
+        assert rt.engine.now >= 1.0
+
+    def test_streams_parallelise_launches(self):
+        def run(n_streams):
+            rt = Runtime(1, 2)
+            dev = DeviceSpace(
+                rt.here(), n_streams=n_streams, launch_latency_s=0.0,
+                flops_per_second=1e6, aggregation_size=1,
+            )
+            futures = [
+                parallel_for_async(dev, RangePolicy(0, 10, work_per_item=1e5), lambda b, e: None)
+                for _ in range(4)
+            ]
+            rt.run_until_ready(when_all(futures))
+            return rt.engine.now
+
+        assert run(4) < run(1)
+
+    def test_invalid_aggregation(self):
+        rt = Runtime(1, 1)
+        with pytest.raises(ValueError):
+            DeviceSpace(rt.here(), aggregation_size=0)
+
+    def test_functor_executes_with_results(self):
+        rt = Runtime(1, 1)
+        dev = DeviceSpace(rt.here())
+        data = np.zeros(16)
+
+        def body(b, e):
+            data[b:e] += 2.0
+
+        rt.run_until_ready(parallel_for_async(dev, RangePolicy(0, 16), body))
+        assert (data == 2.0).all()

@@ -1,0 +1,243 @@
+"""AMR octree: sub-grids, nodes, mesh invariants, refinement properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.octree import AmrMesh, Field, NFIELDS, OctreeNode, SubGrid
+from repro.util.morton import morton_encode3
+
+from tests.conftest import fill_gaussian, make_uniform_mesh
+
+
+class TestSubGrid:
+    def test_shape(self):
+        sg = SubGrid(n=8, ghost=2)
+        assert sg.data.shape == (NFIELDS, 12, 12, 12)
+        assert sg.m == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubGrid(n=1)
+        with pytest.raises(ValueError):
+            SubGrid(n=8, ghost=0)
+
+    def test_interior_view_roundtrip(self):
+        sg = SubGrid(4, 2)
+        values = np.random.default_rng(0).random((4, 4, 4))
+        sg.set_interior(Field.RHO, values)
+        np.testing.assert_array_equal(sg.interior_view(Field.RHO), values)
+
+    def test_set_interior_shape_check(self):
+        sg = SubGrid(4, 2)
+        with pytest.raises(ValueError):
+            sg.set_interior(Field.RHO, np.zeros((3, 3, 3)))
+
+    def test_integral(self):
+        sg = SubGrid(4, 2)
+        sg.set_interior(Field.RHO, np.full((4, 4, 4), 2.0))
+        assert sg.integral(Field.RHO, cell_volume=0.5) == pytest.approx(64.0)
+
+    def test_ghost_and_donor_slices_are_disjoint_bands(self):
+        sg = SubGrid(8, 2)
+        for axis in range(3):
+            for side in (0, 1):
+                ghost = sg.ghost_slices(axis, side)
+                donor = sg.donor_slices(axis, side)
+                # Ghost band lies outside the interior; donor inside.
+                g = sg.ghost
+                assert ghost[axis].start == (0 if side == 0 else g + sg.n)
+                assert donor[axis].start >= g
+                assert donor[axis].stop <= g + sg.n
+
+    def test_extract_insert_roundtrip(self):
+        sg = SubGrid(4, 2)
+        band_idx = sg.ghost_slices(0, 0)
+        band = np.random.default_rng(1).random((NFIELDS, 2, 4, 4))
+        sg.insert(band_idx, band)
+        np.testing.assert_array_equal(sg.extract(band_idx), band)
+
+    def test_copy_independent(self):
+        sg = SubGrid(4, 2)
+        clone = sg.copy()
+        clone.data[:] = 7.0
+        assert (sg.data == 0).all()
+
+    def test_face_bytes(self):
+        sg = SubGrid(8, 2)
+        assert sg.nbytes_face() == NFIELDS * 2 * 64 * 8
+
+
+class TestNodeGeometry:
+    def test_root_geometry(self):
+        root = OctreeNode(0, 0, n=8, domain_size=2.0)
+        assert root.node_size == 2.0
+        assert root.dx == 0.25
+        np.testing.assert_allclose(root.origin, [-1, -1, -1])
+        np.testing.assert_allclose(root.center, [0, 0, 0])
+
+    def test_child_geometry(self):
+        child = OctreeNode(1, morton_encode3(1, 0, 1), n=8, domain_size=2.0)
+        assert child.node_size == 1.0
+        np.testing.assert_allclose(child.origin, [0, -1, 0])
+
+    def test_cell_centers_within_node(self):
+        node = OctreeNode(1, 0, n=8, domain_size=2.0)
+        x, y, z = node.cell_centers()
+        assert x.min() >= node.origin[0]
+        assert x.max() <= node.origin[0] + node.node_size
+
+    def test_parent_child_keys(self):
+        node = OctreeNode(2, 13)
+        assert node.parent_key == (1, 1)
+        assert all(k[0] == 3 for k in node.children_keys())
+        assert OctreeNode(0, 0).parent_key is None
+
+    def test_octant(self):
+        assert OctreeNode(1, 5).octant == 5
+
+    def test_face_neighbor_coords_boundary(self):
+        node = OctreeNode(1, 0)
+        assert node.face_neighbor_coords(0, 0) is None
+        assert node.face_neighbor_coords(0, 1) == (1, 0, 0)
+
+
+class TestMeshRefinement:
+    def test_single_refine(self):
+        mesh = AmrMesh()
+        children = mesh.refine((0, 0))
+        assert len(children) == 8
+        assert not mesh.root.is_leaf
+        assert mesh.n_subgrids() == 8
+        mesh.check_invariants()
+
+    def test_refine_refined_rejected(self):
+        mesh = AmrMesh()
+        mesh.refine((0, 0))
+        with pytest.raises(ValueError):
+            mesh.refine((0, 0))
+
+    def test_odd_subgrid_rejected(self):
+        with pytest.raises(ValueError):
+            AmrMesh(n=7)
+
+    def test_balance_cascade(self):
+        # Refining a deep corner drags coarser neighbours along.
+        mesh = AmrMesh()
+        mesh.refine((0, 0))
+        mesh.refine((1, 0))
+        mesh.refine((2, 0))
+        mesh.check_invariants()
+        assert mesh.max_level() == 3
+
+    def test_cell_count(self):
+        mesh = make_uniform_mesh(levels=1)
+        assert mesh.n_cells() == 8 * 512
+
+    def test_prolongation_conserves_mass(self):
+        mesh = make_uniform_mesh(levels=1)
+        fill_gaussian(mesh)
+        before = mesh.total_mass()
+        mesh.refine(mesh.leaf_keys()[0])
+        assert mesh.total_mass() == pytest.approx(before, rel=1e-13)
+
+    def test_derefine_restores_leaf(self):
+        mesh = AmrMesh()
+        mesh.refine((0, 0))
+        fill_gaussian(mesh)
+        mass = mesh.total_mass()
+        mesh.derefine((0, 0))
+        assert mesh.root.is_leaf
+        assert mesh.n_subgrids() == 1
+        assert mesh.total_mass() == pytest.approx(mass, rel=1e-13)
+        mesh.check_invariants()
+
+    def test_derefine_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            AmrMesh().derefine((0, 0))
+
+    def test_derefine_balance_guard(self):
+        mesh = AmrMesh()
+        mesh.refine((0, 0))
+        mesh.refine((1, 0))  # level-2 leaves next to level-1 leaves
+        with pytest.raises(ValueError):
+            # Collapsing a level-1 neighbour of the refined node would put
+            # level-1 next to... actually collapsing the refined node's
+            # *parent* region: children are refined.
+            mesh.derefine((0, 0))
+
+    def test_refine_by_criterion(self):
+        mesh = AmrMesh()
+
+        def near_origin(node):
+            return bool(np.all(np.abs(node.center) < 0.6))
+
+        count = mesh.refine_by(near_origin, max_level=2)
+        assert count > 0
+        assert mesh.max_level() == 2
+        mesh.check_invariants()
+
+    def test_restrict_all_averages(self):
+        mesh = make_uniform_mesh(levels=1)
+        for leaf in mesh.leaves():
+            leaf.subgrid.set_interior(Field.RHO, np.full((8, 8, 8), 3.0))
+        mesh.restrict_all()
+        np.testing.assert_allclose(mesh.root.subgrid.interior_view(Field.RHO), 3.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_refinement_keeps_invariants(self, picks):
+        """2:1 balance and full-interior invariants survive arbitrary
+        refinement sequences."""
+        mesh = AmrMesh()
+        mesh.refine((0, 0))
+        for pick in picks:
+            leaves = sorted(mesh.leaf_keys())
+            key = leaves[pick % len(leaves)]
+            if key[0] < 4:
+                mesh.refine(key)
+        mesh.check_invariants()
+        # Every pair of face-adjacent leaves differs by at most one level.
+        for leaf in mesh.leaves():
+            for axis in range(3):
+                for side in (0, 1):
+                    kind, other = mesh.face_neighbor(leaf, axis, side)
+                    if kind == "same":
+                        assert other.level == leaf.level
+                    elif kind == "coarse":
+                        assert other.level == leaf.level - 1
+                    elif kind == "fine":
+                        assert all(c.level == leaf.level + 1 for c in other)
+
+
+class TestFaceNeighbors:
+    def test_same_level(self):
+        mesh = make_uniform_mesh(levels=1)
+        leaf = mesh.nodes[(1, 0)]
+        kind, other = mesh.face_neighbor(leaf, 0, 1)
+        assert kind == "same"
+        assert other.key == (1, 1)
+
+    def test_boundary(self):
+        mesh = make_uniform_mesh(levels=1)
+        kind, other = mesh.face_neighbor(mesh.nodes[(1, 0)], 0, 0)
+        assert kind == "boundary" and other is None
+
+    def test_fine_returns_four_face_children(self):
+        mesh = AmrMesh()
+        mesh.refine((0, 0))
+        mesh.refine((1, 1))  # refine the +x neighbour of (1, 0)
+        kind, children = mesh.face_neighbor(mesh.nodes[(1, 0)], 0, 1)
+        assert kind == "fine"
+        assert len(children) == 4
+        # All four children touch the shared face (their x-octant bit is 0).
+        assert all((c.octant >> 0) & 1 == 0 for c in children)
+
+    def test_coarse(self):
+        mesh = AmrMesh()
+        mesh.refine((0, 0))
+        mesh.refine((1, 0))
+        fine_leaf = mesh.nodes[(2, morton_encode3(1, 0, 0))]
+        kind, other = mesh.face_neighbor(fine_leaf, 0, 1)
+        assert kind == "coarse"
+        assert other.level == 1

@@ -1,0 +1,114 @@
+"""Hang/deadlock modelling and message-loss fault injection."""
+
+import math
+
+import pytest
+
+from repro.distsim.reliability import (
+    ReliabilityModel,
+    hang_probability_curve,
+    messages_per_step,
+)
+from repro.distsim.runconfig import RunConfig
+from repro.machines import FUGAKU, OOKAMI
+from repro.scenarios import rotating_star
+
+
+@pytest.fixture(scope="module")
+def level5():
+    return rotating_star(level=5, build_mesh=False).spec
+
+
+class TestMessageCounts:
+    def test_single_node_sends_nothing(self, level5):
+        assert messages_per_step(level5, RunConfig(machine=FUGAKU, nodes=1)) == 0.0
+
+    def test_messages_grow_with_nodes(self, level5):
+        counts = [
+            messages_per_step(level5, RunConfig(machine=FUGAKU, nodes=n))
+            for n in (2, 16, 128)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+
+
+class TestReliabilityModel:
+    def test_calibration_round_trip(self):
+        model = ReliabilityModel.calibrate(0.05, messages=1e6)
+        assert model.hang_probability(1e6) == pytest.approx(0.05)
+
+    def test_more_messages_more_hangs(self):
+        model = ReliabilityModel(1e-7)
+        assert model.hang_probability(1e7) > model.hang_probability(1e5)
+
+    def test_expected_attempts(self):
+        model = ReliabilityModel.calibrate(0.5, messages=100.0)
+        assert model.expected_attempts(100.0) == pytest.approx(2.0)
+        assert model.expected_attempts(0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityModel.calibrate(0.0, 100.0)
+        with pytest.raises(ValueError):
+            ReliabilityModel.calibrate(0.5, 0.0)
+        with pytest.raises(ValueError):
+            ReliabilityModel(1e-9).hang_probability(-1.0)
+
+    def test_papers_observation_extrapolates_to_fugaku_hangs(self, level5):
+        """Calibrate lambda on 'about 1 out of 20 runs' deadlocking on the
+        level-5 Ookami runs, then predict the hang probability of the
+        larger Fugaku runs (levels 6/7 at 512-1024 nodes, ~5-20x the
+        message volume) — clearly elevated, consistent with the paper
+        failing to debug hangs at those scales."""
+        ookami_messages = messages_per_step(
+            level5, RunConfig(machine=OOKAMI, nodes=128)
+        ) * 100  # a ~100-step benchmark run
+        model = ReliabilityModel.calibrate(0.05, ookami_messages)
+
+        level6 = rotating_star(level=6, build_mesh=False).spec
+        level7 = rotating_star(level=7, build_mesh=False).spec
+        p5 = dict(hang_probability_curve(level5, model, FUGAKU, [128], steps=100))
+        p6 = dict(hang_probability_curve(level6, model, FUGAKU, [1024], steps=100))
+        p7 = dict(hang_probability_curve(level7, model, FUGAKU, [1024], steps=100))
+        assert p6[1024] > p5[128]
+        assert p7[1024] > p6[1024]
+        assert p7[1024] > 0.3  # the big runs hang more often than not-rarely
+
+
+class TestFaultInjection:
+    def test_lost_ghost_message_deadlocks_the_step(self):
+        """Drop one ghost message in the distributed driver: the dependency
+        graph stalls and the runtime reports a deadlock instead of silently
+        producing wrong data — the paper's hang, reproduced in miniature."""
+        from tests.test_distributed_driver import build_mesh
+        from repro.core.distributed import DistributedHydroDriver
+        from repro.machines import FUGAKU as M
+
+        mesh, eos = build_mesh()
+        driver = DistributedHydroDriver(
+            mesh, eos, config=RunConfig(machine=M, nodes=2)
+        )
+        original = driver._network
+
+        def sabotaged():
+            net = original()
+            net.drop_message(3)
+            return net
+
+        driver._network = sabotaged
+        with pytest.raises(RuntimeError, match="deadlock|never resolved"):
+            driver.step(1e-3)
+
+    def test_network_drop_accounting(self):
+        from repro.amt.engine import Engine
+        from repro.amt.network import Message, NetworkModel
+
+        engine = Engine()
+        net = NetworkModel()
+        net.drop_message(1)
+        delivered = []
+        net.send(engine, Message(0, 1, "a", 10), lambda m: delivered.append(m))
+        net.send(engine, Message(0, 1, "b", 10), lambda m: delivered.append(m))
+        engine.run()
+        assert [m.payload for m in delivered] == ["a"]
+        assert net.messages_dropped == 1
+        assert net.messages_sent == 2

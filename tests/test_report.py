@@ -1,0 +1,52 @@
+"""ASCII log-log rendering."""
+
+import pytest
+
+from repro.distsim import scaling_curve
+from repro.distsim.report import ascii_loglog, curve_to_points
+from repro.distsim.sweep import node_series
+from repro.machines import FUGAKU
+from repro.scenarios import rotating_star
+
+
+class TestAsciiLogLog:
+    def test_renders_series(self):
+        lines = ascii_loglog({"a": [(1, 10), (10, 100), (100, 900)]})
+        text = "\n".join(lines)
+        assert "o = a" in text
+        assert text.count("o") >= 3 + 1  # 3 points + legend
+
+    def test_multiple_series_distinct_glyphs(self):
+        lines = ascii_loglog(
+            {"fast": [(1, 10), (10, 100)], "slow": [(1, 5), (10, 40)]}
+        )
+        assert "o = fast" in lines[0]
+        assert "x = slow" in lines[0]
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_loglog({})
+        with pytest.raises(ValueError):
+            ascii_loglog({"a": []})
+        with pytest.raises(ValueError):
+            ascii_loglog({"a": [(0, 1)]})
+        with pytest.raises(ValueError):
+            ascii_loglog({"a": [(1, -1)]})
+
+    def test_axis_labels_present(self):
+        lines = ascii_loglog({"a": [(1, 1), (2, 2)]}, x_label="N", y_label="rate")
+        assert "rate vs N" in lines[-1]
+
+    def test_monotone_curve_monotone_rows(self):
+        """The highest point renders above the lowest point."""
+        lines = ascii_loglog({"a": [(1, 1), (100, 1000)]}, width=30, height=10)
+        grid = lines[1:-1]
+        first_row_with_point = next(i for i, l in enumerate(grid) if "o" in l)
+        last_row_with_point = max(i for i, l in enumerate(grid) if "o" in l)
+        assert first_row_with_point < last_row_with_point
+
+    def test_integration_with_model_curves(self):
+        spec = rotating_star(level=5, build_mesh=False).spec
+        curve = scaling_curve(spec, FUGAKU, node_series(1, 64))
+        lines = ascii_loglog({"fugaku": curve_to_points(curve)})
+        assert len(lines) > 10

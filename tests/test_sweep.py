@@ -1,0 +1,101 @@
+"""Sweep helpers: node series, speedups, weak scaling, partitions."""
+
+import pytest
+
+from repro.distsim.sweep import (
+    min_nodes_for,
+    node_series,
+    scaling_curve,
+    speedup_series,
+    weak_scaling_curve,
+)
+from repro.machines import FUGAKU, SUMMIT
+from repro.octree.partition import (
+    partition_stats,
+    round_robin_partition,
+    sfc_partition,
+)
+from repro.scenarios import rotating_star
+
+from tests.conftest import make_uniform_mesh
+
+
+class TestNodeSeries:
+    def test_powers_of_two(self):
+        assert node_series(1, 16) == [1, 2, 4, 8, 16]
+        assert node_series(4, 4) == [4]
+        assert node_series(3, 20) == [3, 6, 12]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            node_series(0, 8)
+        with pytest.raises(ValueError):
+            node_series(8, 4)
+
+
+class TestSpeedupSeries:
+    def test_empty(self):
+        assert speedup_series([]) == []
+
+    def test_first_is_one(self):
+        spec = rotating_star(level=5, build_mesh=False).spec
+        curve = scaling_curve(spec, FUGAKU, [2, 4, 8])
+        s = speedup_series(curve)
+        assert s[0] == pytest.approx(1.0)
+        assert len(s) == 3
+
+
+class TestWeakScaling:
+    def test_workload_grows_with_nodes(self):
+        spec = rotating_star(level=5, build_mesh=False).spec
+        curve = weak_scaling_curve(spec, FUGAKU, [1, 4], subgrids_per_node=1000)
+        assert curve[0].subgrids_per_node == pytest.approx(1000)
+        assert curve[1].subgrids_per_node == pytest.approx(1000)
+        # Aggregate throughput grows while per-node time degrades mildly.
+        assert curve[1].cells_per_second > 3.0 * curve[0].cells_per_second
+        assert curve[1].total_s >= curve[0].total_s
+
+    def test_default_subgrids_per_node(self):
+        spec = rotating_star(level=5, build_mesh=False).spec
+        curve = weak_scaling_curve(spec, FUGAKU, [1])
+        assert curve[0].subgrids_per_node == pytest.approx(spec.n_subgrids)
+
+
+class TestMinNodes:
+    def test_summit_fits_everything_small(self):
+        spec = rotating_star(level=5, build_mesh=False).spec
+        assert min_nodes_for(spec, SUMMIT) == 1
+
+    def test_power_of_two_default(self):
+        from repro.scenarios import v1309_scenario
+
+        spec = v1309_scenario(level=11, build_mesh=False).spec
+        nodes = min_nodes_for(spec, FUGAKU)
+        assert nodes & (nodes - 1) == 0
+
+
+class TestRoundRobinPartition:
+    def test_assigns_everything(self):
+        mesh = make_uniform_mesh(levels=2)
+        assignment = round_robin_partition(mesh, 8)
+        assert len(assignment) == 64
+        assert set(assignment.values()) == set(range(8))
+
+    def test_balanced_counts(self):
+        mesh = make_uniform_mesh(levels=2)
+        round_robin_partition(mesh, 8)
+        stats = partition_stats(mesh, 8)
+        assert max(stats.subgrids_per_locality) - min(stats.subgrids_per_locality) <= 1
+
+    def test_sfc_beats_round_robin_on_locality(self):
+        mesh = make_uniform_mesh(levels=2)
+        sfc_partition(mesh, 8)
+        sfc = partition_stats(mesh, 8).remote_fraction
+        round_robin_partition(mesh, 8)
+        naive = partition_stats(mesh, 8).remote_fraction
+        assert sfc < naive
+
+    def test_validation(self):
+        mesh = make_uniform_mesh(levels=1)
+        with pytest.raises(ValueError):
+            round_robin_partition(mesh, 0)

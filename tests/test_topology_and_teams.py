@@ -1,0 +1,100 @@
+"""Topology models and the Kokkos TeamPolicy."""
+
+import numpy as np
+import pytest
+
+from repro.kokkos import SerialSpace, TeamPolicy, parallel_for
+from repro.machines import FUGAKU, OOKAMI
+from repro.machines.topology import (
+    FatTreeTopology,
+    TorusTopology,
+    effective_interconnect,
+)
+
+
+class TestTorus:
+    def test_single_node_no_hops(self):
+        assert TorusTopology().mean_hops(1) == 0.0
+
+    def test_hops_grow_with_allocation(self):
+        torus = TorusTopology()
+        assert torus.mean_hops(1024) > torus.mean_hops(64) > torus.mean_hops(8)
+
+    def test_cube_root_scaling(self):
+        torus = TorusTopology(effective_dims=3)
+        assert torus.mean_hops(8_000) / torus.mean_hops(8) == pytest.approx(10.0)
+
+    def test_latency_composition(self):
+        torus = TorusTopology(per_hop_latency_us=0.1)
+        assert torus.latency_us(0.9, 1) == pytest.approx(0.9)
+        assert torus.latency_us(0.9, 64) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TorusTopology().mean_hops(0)
+
+
+class TestFatTree:
+    def test_bounded_hops(self):
+        tree = FatTreeTopology(radix=40)
+        # Hop count saturates: growing from 1k to 16k nodes adds at most
+        # one tier (two hops).
+        assert tree.mean_hops(16_384) - tree.mean_hops(1_024) <= 2.0
+
+    def test_single_node(self):
+        assert FatTreeTopology().mean_hops(1) == 0.0
+
+    def test_small_cluster_one_tier(self):
+        tree = FatTreeTopology(radix=40)
+        assert tree.tiers(30) == 1
+
+    def test_torus_eventually_overtakes_tree(self):
+        """The Fig. 10 hypothesis: at large allocations the torus' growing
+        diameter makes its effective latency exceed the fat tree's."""
+        torus = TorusTopology()
+        tree = FatTreeTopology()
+        fugaku = effective_interconnect(FUGAKU.interconnect, torus, 8192)
+        ookami = effective_interconnect(OOKAMI.interconnect, tree, 8192)
+        assert fugaku.latency_us > ookami.latency_us
+
+    def test_effective_interconnect_preserves_bandwidth(self):
+        out = effective_interconnect(FUGAKU.interconnect, TorusTopology(), 64)
+        assert out.bandwidth_gbs == FUGAKU.interconnect.bandwidth_gbs
+        assert out.latency_us > FUGAKU.interconnect.latency_us
+
+
+class TestTeamPolicy:
+    def test_flatten(self):
+        policy = TeamPolicy(league_size=10, team_size=8, work_per_team=500.0)
+        flat = policy.flatten()
+        assert flat.size == 10
+        assert flat.work_per_item == 500.0
+
+    def test_dispatch_runs_once_per_league_member(self):
+        space = SerialSpace()
+        hits = []
+        policy = TeamPolicy(league_size=6, team_size=4)
+
+        def functor(begin, end):
+            hits.extend(range(begin, end))
+
+        parallel_for(space, policy, functor)
+        assert sorted(hits) == list(range(6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TeamPolicy(league_size=-1)
+        with pytest.raises(ValueError):
+            TeamPolicy(league_size=1, team_size=0)
+
+    def test_hpx_space_splits_league(self):
+        from repro.amt.locality import Runtime
+        from repro.kokkos import HpxSpace
+
+        rt = Runtime(1, 4)
+        space = HpxSpace(rt.here(), tasks_per_kernel=3)
+        done = []
+        parallel_for(space, TeamPolicy(league_size=9, work_per_team=1e3),
+                     lambda b, e: done.append((b, e)))
+        assert sum(e - b for b, e in done) == 9
+        assert space.stats.tasks == 3
