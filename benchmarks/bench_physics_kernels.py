@@ -52,6 +52,58 @@ def test_bench_fmm_solve_level1(benchmark):
     assert result.stats.p2p_pairs > 0
 
 
+def test_bench_fmm_solve_level1_cold_plan(benchmark):
+    """Every round rebuilds the traversal plan (the post-regrid cost)."""
+    mesh = make_uniform_mesh(levels=1)
+    fill_gaussian(mesh)
+    solver = FmmSolver()
+
+    def cold_solve():
+        solver.invalidate_plan()
+        return solver.solve(mesh)
+
+    result = benchmark.pedantic(cold_solve, rounds=3, iterations=1)
+    assert result.stats.p2p_pairs > 0
+
+
+def test_bench_fmm_solve_level1_warm_plan(benchmark):
+    """Steady-state solve between regrids: the cached plan is reused."""
+    mesh = make_uniform_mesh(levels=1)
+    fill_gaussian(mesh)
+    solver = FmmSolver()
+    solver.solve(mesh)  # build the plan outside the measured region
+    result = benchmark.pedantic(solver.solve, args=(mesh,), rounds=5, iterations=1)
+    assert result.stats.p2p_pairs > 0
+
+
+def test_bench_driver_multi_step(benchmark):
+    """Several gravity-coupled driver steps on a fixed topology — the case
+    the plan cache targets (one plan build amortised over all steps)."""
+    from repro.core.driver import OctoTigerSim
+
+    eos = IdealGasEOS()
+
+    def make_sim():
+        mesh = make_uniform_mesh(levels=1)
+        for leaf in mesh.leaves():
+            x, y, z = leaf.cell_centers()
+            r2 = x**2 + y**2 + z**2
+            rho = 0.1 + np.exp(-r2 / 0.05)
+            eint = np.full_like(rho, 2.5)
+            leaf.subgrid.set_interior(Field.RHO, rho)
+            leaf.subgrid.set_interior(Field.EGAS, eint)
+            leaf.subgrid.set_interior(Field.TAU, eos.tau_from_eint(eint))
+        mesh.restrict_all()
+        fill_all_ghosts(mesh)
+        return OctoTigerSim(mesh, eos=eos)
+
+    def run_steps():
+        return make_sim().run(3, dt=1e-5)
+
+    records = benchmark.pedantic(run_steps, rounds=2, iterations=1)
+    assert len(records) == 3
+
+
 def test_bench_poisson_fft(benchmark):
     from repro.scf.poisson import FftPoissonSolver
 

@@ -93,6 +93,9 @@ class OctoTigerSim:
             self.gravity_solver = FmmSolver(
                 order=gravity_order, empty_mass_threshold=empty_mass_threshold
             )
+            # Route the solver's per-phase timers (fmm.plan, fmm.p2m_m2m,
+            # fmm.m2l, fmm.l2p, fmm.p2p) into this run's counter registry.
+            self.gravity_solver.registry = self.counters
             gravity_cb = self.gravity_solver.as_gravity_callback()
         self.integrator = HydroIntegrator(
             mesh, self.eos, cfl=cfl, omega=omega, gravity=gravity_cb

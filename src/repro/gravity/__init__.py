@@ -10,6 +10,24 @@ octupole) about its centre of mass.  A solve is the paper's three phases:
 3. **top-down** — L2L down the tree, then per-cell evaluation (L2P) plus
    direct near-field sums (P2P).
 
+Plan / execute split
+--------------------
+The solve is organised as a cached **plan** phase and a batched **execute**
+phase.  Everything derived from the octree topology alone — the dual tree
+traversal, far/near/P2P interaction lists, CSR source-index arrays, leaf
+cell positions and the P2P geometry-class templates — is captured once in
+an :class:`~repro.gravity.plan.FmmPlan` (see :func:`~repro.gravity.plan.build_plan`).
+The plan is keyed on ``AmrMesh.topology_version``, a counter bumped by
+every :meth:`~repro.octree.mesh.AmrMesh.refine` /
+:meth:`~repro.octree.mesh.AmrMesh.derefine`, so
+:meth:`~repro.gravity.fmm.FmmSolver.solve` transparently reuses it across
+steps between regrids and rebuilds it afterwards (the invalidation
+contract is documented on :class:`~repro.octree.mesh.AmrMesh`).  The
+execute phase replaces the per-node Python loops with stacked moment
+arrays, segmented M2L batches per level and two GEMMs per P2P geometry
+class; :meth:`~repro.gravity.fmm.FmmSolver.solve_reference` retains the
+per-node implementation as the numerical reference.
+
 Conservation: P2P interactions are pairwise antisymmetric, so the near field
 conserves linear and angular momentum identically.  The truncated M2L far
 field does not; :mod:`repro.gravity.conservation` restores both with global
@@ -23,8 +41,9 @@ from repro.gravity.multipole import (
     LocalExpansion,
     stacked_octant_moments,
 )
-from repro.gravity.kernels import d_tensors, m2l, m2l_batch, p2l
+from repro.gravity.kernels import d_tensors, m2l, m2l_batch, m2l_segmented, p2l
 from repro.gravity.fmm import FmmSolver, FmmResult
+from repro.gravity.plan import FmmPlan, build_plan
 from repro.gravity.direct import direct_sum
 from repro.gravity.conservation import (
     project_momentum,
@@ -40,9 +59,12 @@ __all__ = [
     "d_tensors",
     "m2l",
     "m2l_batch",
+    "m2l_segmented",
     "p2l",
     "FmmSolver",
     "FmmResult",
+    "FmmPlan",
+    "build_plan",
     "direct_sum",
     "project_momentum",
     "project_angular_momentum",

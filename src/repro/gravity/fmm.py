@@ -1,4 +1,4 @@
-"""The FMM driver: upward pass, dual tree traversal, downward pass, P2P.
+"""The FMM driver: cached plan phase plus batched execute phase.
 
 The traversal realises Octo-Tiger's solver phases on an adaptive,
 2:1-balanced octree, classifying node pairs three ways:
@@ -15,6 +15,22 @@ The traversal realises Octo-Tiger's solver phases on an adaptive,
 With ``theta = 0.5`` the far criterion is a four-node-size separation and
 the near band covers the paper's "same-level cell-to-cell interactions"
 stencil — the Multipole kernel whose task-splitting Fig. 9 studies.
+
+Plan / execute split
+--------------------
+Everything that depends only on mesh *topology* — the dual tree traversal,
+interaction lists, CSR source-index arrays, leaf cell positions and the
+P2P geometry-class templates — lives in a cached
+:class:`~repro.gravity.plan.FmmPlan`, keyed on
+``AmrMesh.topology_version`` so it invalidates automatically after a
+regrid.  :meth:`FmmSolver.solve` is the batched execute phase: stacked
+P2M/M2M moments, a few segmented M2L calls per level, vectorised
+L2L/L2P, and two GEMMs per P2P geometry class.  It is numerically
+equivalent (to ~1e-13 relative) to :meth:`FmmSolver.solve_reference`,
+the retained per-node reference implementation, and produces identical
+:class:`FmmStats`.  Per-phase wall times are reported through
+:mod:`repro.profiling` under ``fmm.plan``, ``fmm.p2m_m2m``, ``fmm.m2l``,
+``fmm.l2p`` and ``fmm.p2p``.
 """
 
 from __future__ import annotations
@@ -25,17 +41,23 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.gravity.conservation import project_angular_momentum, project_momentum
-from repro.gravity.kernels import m2l_batch
+from repro.gravity.kernels import m2l_batch, m2l_segmented
 from repro.gravity.multipole import (
     LocalExpansion,
     Multipole,
+    batched_combine,
+    batched_local_evaluate,
+    batched_local_shift,
+    batched_moments_from_points,
     octant_ids,
     stacked_octant_moments,
 )
-from repro.gravity.pairwise import pairwise_accumulate
+from repro.gravity.pairwise import p2p_apply_class, pairwise_accumulate
+from repro.gravity.plan import FmmPlan, build_plan, count_m2l_by_level, traverse
 from repro.octree.fields import Field
 from repro.octree.mesh import AmrMesh
 from repro.octree.node import NodeKey, OctreeNode
+from repro.profiling.apex import CounterRegistry, global_registry
 
 
 @dataclass
@@ -49,6 +71,9 @@ class FmmStats:
     near_pairs: int = 0  # octant-resolved M2L pairs
     p2p_pairs: int = 0
     l2l: int = 0
+    #: Per-level M2L interaction counts.  Each far pair is counted under
+    #: *both* endpoints' levels (one M2L conversion per direction), so the
+    #: values sum to ``2 * m2l_pairs``.
     m2l_by_level: Dict[int, int] = field(default_factory=dict)
 
     @property
@@ -70,6 +95,11 @@ class FmmSolver:
     ``order`` is the multipole order (1 monopole / 2 +quadrupole /
     3 +octupole), ``theta`` the opening criterion, and the correction flags
     control the machine-precision conservation projections.
+
+    The solver caches an :class:`~repro.gravity.plan.FmmPlan` per mesh
+    topology (see :meth:`plan_for`); set ``registry`` to route the
+    per-phase timers into a specific :class:`CounterRegistry` instead of
+    the process-global one.
     """
 
     def __init__(
@@ -94,6 +124,24 @@ class FmmSolver:
         #: O(threshold / M_total) while cutting most of the P2P cost.
         self.empty_mass_threshold = empty_mass_threshold
         self.last_stats: Optional[FmmStats] = None
+        self.registry: Optional[CounterRegistry] = None
+        self._plan: Optional[FmmPlan] = None
+
+    # -- plan cache -----------------------------------------------------------
+    def plan_for(self, mesh: AmrMesh) -> FmmPlan:
+        """The cached traversal plan for ``mesh``, rebuilt only when the
+        mesh topology (``mesh.topology_version``) or ``theta`` changed."""
+        if self._plan is None or not self._plan.matches(mesh, self.theta):
+            self._plan = build_plan(mesh, self.theta)
+            self._registry().increment("fmm.plan_builds")
+        return self._plan
+
+    def invalidate_plan(self) -> None:
+        """Drop the cached plan (the next solve rebuilds it)."""
+        self._plan = None
+
+    def _registry(self) -> CounterRegistry:
+        return self.registry if self.registry is not None else global_registry()
 
     # -- leaf particle data ---------------------------------------------------
     @staticmethod
@@ -104,16 +152,182 @@ class FmmSolver:
         rho = leaf.subgrid.interior_view(Field.RHO).ravel()
         return pos, rho * leaf.cell_volume
 
-    # -- traversal classification ---------------------------------------------
-    def _is_far(self, a: OctreeNode, b: OctreeNode) -> bool:
-        dist = float(np.linalg.norm(a.center - b.center))
-        return dist * self.theta >= 2.0 * max(a.node_size, b.node_size) * (1.0 - 1e-12)
+    def _stats_from_plan(self, plan: FmmPlan) -> FmmStats:
+        return FmmStats(
+            p2m=plan.n_p2m,
+            m2m=plan.n_m2m,
+            m2l_pairs=plan.n_m2l_pairs,
+            near_pairs=plan.n_near_pairs,
+            p2p_pairs=plan.p2p_pair_count,
+            l2l=plan.n_l2l,
+            m2l_by_level=dict(plan.m2l_by_level),
+        )
 
-    @staticmethod
-    def _touching(a: OctreeNode, b: OctreeNode) -> bool:
-        gap = 0.5 * (a.node_size + b.node_size) * (1.0 + 1e-12)
-        return bool(np.all(np.abs(a.center - b.center) <= gap))
+    # -- the solve ------------------------------------------------------------
+    def solve(self, mesh: AmrMesh) -> FmmResult:
+        """Plan-cached, batched solve (see the module docstring)."""
+        reg = self._registry()
+        with reg.timer("fmm.plan"):
+            plan = self.plan_for(mesh)
+        stats = self._stats_from_plan(plan)
+        n = mesh.n
+        nc = n**3
+        n_leaves = len(plan.leaf_keys)
+        n_nodes = len(plan.node_keys)
 
+        # Phase 1: bottom-up moments, stacked (P2M batched, M2M per level).
+        with reg.timer("fmm.p2m_m2m"):
+            rho = np.stack(
+                [
+                    mesh.nodes[k].subgrid.interior_view(Field.RHO).ravel()
+                    for k in plan.leaf_keys
+                ]
+            )
+            mass = rho * plan.cell_vol[:, None]  # (L, nc)
+            lm, lc, lq, lo = batched_moments_from_points(
+                plan.leaf_pos, mass, plan.node_center[plan.leaf_node_idx]
+            )
+            mom_m = np.zeros(n_nodes)
+            mom_c = plan.node_center.copy()
+            mom_q = np.zeros((n_nodes, 3, 3))
+            mom_o = np.zeros((n_nodes, 3, 3, 3))
+            mom_m[plan.leaf_node_idx] = lm
+            mom_c[plan.leaf_node_idx] = lc
+            mom_q[plan.leaf_node_idx] = lq
+            mom_o[plan.leaf_node_idx] = lo
+            for int_idx, child_idx in plan.level_interiors:  # deepest first
+                cm, cc, cq, co = batched_combine(
+                    mom_m[child_idx],
+                    mom_c[child_idx],
+                    mom_q[child_idx],
+                    mom_o[child_idx],
+                    plan.node_center[int_idx],
+                )
+                mom_m[int_idx] = cm
+                mom_c[int_idx] = cc
+                mom_q[int_idx] = cq
+                mom_o[int_idx] = co
+
+        # Phase 2: same-level interactions — far M2L per level, near M2L
+        # from octant sub-moments, all through the segmented kernel.
+        with reg.timer("fmm.m2l"):
+            l0 = np.zeros(n_nodes)
+            l1 = np.zeros((n_nodes, 3))
+            l2 = np.zeros((n_nodes, 3, 3))
+            l3 = np.zeros((n_nodes, 3, 3, 3))
+            for fl in plan.far_levels:
+                centers = np.repeat(mom_c[fl.tgt_idx], np.diff(fl.indptr), axis=0)
+                s0, s1, s2, s3 = m2l_segmented(
+                    mom_m[fl.src_idx],
+                    mom_c[fl.src_idx],
+                    mom_q[fl.src_idx],
+                    mom_o[fl.src_idx],
+                    centers,
+                    fl.indptr,
+                    order=self.order,
+                )
+                l0[fl.tgt_idx] += s0
+                l1[fl.tgt_idx] += s1
+                l2[fl.tgt_idx] += s2
+                l3[fl.tgt_idx] += s3
+
+            n_part = len(plan.part_slots)
+            n_near_tgt = len(plan.near_tgt_slots)
+            if n_part:
+                sub = plan.oct_cells.shape[1]
+                ppos = plan.leaf_pos[plan.part_slots][:, plan.oct_cells, :]
+                pmass = mass[plan.part_slots][:, plan.oct_cells]
+                om, oc, oq, oo = batched_moments_from_points(
+                    ppos.reshape(n_part * 8, sub, 3),
+                    pmass.reshape(n_part * 8, sub),
+                    plan.oct_geo_centers.reshape(n_part * 8, 3),
+                )
+            if n_near_tgt:
+                rows = plan.near_rows
+                centers = np.repeat(
+                    oc[plan.near_center_rows], np.diff(plan.near_indptr), axis=0
+                )
+                q0, q1, q2, q3 = m2l_segmented(
+                    om[rows], oc[rows], oq[rows], oo[rows],
+                    centers, plan.near_indptr, order=self.order,
+                )
+
+        # Phase 3: top-down L2L, then far-field evaluation (L2P).
+        with reg.timer("fmm.l2p"):
+            for int_idx, child_idx in reversed(plan.level_interiors):
+                d = (mom_c[child_idx] - mom_c[int_idx][:, None, :]).reshape(-1, 3)
+                s0, s1, s2, s3 = batched_local_shift(
+                    np.repeat(l0[int_idx], 8),
+                    np.repeat(l1[int_idx], 8, axis=0),
+                    np.repeat(l2[int_idx], 8, axis=0),
+                    np.repeat(l3[int_idx], 8, axis=0),
+                    d,
+                )
+                flat = child_idx.reshape(-1)
+                l0[flat] += s0
+                l1[flat] += s1
+                l2[flat] += s2
+                l3[flat] += s3
+
+            delta = plan.leaf_pos - mom_c[plan.leaf_node_idx][:, None, :]
+            idx = plan.leaf_node_idx
+            phi_flat, acc_flat = batched_local_evaluate(
+                l0[idx], l1[idx], l2[idx], l3[idx], delta, self.g_newton
+            )
+            if n_near_tgt:
+                tgt_slots = plan.near_tgt_slots
+                opos = plan.leaf_pos[tgt_slots][:, plan.oct_cells, :]
+                ocom = oc.reshape(n_part, 8, 3)[plan.near_tgt_rows]
+                odelta = (opos - ocom[:, :, None, :]).reshape(n_near_tgt * 8, sub, 3)
+                po, ao = batched_local_evaluate(q0, q1, q2, q3, odelta, self.g_newton)
+                cells = plan.oct_cells[None, :, :]
+                phi_flat[tgt_slots[:, None, None], cells] += po.reshape(
+                    n_near_tgt, 8, sub
+                )
+                acc_flat[tgt_slots[:, None, None], cells] += ao.reshape(
+                    n_near_tgt, 8, sub, 3
+                )
+
+        # Near field: templated, class-batched direct sums.
+        with reg.timer("fmm.p2p"):
+            thr = self.empty_mass_threshold
+            if thr > 0.0:
+                src_total = mass.sum(axis=1)
+            for cls in plan.p2p_classes:
+                tgt, src, inv_dx = cls.tgt, cls.src, cls.inv_dx
+                if thr > 0.0:
+                    keep = src_total[src] > thr
+                    if not keep.any():
+                        continue
+                    if not keep.all():
+                        tgt, src, inv_dx = tgt[keep], src[keep], inv_dx[keep]
+                t1, t3 = cls.templates()
+                p2p_apply_class(
+                    t1, t3, tgt,
+                    plan.leaf_pos[tgt], mass[src], plan.leaf_pos[src],
+                    inv_dx, self.g_newton, phi_flat, acc_flat,
+                )
+
+        phi: Dict[NodeKey, np.ndarray] = {}
+        accel: Dict[NodeKey, np.ndarray] = {}
+        masses: Dict[NodeKey, np.ndarray] = {}
+        positions: Dict[NodeKey, np.ndarray] = {}
+        for i, key in enumerate(plan.leaf_keys):
+            phi[key] = phi_flat[i].reshape(n, n, n)
+            accel[key] = acc_flat[i].T.reshape(3, n, n, n)
+            masses[key] = mass[i]
+            positions[key] = plan.leaf_pos[i]
+
+        # Conservation projections.
+        if self.momentum_correction:
+            project_momentum(masses, accel)
+        if self.angmom_correction:
+            project_angular_momentum(masses, positions, accel)
+
+        self.last_stats = stats
+        return FmmResult(phi, accel, stats)
+
+    # -- reference implementation ---------------------------------------------
     def _traverse(
         self, mesh: AmrMesh
     ) -> Tuple[
@@ -121,44 +335,16 @@ class FmmSolver:
         List[Tuple[NodeKey, NodeKey]],
         List[Tuple[NodeKey, NodeKey]],
     ]:
-        """Returns (far_pairs, near_pairs, p2p_pairs), each unordered."""
-        far: List[Tuple[NodeKey, NodeKey]] = []
-        near: List[Tuple[NodeKey, NodeKey]] = []
-        p2p: List[Tuple[NodeKey, NodeKey]] = []
-        stack: List[Tuple[NodeKey, NodeKey]] = [((0, 0), (0, 0))]
-        while stack:
-            ka, kb = stack.pop()
-            a, b = mesh.nodes[ka], mesh.nodes[kb]
-            if ka == kb:
-                if a.is_leaf:
-                    p2p.append((ka, ka))
-                else:
-                    kids = a.children_keys()
-                    for i in range(8):
-                        for j in range(i, 8):
-                            stack.append((kids[i], kids[j]))
-                continue
-            if self._is_far(a, b):
-                far.append((ka, kb))
-                continue
-            if a.is_leaf and b.is_leaf:
-                if self._touching(a, b):
-                    p2p.append((ka, kb))
-                else:
-                    near.append((ka, kb))
-                continue
-            # Split the larger node; on a tie split whichever is refined.
-            split_a = (not a.is_leaf) and (a.node_size >= b.node_size or b.is_leaf)
-            if split_a:
-                for kid in a.children_keys():
-                    stack.append((kid, kb))
-            else:
-                for kid in b.children_keys():
-                    stack.append((ka, kid))
-        return far, near, p2p
+        """Dual tree traversal (delegates to :func:`repro.gravity.plan.traverse`)."""
+        return traverse(mesh, self.theta)
 
-    # -- the solve ------------------------------------------------------------------
-    def solve(self, mesh: AmrMesh) -> FmmResult:
+    def solve_reference(self, mesh: AmrMesh) -> FmmResult:
+        """Unbatched per-node solve, kept as the numerical reference.
+
+        Re-derives the traversal and every intermediate on each call; used
+        by the equivalence tests (the planned :meth:`solve` must agree to
+        ~1e-13 relative) and as documentation of the underlying algorithm.
+        """
         stats = FmmStats()
         leaves = mesh.leaves()
         points: Dict[NodeKey, Tuple[np.ndarray, np.ndarray]] = {
@@ -186,8 +372,7 @@ class FmmSolver:
         far_pairs, near_pairs, p2p_pairs = self._traverse(mesh)
         stats.m2l_pairs = len(far_pairs)
         stats.near_pairs = len(near_pairs)
-        for ka, _kb in far_pairs:
-            stats.m2l_by_level[ka[0]] = stats.m2l_by_level.get(ka[0], 0) + 1
+        stats.m2l_by_level = count_m2l_by_level(far_pairs)
 
         # Octant sub-moments for every leaf that participates in near pairs.
         octants: Dict[NodeKey, Tuple[np.ndarray, ...]] = {}

@@ -153,6 +153,74 @@ def m2l_batch(
     return LocalExpansion(l0, l1, l2, l3)
 
 
+def m2l_segmented(
+    mass: np.ndarray,
+    com: np.ndarray,
+    quad: np.ndarray,
+    octu: np.ndarray,
+    centers: np.ndarray,
+    indptr: np.ndarray,
+    order: int = 3,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Segmented M2L: many targets' interaction lists in one vectorised call.
+
+    The planned solver flattens every (target, source) far pair of a level
+    into one row list — ``mass`` (R,), ``com`` (R, 3), ``quad`` (R, 3, 3),
+    ``octu`` (R, 3, 3, 3) are the per-row source moments and ``centers``
+    (R, 3) the per-row target expansion centre.  ``indptr`` (S+1,) gives
+    CSR segment boundaries: rows ``indptr[t]:indptr[t+1]`` belong to target
+    ``t`` (segments must be non-empty).  Returns the per-target local
+    tensors ``(l0 (S,), l1 (S, 3), l2 (S, 3, 3), l3 (S, 3, 3, 3))``,
+    summing each segment with :func:`numpy.add.reduceat` — the batched form
+    of calling :func:`m2l_batch` once per target.
+    """
+    x = centers - com  # (R, 3)
+    r2 = np.einsum("ni,ni->n", x, x)
+    if (r2 <= 0.0).any():
+        raise ZeroDivisionError("m2l_segmented source coincides with target centre")
+    inv_r = 1.0 / np.sqrt(r2)
+    inv_r3 = inv_r / r2
+    inv_r5 = inv_r3 / r2
+    inv_r7 = inv_r5 / r2
+
+    m3 = mass * inv_r3
+    m5 = mass * inv_r5
+    m7 = mass * inv_r7
+
+    l0r = mass * inv_r
+    l1r = -m3[:, None] * x
+    l2r = 3.0 * np.einsum("n,ni,nj->nij", m5, x, x) - m3[:, None, None] * _EYE
+    xs5 = m5[:, None] * x
+    l3r = -15.0 * np.einsum("n,ni,nj,nk->nijk", m7, x, x, x) + 3.0 * (
+        np.einsum("ni,jk->nijk", xs5, _EYE)
+        + np.einsum("nj,ik->nijk", xs5, _EYE)
+        + np.einsum("nk,ij->nijk", xs5, _EYE)
+    )
+
+    if order >= 2:
+        q_xx = np.einsum("nij,ni,nj->n", quad, x, x)
+        q_tr = np.einsum("nii->n", quad)
+        l0r += 0.5 * (3.0 * q_xx * inv_r5 - q_tr * inv_r3)
+        qx = np.einsum("nij,nj->ni", quad, x)
+        l1r += 0.5 * (
+            -15.0 * (q_xx * inv_r7)[:, None] * x
+            + 3.0 * (2.0 * inv_r5[:, None] * qx + (q_tr * inv_r5)[:, None] * x)
+        )
+    if order >= 3:
+        o_xxx = np.einsum("nijk,ni,nj,nk->n", octu, x, x, x)
+        o_contr = np.einsum("nijj->ni", octu)
+        o_dot = np.einsum("ni,ni->n", o_contr, x)
+        l0r += -(-15.0 * o_xxx * inv_r7 + 9.0 * o_dot * inv_r5) / 6.0
+
+    starts = np.asarray(indptr[:-1], dtype=np.intp)
+    return (
+        np.add.reduceat(l0r, starts),
+        np.add.reduceat(l1r, starts, axis=0),
+        np.add.reduceat(l2r, starts, axis=0),
+        np.add.reduceat(l3r, starts, axis=0),
+    )
+
+
 def m2l(source: Multipole, x: np.ndarray, order: int = 3) -> LocalExpansion:
     """Local expansion at a target centre ``x = c_target - c_source``.
 

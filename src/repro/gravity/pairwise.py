@@ -69,6 +69,84 @@ def pairwise_accumulate(
     return phi_a, acc_a, phi_b, acc_b
 
 
+def p2p_unit_templates(
+    upos_t: np.ndarray, upos_s: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Unit-distance interaction templates for a P2P geometry class.
+
+    P2P pairs whose leaves have the same *relative* geometry (same level
+    difference and same centre offset in units of the finer cell width)
+    share one separation matrix up to the scale ``1/dx``: cell positions
+    are regular lattices, so ``r_ij = dx * |u_i - u_j|`` with ``u`` the
+    half-integer unit positions.  Returns ``(t1, t3)`` with
+    ``t1[i, j] = 1/|u_i - u_j|`` and ``t3 = t1**3`` (coincident entries —
+    the self-pair diagonal — are zeroed, reproducing the masked diagonal of
+    :func:`pairwise_accumulate`).  The cached plan stores these per class;
+    scaling by ``1/dx`` and ``1/dx**3`` recovers the physical kernels.
+    """
+    # On the half-integer lattice r2 is an exact quarter-integer, so the
+    # whole matrix gathers from one tiny 1/sqrt table: 4*r2 is a small
+    # bounded int and 1/sqrt(r2) = 2/sqrt(4*r2).  This avoids the (nc, nc)
+    # sqrt entirely — the dominant cost of a cold plan build.
+    r2 = upos_t @ upos_s.T
+    r2 *= -2.0
+    r2 += np.einsum("ni,ni->n", upos_t, upos_t)[:, None]
+    r2 += np.einsum("ni,ni->n", upos_s, upos_s)[None, :]
+    q = np.rint(4.0 * r2).astype(np.intp)
+    table = np.arange(q.max() + 1, dtype=np.float64)
+    np.sqrt(table, out=table)
+    with np.errstate(divide="ignore"):
+        np.divide(2.0, table, out=table)
+    table[0] = 0.0  # coincident entries (the masked self-pair diagonal)
+    t1 = table[q]
+    t3 = t1 * t1
+    t3 *= t1
+    return t1, t3
+
+
+def p2p_apply_class(
+    t1: np.ndarray,
+    t3: np.ndarray,
+    tgt: np.ndarray,
+    pos_t: np.ndarray,
+    mass_s: np.ndarray,
+    pos_s: np.ndarray,
+    inv_dx: np.ndarray,
+    g_newton: float,
+    phi_out: np.ndarray,
+    acc_out: np.ndarray,
+) -> None:
+    """Execute all directed P2P edges of one geometry class in two GEMMs.
+
+    ``tgt`` (E,) target leaf slots, ``pos_t`` (E, nc, 3) target cell
+    positions, ``mass_s`` (E, nc)/``pos_s`` (E, nc, 3) source cells and
+    ``inv_dx`` (E,) the per-edge template scale.  Accumulates into the
+    stacked leaf fields ``phi_out`` (L, nc) / ``acc_out`` (L, nc, 3).
+
+    The physical sums factor through the templates:
+
+        phi_a = -G (1/r) m_b          = -G/dx   * T1 @ m_b
+        acc_a = -G [p_a * rowsum(W) - W p_b],  W = m_b / r^3
+              = -G/dx^3 * [p_a * (T3 @ m_b) - T3 @ (m_b * p_b)]
+
+    so one ``T1`` GEMM and one four-column-per-edge ``T3`` GEMM replace the
+    per-pair distance matrices entirely.
+    """
+    n_edges = tgt.shape[0]
+    nc = mass_s.shape[1]
+    out1 = t1 @ mass_s.T  # (nc_t, E)
+    rhs = np.concatenate([mass_s[:, :, None], mass_s[:, :, None] * pos_s], axis=2)
+    out3 = (t3 @ rhs.transpose(1, 0, 2).reshape(nc, 4 * n_edges)).reshape(
+        -1, n_edges, 4
+    )
+    for e in range(n_edges):
+        t = int(tgt[e])
+        s1 = g_newton * inv_dx[e]
+        s3 = g_newton * inv_dx[e] ** 3
+        phi_out[t] -= s1 * out1[:, e]
+        acc_out[t] -= s3 * (pos_t[e] * out3[:, e, 0][:, None] - out3[:, e, 1:4])
+
+
 def direct_field(
     pos: np.ndarray,
     mass: np.ndarray,

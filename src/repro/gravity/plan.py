@@ -1,0 +1,407 @@
+"""Cached FMM traversal plan: everything that is a pure function of topology.
+
+The FMM solve splits into a **plan** phase and an **execute** phase
+(the same reusable-traversal-object design as boxtree's ``Traversal`` and
+the work-aggregation strategy of Daiß et al.): the dual tree traversal,
+the far/near/P2P interaction lists, CSR-style per-target source-index
+arrays, leaf cell positions/volumes, octant cell-index maps and the P2P
+geometry-class templates depend only on the octree *topology* — which
+changes exactly when :meth:`repro.octree.mesh.AmrMesh.refine` /
+:meth:`~repro.octree.mesh.AmrMesh.derefine` run.  :class:`FmmPlan` captures
+all of it once and is keyed on ``AmrMesh.topology_version``, so a solver
+reuses the plan across every solve between regrids and rebuilds it
+automatically afterwards.
+
+The execute phase (:meth:`repro.gravity.fmm.FmmSolver.solve`) then runs a
+small number of vectorised batches per level instead of per-node Python
+loops; see the module docstring of :mod:`repro.gravity.fmm` and
+``docs/gravity_plan.md`` for the full architecture.
+
+P2P geometry classes
+--------------------
+Touching leaf pairs group into classes of identical relative geometry —
+``(level difference, centre offset in half-units of the finer cell
+width)``.  All pairs of a class share one unit-distance separation matrix
+(cell positions are regular lattices), so the plan caches per class the
+``1/|u|`` and ``1/|u|**3`` templates (budget permitting) and the execute
+phase runs two GEMMs per class over all of its pairs at once instead of
+rebuilding an ``(n^3, n^3)`` distance matrix per pair.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gravity.multipole import octant_ids
+from repro.gravity.pairwise import p2p_unit_templates
+from repro.octree.mesh import AmrMesh
+from repro.octree.node import NodeKey, OctreeNode
+
+#: Default cap on cached P2P template bytes per plan (t1 + t3 across all
+#: classes).  Same-level meshes need at most 27 classes; adaptive meshes can
+#: produce many more cross-level classes, whose templates are then rebuilt
+#: per solve instead of cached once the budget is exhausted.
+DEFAULT_TEMPLATE_BUDGET = 192 * 2**20
+
+
+def is_far(a: OctreeNode, b: OctreeNode, theta: float) -> bool:
+    """The opening criterion: separation of at least ``2 / theta`` sizes."""
+    dist = float(np.linalg.norm(a.center - b.center))
+    return dist * theta >= 2.0 * max(a.node_size, b.node_size) * (1.0 - 1e-12)
+
+
+def is_touching(a: OctreeNode, b: OctreeNode) -> bool:
+    gap = 0.5 * (a.node_size + b.node_size) * (1.0 + 1e-12)
+    return bool(np.all(np.abs(a.center - b.center) <= gap))
+
+
+def traverse(
+    mesh: AmrMesh, theta: float
+) -> Tuple[
+    List[Tuple[NodeKey, NodeKey]],
+    List[Tuple[NodeKey, NodeKey]],
+    List[Tuple[NodeKey, NodeKey]],
+]:
+    """Dual tree traversal: returns (far, near, p2p) pairs, each unordered."""
+    far: List[Tuple[NodeKey, NodeKey]] = []
+    near: List[Tuple[NodeKey, NodeKey]] = []
+    p2p: List[Tuple[NodeKey, NodeKey]] = []
+    stack: List[Tuple[NodeKey, NodeKey]] = [((0, 0), (0, 0))]
+    while stack:
+        ka, kb = stack.pop()
+        a, b = mesh.nodes[ka], mesh.nodes[kb]
+        if ka == kb:
+            if a.is_leaf:
+                p2p.append((ka, ka))
+            else:
+                kids = a.children_keys()
+                for i in range(8):
+                    for j in range(i, 8):
+                        stack.append((kids[i], kids[j]))
+            continue
+        if is_far(a, b, theta):
+            far.append((ka, kb))
+            continue
+        if a.is_leaf and b.is_leaf:
+            if is_touching(a, b):
+                p2p.append((ka, kb))
+            else:
+                near.append((ka, kb))
+            continue
+        # Split the larger node; on a tie split whichever is refined.
+        split_a = (not a.is_leaf) and (a.node_size >= b.node_size or b.is_leaf)
+        if split_a:
+            for kid in a.children_keys():
+                stack.append((kid, kb))
+        else:
+            for kid in b.children_keys():
+                stack.append((ka, kid))
+    return far, near, p2p
+
+
+def count_m2l_by_level(far_pairs: List[Tuple[NodeKey, NodeKey]]) -> Dict[int, int]:
+    """Per-level M2L interaction counts, counting *both* directions.
+
+    Each far pair feeds two M2L conversions (a's local from b and b's from
+    a), so both endpoints' levels are counted — the seed solver counted
+    only ``ka``'s level, undercounting the per-level workload the distsim
+    gravity model sees by up to 2x.  The sum over levels is therefore
+    ``2 * len(far_pairs)``.
+    """
+    by_level: Dict[int, int] = {}
+    for ka, kb in far_pairs:
+        by_level[ka[0]] = by_level.get(ka[0], 0) + 1
+        by_level[kb[0]] = by_level.get(kb[0], 0) + 1
+    return by_level
+
+
+@dataclass
+class P2PClass:
+    """All directed P2P edges sharing one relative leaf geometry."""
+
+    key: Tuple[int, Tuple[int, int, int]]
+    tgt: np.ndarray  # (E,) target leaf slots
+    src: np.ndarray  # (E,) source leaf slots
+    inv_dx: np.ndarray  # (E,) template scale (1 / finer cell width)
+    upos_t: np.ndarray  # (nc, 3) unit target cell positions
+    upos_s: np.ndarray  # (nc, 3) unit source cell positions
+    t1: Optional[np.ndarray] = None  # cached 1/|u| template (None: rebuild per solve)
+    t3: Optional[np.ndarray] = None
+
+    def templates(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self.t1 is not None:
+            return self.t1, self.t3
+        return p2p_unit_templates(self.upos_t, self.upos_s)
+
+
+@dataclass
+class FarLevel:
+    """CSR interaction lists of all far-pair targets at one tree level."""
+
+    tgt_idx: np.ndarray  # (T,) target node indices
+    indptr: np.ndarray  # (T+1,)
+    src_idx: np.ndarray  # (R,) source node indices, concatenated per target
+
+
+@dataclass
+class FmmPlan:
+    """Topology-derived state of one mesh, reused across solves.
+
+    Built by :func:`build_plan`; invalidated by comparing
+    ``topology_version`` (and ``theta``) against the live mesh — see the
+    invalidation contract on :class:`repro.octree.mesh.AmrMesh`.
+    """
+
+    topology_version: int
+    theta: float
+    n: int
+    mesh_ref: "weakref.ReferenceType[AmrMesh]"
+
+    # -- node indexing ------------------------------------------------------
+    node_keys: List[NodeKey]
+    node_index: Dict[NodeKey, int]
+    node_center: np.ndarray  # (N, 3)
+    node_level: np.ndarray  # (N,)
+    max_level: int
+
+    # -- leaves -------------------------------------------------------------
+    leaf_keys: List[NodeKey]
+    leaf_node_idx: np.ndarray  # (L,) node index of each leaf slot
+    leaf_pos: np.ndarray  # (L, nc, 3) cell centres
+    cell_vol: np.ndarray  # (L,)
+
+    # -- per-level tree structure (M2M bottom-up, L2L top-down) -------------
+    #: deepest-first [(interior node idx (K,), children node idx (K, 8))]
+    level_interiors: List[Tuple[np.ndarray, np.ndarray]]
+
+    # -- far interactions ---------------------------------------------------
+    far_levels: List[FarLevel]
+
+    # -- near (octant-resolved) interactions --------------------------------
+    part_slots: np.ndarray  # (P,) leaf slots needing octant moments
+    part_row: np.ndarray  # (L,) slot -> participant row (-1 if absent)
+    oct_cells: np.ndarray  # (8, nc // 8) cell indices per octant
+    oct_geo_centers: np.ndarray  # (P, 8, 3) geometric octant centres
+    near_tgt_slots: np.ndarray  # (T,) near-target leaf slots
+    near_tgt_rows: np.ndarray  # (T,) their participant rows
+    near_rows: np.ndarray  # (R,) rows into flattened (P*8) octant arrays
+    near_indptr: np.ndarray  # (8T+1,) segment bounds per (target, octant)
+    near_center_rows: np.ndarray  # (8T,) rows into flattened (P*8) octant COMs
+
+    # -- P2P ----------------------------------------------------------------
+    p2p_classes: List[P2PClass]
+    p2p_pair_count: int
+
+    # -- static workload counters ------------------------------------------
+    n_p2m: int
+    n_m2m: int
+    n_l2l: int
+    n_m2l_pairs: int
+    n_near_pairs: int
+    m2l_by_level: Dict[int, int] = field(default_factory=dict)
+
+    def matches(self, mesh: AmrMesh, theta: float) -> bool:
+        """Whether this plan is still valid for ``mesh`` at ``theta``."""
+        return (
+            self.mesh_ref() is mesh
+            and self.topology_version == mesh.topology_version
+            and self.theta == theta
+        )
+
+
+def _leaf_positions(leaf: OctreeNode) -> np.ndarray:
+    x, y, z = leaf.cell_centers()
+    return np.stack([x.ravel(), y.ravel(), z.ravel()], axis=1)
+
+
+def build_plan(
+    mesh: AmrMesh,
+    theta: float,
+    template_budget_bytes: int = DEFAULT_TEMPLATE_BUDGET,
+) -> FmmPlan:
+    """Build the full traversal plan of ``mesh`` for opening angle ``theta``."""
+    nc = mesh.n**3
+    node_keys = sorted(mesh.nodes)
+    node_index = {k: i for i, k in enumerate(node_keys)}
+    n_nodes = len(node_keys)
+    node_center = np.empty((n_nodes, 3))
+    node_level = np.empty(n_nodes, dtype=np.intp)
+    for i, k in enumerate(node_keys):
+        node = mesh.nodes[k]
+        node_center[i] = node.center
+        node_level[i] = node.level
+    max_level = mesh.max_level()
+
+    leaf_keys = [k for k in node_keys if mesh.nodes[k].is_leaf]
+    leaf_index = {k: i for i, k in enumerate(leaf_keys)}
+    leaf_node_idx = np.array([node_index[k] for k in leaf_keys], dtype=np.intp)
+    leaf_pos = np.stack([_leaf_positions(mesh.nodes[k]) for k in leaf_keys])
+    cell_vol = np.array([mesh.nodes[k].cell_volume for k in leaf_keys])
+
+    level_interiors: List[Tuple[np.ndarray, np.ndarray]] = []
+    for level in range(max_level - 1, -1, -1):
+        interiors = [
+            k for k in node_keys if k[0] == level and not mesh.nodes[k].is_leaf
+        ]
+        if not interiors:
+            continue
+        int_idx = np.array([node_index[k] for k in interiors], dtype=np.intp)
+        child_idx = np.array(
+            [[node_index[c] for c in mesh.nodes[k].children_keys()] for k in interiors],
+            dtype=np.intp,
+        )
+        level_interiors.append((int_idx, child_idx))
+
+    far_pairs, near_pairs, p2p_pairs = traverse(mesh, theta)
+
+    # Far CSR, grouped per target level (targets keep first-seen order, so
+    # per-target source order matches the reference solver's accumulation).
+    far_sources: Dict[NodeKey, List[NodeKey]] = {}
+    for ka, kb in far_pairs:
+        far_sources.setdefault(ka, []).append(kb)
+        far_sources.setdefault(kb, []).append(ka)
+    far_levels: List[FarLevel] = []
+    for level in range(max_level + 1):
+        targets = [k for k in far_sources if k[0] == level]
+        if not targets:
+            continue
+        tgt_idx = np.array([node_index[k] for k in targets], dtype=np.intp)
+        counts = [len(far_sources[k]) for k in targets]
+        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
+        src_idx = np.array(
+            [node_index[s] for k in targets for s in far_sources[k]], dtype=np.intp
+        )
+        far_levels.append(FarLevel(tgt_idx, indptr, src_idx))
+
+    # Near (octant-resolved) interactions.
+    near_sources: Dict[int, List[int]] = {}
+    for ka, kb in near_pairs:
+        sa, sb = leaf_index[ka], leaf_index[kb]
+        near_sources.setdefault(sa, []).append(sb)
+        near_sources.setdefault(sb, []).append(sa)
+    participants = sorted(
+        set(near_sources) | {s for srcs in near_sources.values() for s in srcs}
+    )
+    part_slots = np.array(participants, dtype=np.intp)
+    part_row = np.full(len(leaf_keys), -1, dtype=np.intp)
+    part_row[part_slots] = np.arange(len(participants))
+
+    octant = octant_ids(mesh.n)
+    oct_cells = np.stack([np.flatnonzero(octant == o) for o in range(8)])
+    oct_geo_centers = np.empty((len(participants), 8, 3))
+    offsets = (
+        np.stack(
+            [[(o >> 0) & 1, (o >> 1) & 1, (o >> 2) & 1] for o in range(8)]
+        ).astype(float)
+        - 0.5
+    )
+    for row, slot in enumerate(participants):
+        leaf = mesh.nodes[leaf_keys[slot]]
+        oct_geo_centers[row] = leaf.center + offsets * (leaf.node_size / 2.0)
+
+    near_tgt_slots = np.array(list(near_sources), dtype=np.intp)
+    near_tgt_rows = part_row[near_tgt_slots]
+    near_rows_list: List[int] = []
+    near_counts: List[int] = []
+    near_center_rows_list: List[int] = []
+    for t in near_sources:
+        # One octant pass gathers all 8 sub-moments of every source leaf
+        # (source-major, octant-minor — the reference concatenation order).
+        rows_t = [int(part_row[s]) * 8 + o for s in near_sources[t] for o in range(8)]
+        for o in range(8):
+            near_rows_list.extend(rows_t)
+            near_counts.append(len(rows_t))
+            near_center_rows_list.append(int(part_row[t]) * 8 + o)
+    near_rows = np.array(near_rows_list, dtype=np.intp)
+    near_indptr = np.concatenate([[0], np.cumsum(near_counts)]).astype(np.intp)
+    near_center_rows = np.array(near_center_rows_list, dtype=np.intp)
+
+    # P2P geometry classes.
+    classes: Dict[Tuple[int, Tuple[int, int, int]], Dict[str, list]] = {}
+    for ka, kb in p2p_pairs:
+        edges = [(ka, kb)] if ka == kb else [(ka, kb), (kb, ka)]
+        for kt, ks in edges:
+            t, s = mesh.nodes[kt], mesh.nodes[ks]
+            dxm = min(t.dx, s.dx)
+            off = tuple(int(v) for v in np.rint(2.0 * (t.center - s.center) / dxm))
+            key = (t.level - s.level, off)
+            entry = classes.get(key)
+            if entry is None:
+                pos_t = leaf_pos[leaf_index[kt]]
+                pos_s = leaf_pos[leaf_index[ks]]
+                # Unit positions are exact half-integers on the dxm lattice;
+                # rounding makes every class member share identical templates.
+                upos_t = np.rint(2.0 * (pos_t - pos_s[0]) / dxm) / 2.0
+                upos_s = np.rint(2.0 * (pos_s - pos_s[0]) / dxm) / 2.0
+                entry = classes[key] = {
+                    "tgt": [],
+                    "src": [],
+                    "inv_dx": [],
+                    "upos_t": upos_t,
+                    "upos_s": upos_s,
+                }
+            entry["tgt"].append(leaf_index[kt])
+            entry["src"].append(leaf_index[ks])
+            entry["inv_dx"].append(1.0 / dxm)
+
+    p2p_classes = [
+        P2PClass(
+            key=key,
+            tgt=np.array(entry["tgt"], dtype=np.intp),
+            src=np.array(entry["src"], dtype=np.intp),
+            inv_dx=np.array(entry["inv_dx"]),
+            upos_t=entry["upos_t"],
+            upos_s=entry["upos_s"],
+        )
+        for key, entry in classes.items()
+    ]
+    # Cache templates for the busiest classes within the byte budget; the
+    # rest rebuild their templates per solve (still batched per class).
+    template_bytes = 2 * nc * nc * 8
+    budget = template_budget_bytes
+    for cls in sorted(p2p_classes, key=lambda c: -len(c.tgt)):
+        if budget < template_bytes:
+            continue
+        cls.t1, cls.t3 = p2p_unit_templates(cls.upos_t, cls.upos_s)
+        budget -= template_bytes
+
+    n_leaves = len(leaf_keys)
+    n_interiors = n_nodes - n_leaves
+    return FmmPlan(
+        topology_version=mesh.topology_version,
+        theta=theta,
+        n=mesh.n,
+        mesh_ref=weakref.ref(mesh),
+        node_keys=node_keys,
+        node_index=node_index,
+        node_center=node_center,
+        node_level=node_level,
+        max_level=max_level,
+        leaf_keys=leaf_keys,
+        leaf_node_idx=leaf_node_idx,
+        leaf_pos=leaf_pos,
+        cell_vol=cell_vol,
+        level_interiors=level_interiors,
+        far_levels=far_levels,
+        part_slots=part_slots,
+        part_row=part_row,
+        oct_cells=oct_cells,
+        oct_geo_centers=oct_geo_centers,
+        near_tgt_slots=near_tgt_slots,
+        near_tgt_rows=near_tgt_rows,
+        near_rows=near_rows,
+        near_indptr=near_indptr,
+        near_center_rows=near_center_rows,
+        p2p_classes=p2p_classes,
+        p2p_pair_count=len(p2p_pairs),
+        n_p2m=n_leaves,
+        n_m2m=n_interiors,
+        n_l2l=8 * n_interiors,
+        n_m2l_pairs=len(far_pairs),
+        n_near_pairs=len(near_pairs),
+        m2l_by_level=count_m2l_by_level(far_pairs),
+    )

@@ -22,7 +22,16 @@ from repro.util.morton import morton_encode3, morton_neighbors, morton_parent
 
 
 class AmrMesh:
-    """Octree of :class:`OctreeNode` addressed by ``(level, code)``."""
+    """Octree of :class:`OctreeNode` addressed by ``(level, code)``.
+
+    ``topology_version`` is a monotonically increasing counter bumped by
+    every structural mutation (:meth:`refine` / :meth:`derefine`).  Anything
+    derived purely from the tree *topology* — notably the cached
+    :class:`repro.gravity.plan.FmmPlan` — keys its cache on this counter and
+    rebuilds automatically after a regrid.  **Invalidation contract:** any
+    new mutator that adds or removes nodes, or toggles ``is_leaf``, must
+    bump ``topology_version`` (field data updates need not).
+    """
 
     def __init__(self, n: int = 8, ghost: int = 2, domain_size: float = 2.0) -> None:
         if n % 2:
@@ -30,6 +39,7 @@ class AmrMesh:
         self.n = n
         self.ghost = ghost
         self.domain_size = domain_size
+        self.topology_version = 0
         self.nodes: Dict[NodeKey, OctreeNode] = {}
         root = OctreeNode(0, 0, n=n, ghost=ghost, domain_size=domain_size)
         self.nodes[root.key] = root
@@ -88,6 +98,7 @@ class AmrMesh:
             self._prolong_into_child(node, child)
             self.nodes[child_key] = child
             children.append(child)
+        self.topology_version += 1
         return children
 
     def _ensure_balance_for_refine(self, node: OctreeNode) -> None:
@@ -154,6 +165,7 @@ class AmrMesh:
         for k in child_keys:
             del self.nodes[k]
         node.is_leaf = True
+        self.topology_version += 1
 
     # -- restriction -----------------------------------------------------------------
     def _restrict_from_children(self, node: OctreeNode) -> None:
