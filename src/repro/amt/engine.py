@@ -9,6 +9,7 @@ turn makes every schedule in the reproduction bit-reproducible.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable, List, Optional, Tuple
 
 
@@ -33,6 +34,11 @@ class Engine:
 
     def post(self, delay: float, fn: Callable[[], Any]) -> None:
         """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if not math.isfinite(delay):
+            # nan/inf heappush fine but then poison the heap invariant
+            # (nan compares false both ways), corrupting event order for
+            # every later event — reject at the door instead.
+            raise ValueError(f"non-finite delay: {delay}")
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         heapq.heappush(self._queue, (self._now + delay, self._seq, fn))
@@ -40,6 +46,8 @@ class Engine:
 
     def post_at(self, time: float, fn: Callable[[], Any]) -> None:
         """Schedule ``fn`` at an absolute virtual time (>= now)."""
+        if not math.isfinite(time):
+            raise ValueError(f"non-finite time: {time}")
         if time < self._now:
             raise ValueError(f"cannot post into the past: {time} < {self._now}")
         heapq.heappush(self._queue, (time, self._seq, fn))

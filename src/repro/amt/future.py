@@ -25,7 +25,7 @@ class Future:
     already ready they fire immediately.
     """
 
-    __slots__ = ("_ready", "_value", "_exception", "_callbacks", "name")
+    __slots__ = ("_ready", "_value", "_exception", "_callbacks", "name", "_origin")
 
     def __init__(self, name: str = "") -> None:
         self._ready = False
@@ -33,6 +33,11 @@ class Future:
         self._exception: Optional[BaseException] = None
         self._callbacks: List[Callable[["Future"], None]] = []
         self.name = name
+        #: Happens-before provenance: a bitmask clock of the tasks whose
+        #: completion this future transports (see repro.analysis.race).
+        #: 0 means "no causality information"; composition (then/when_all/
+        #: when_any) merges origins so dataflow chains carry ordering.
+        self._origin = 0
 
     # -- state ----------------------------------------------------------
     def is_ready(self) -> bool:
@@ -89,6 +94,7 @@ class Future:
         result = Future(name=f"{self.name}.then")
 
         def run(f: "Future") -> None:
+            result._origin |= f._origin
             if f._exception is not None:
                 result._set_exception(f._exception)
                 return
@@ -150,6 +156,8 @@ def when_all(futures: Iterable[Future]) -> Future:
         remaining[0] -= 1
         if remaining[0] == 0 and not result.is_ready():
             for f in futures:
+                result._origin |= f._origin
+            for f in futures:
                 if f._exception is not None:
                     result._set_exception(f._exception)
                     return
@@ -171,6 +179,7 @@ def when_any(futures: Iterable[Future]) -> Future:
         def on_done(f: Future) -> None:
             if result.is_ready():
                 return
+            result._origin |= f._origin  # only the winner's clock counts
             if f._exception is not None:
                 result._set_exception(f._exception)
             else:

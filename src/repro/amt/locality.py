@@ -61,9 +61,10 @@ class Locality:
         cost: Any = 0.0,
         name: str = "",
         kind: str = "task",
+        effects: Any = None,
     ) -> Future:
         """``hpx::async`` — schedule a task on this locality."""
-        return self.pool.submit_fn(fn, *args, cost=cost, name=name, kind=kind)
+        return self.pool.submit_fn(fn, *args, cost=cost, name=name, kind=kind, effects=effects)
 
     def async_after(
         self,
@@ -73,9 +74,12 @@ class Locality:
         cost: Any = 0.0,
         name: str = "",
         kind: str = "task",
+        effects: Any = None,
     ) -> Future:
         """``hpx::dataflow`` — schedule once all ``deps`` are ready."""
-        return self.pool.submit_after(deps, Task(fn, args, cost=cost, name=name, kind=kind))
+        return self.pool.submit_after(
+            deps, Task(fn, args, cost=cost, name=name, kind=kind, effects=effects)
+        )
 
     def __repr__(self) -> str:
         return f"<Locality {self.id} workers={self.pool.n_workers}>"
@@ -107,6 +111,12 @@ class Runtime:
     def here(self) -> Locality:
         """Locality 0, the conventional root (AGAS bootstrap locality)."""
         return self.localities[0]
+
+    def install_observer(self, observer: Any) -> None:
+        """Attach a task-lifecycle observer (e.g. the race detector) to
+        every locality's worker pool; pass None to detach."""
+        for loc in self.localities:
+            loc.pool.observer = observer
 
     # -- remote invocation -------------------------------------------------
     def apply_remote(

@@ -26,6 +26,11 @@ class WorkerPool:
         self.engine = engine
         self.n_workers = n_workers
         self.name = name
+        #: Optional lifecycle observer (e.g. repro.analysis.race.RaceDetector).
+        #: Protocol: on_submit(task, deps), on_start(task), on_executed(task),
+        #: on_finish(task) — on_finish fires before the task future resolves
+        #: so dependents can inherit provenance.
+        self.observer = None
         self._ready: Deque[Task] = deque()
         self._idle_workers: List[int] = list(range(n_workers))
         # Statistics.
@@ -40,6 +45,8 @@ class WorkerPool:
     # -- submission -------------------------------------------------------
     def submit(self, task: Task) -> Future:
         """Queue a task whose dependencies are satisfied."""
+        if self.observer is not None:
+            self.observer.on_submit(task, ())
         task.state = TaskState.READY
         task.submitted_at = self.engine.now
         self._ready.append(task)
@@ -53,8 +60,9 @@ class WorkerPool:
         cost: Any = 0.0,
         name: str = "",
         kind: str = "task",
+        effects: Any = None,
     ) -> Future:
-        return self.submit(Task(fn, args, cost=cost, name=name, kind=kind))
+        return self.submit(Task(fn, args, cost=cost, name=name, kind=kind, effects=effects))
 
     def submit_after(self, deps: Iterable[Future], task: Task) -> Future:
         """Queue ``task`` once every future in ``deps`` is ready.
@@ -63,6 +71,8 @@ class WorkerPool:
         the payload.
         """
         deps = list(deps)
+        if self.observer is not None:
+            self.observer.on_submit(task, deps)
         if not deps:
             return self.submit(task)
         remaining = [len(deps)]
@@ -94,15 +104,23 @@ class WorkerPool:
         task.state = TaskState.RUNNING
         task.worker = worker
         task.started_at = self.engine.now
+        observer = self.observer
+        if observer is not None:
+            observer.on_start(task)
         try:
             result = task.execute()
             failed: Optional[BaseException] = None
         except BaseException as exc:  # noqa: BLE001 - transported via future
             result, failed = None, exc
+        finally:
+            if observer is not None:
+                observer.on_executed(task)
         cost = task.resolved_cost()
 
         def finish() -> None:
             task.finished_at = self.engine.now
+            if observer is not None:
+                observer.on_finish(task)
             self.busy_time += cost
             self.kind_counts[task.kind] = self.kind_counts.get(task.kind, 0) + 1
             self.kind_time[task.kind] = self.kind_time.get(task.kind, 0.0) + cost

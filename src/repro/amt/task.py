@@ -41,6 +41,11 @@ class Task:
     name / kind:
         Diagnostics; ``kind`` feeds profiling counters (e.g. "hydro.flux",
         "fmm.m2l").
+    effects:
+        Optional declared footprint (:class:`repro.analysis.effects.EffectSet`)
+        consumed by an installed scheduler observer (the race detector).
+        Defaults to the payload's ``__effects__`` attribute when the
+        callable was decorated with ``declare_effects``.
     """
 
     __slots__ = (
@@ -50,6 +55,7 @@ class Task:
         "cost",
         "name",
         "kind",
+        "effects",
         "state",
         "future",
         "submitted_at",
@@ -65,6 +71,7 @@ class Task:
         cost: Any = 0.0,
         name: str = "",
         kind: str = "task",
+        effects: Any = None,
     ) -> None:
         self.id = next(_task_ids)
         self.fn = fn
@@ -72,6 +79,7 @@ class Task:
         self.cost = cost
         self.name = name or f"task-{self.id}"
         self.kind = kind
+        self.effects = effects if effects is not None else getattr(fn, "__effects__", None)
         self.state = TaskState.PENDING
         self.future = Future(name=self.name)
         self.submitted_at: Optional[float] = None

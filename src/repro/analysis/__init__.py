@@ -1,0 +1,62 @@
+"""Correctness tooling for the asynchronous runtime.
+
+The paper's port lives or dies on two disciplines: no two tasks may touch
+the same sub-grid data without a happens-before edge (the futurized task
+graph issues >10 kernels per sub-grid per step), and data may only cross
+memory spaces through ``deep_copy``.  This package proves both:
+
+* :mod:`repro.analysis.effects` — declared read/write/accumulate
+  footprints over ``(subgrid, field, space)`` resources,
+* :mod:`repro.analysis.race` — the dynamic vector-clock race detector
+  (hooks the AMT scheduler) and the static task-graph checker,
+* :mod:`repro.analysis.spacesan` — the memory-space sanitizer mode that
+  :class:`repro.kokkos.view.View` consults on every access.
+
+The repo-invariant AST linter lives in ``tools/reprolint.py`` (run as
+``python -m tools.reprolint src/``); see ``docs/analysis.md`` for the
+model and worked examples.
+"""
+
+from repro.analysis.effects import (
+    ANY,
+    EMPTY_EFFECTS,
+    EffectRegistry,
+    EffectSet,
+    Resource,
+    declare_effects,
+    effects_of,
+)
+from repro.analysis.race import (
+    GraphTask,
+    RaceDetector,
+    RaceError,
+    RaceFinding,
+    check_graph,
+    check_space_discipline,
+)
+from repro.analysis.spacesan import (
+    MemorySpaceViolation,
+    SpaceFinding,
+    sanitizer_mode,
+    space_checks_enabled,
+)
+
+__all__ = [
+    "ANY",
+    "EMPTY_EFFECTS",
+    "EffectRegistry",
+    "EffectSet",
+    "Resource",
+    "declare_effects",
+    "effects_of",
+    "GraphTask",
+    "RaceDetector",
+    "RaceError",
+    "RaceFinding",
+    "check_graph",
+    "check_space_discipline",
+    "MemorySpaceViolation",
+    "SpaceFinding",
+    "sanitizer_mode",
+    "space_checks_enabled",
+]

@@ -30,6 +30,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nodes", type=int, default=4)
     run.add_argument("--checkpoint", default=None,
                      help="write a checkpoint here after the run")
+    run.add_argument("--sanitize", action="store_true",
+                     help="run the analysis suite alongside each step: "
+                          "memory-space sanitizer over the physics, static "
+                          "+ dynamic race detection over the task graph")
 
     scale = sub.add_parser("scale", help="evaluate the distributed model")
     scale.add_argument("--scenario", default="rotating_star",
@@ -72,6 +76,7 @@ def _command_run(args: argparse.Namespace) -> int:
         scenario.mesh, eos=scenario.eos,
         omega=getattr(scenario, "omega", 0.0),
         machine=machine, nodes=args.nodes,
+        sanitize=args.sanitize,
     )
     before = diagnostics(scenario.mesh)
     print(f"{args.scenario} level {args.level}: {scenario.mesh.n_cells()} cells "
@@ -82,6 +87,14 @@ def _command_run(args: argparse.Namespace) -> int:
               f"{record.node_power_w:.0f} W/node")
     after = diagnostics(scenario.mesh)
     print(f"mass drift {after.mass - before.mass:+.3e}")
+    if args.sanitize:
+        n = len(sim.sanitizer_findings)
+        checked = sim.counters.total("sanitize.tasks_checked")
+        print(f"sanitizer: {n} finding(s) over {checked:.0f} checked tasks")
+        for finding in sim.sanitizer_findings:
+            print(f"  {finding}", file=sys.stderr)
+        if n:
+            return 3
     if args.checkpoint:
         from repro.ioutil import save_checkpoint
 

@@ -17,11 +17,14 @@ propagate into the timing model.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis.race import RaceDetector
+from repro.analysis.spacesan import sanitizer_mode
 from repro.core.diagnostics import Diagnostics, diagnostics
 from repro.distsim.model import DEFAULT_CONSTANTS, ModelConstants
 from repro.distsim.runconfig import RunConfig
@@ -79,6 +82,7 @@ class OctoTigerSim:
         config: Optional[RunConfig] = None,
         constants: ModelConstants = DEFAULT_CONSTANTS,
         empty_mass_threshold: float = 1e-12,
+        sanitize: bool = False,
     ) -> None:
         self.mesh = mesh
         self.eos = eos or IdealGasEOS()
@@ -86,6 +90,14 @@ class OctoTigerSim:
         self.config = config or RunConfig(machine=machine, nodes=nodes)
         self.constants = constants
         self.counters = CounterRegistry()
+        #: When True, each step runs under the analysis suite: the physics
+        #: under the memory-space sanitizer (collect mode), the task graph
+        #: through the static checker and with the dynamic race detector
+        #: observing the virtual pools.  Findings accumulate here and in the
+        #: ``sanitize.*`` counters instead of raising, so a long run reports
+        #: everything at the end.
+        self.sanitize = sanitize
+        self.sanitizer_findings: List[Any] = []
 
         self.gravity_solver: Optional[FmmSolver] = None
         gravity_cb = None
@@ -216,8 +228,13 @@ class OctoTigerSim:
 
     # -- stepping ------------------------------------------------------------
     def step(self, dt: Optional[float] = None) -> StepRecord:
-        with self.counters.timer("wall.step"):
-            dt_used = self.integrator.step(dt)
+        space_guard = sanitizer_mode(collect=True) if self.sanitize else nullcontext([])
+        with space_guard as space_findings:
+            with self.counters.timer("wall.step"):
+                dt_used = self.integrator.step(dt)
+        if space_findings:
+            self.sanitizer_findings.extend(space_findings)
+            self.counters.increment("sanitize.space_findings", len(space_findings))
         if self.gravity_solver is not None and self.gravity_solver.last_stats:
             stats = self.gravity_solver.last_stats
             self.counters.sample("fmm.m2l_pairs", stats.m2l_pairs)
@@ -245,7 +262,17 @@ class OctoTigerSim:
 
     def _virtual_timing(self) -> TaskGraphResult:
         simulator = TaskGraphSimulator(self.spec, self.config, self.constants)
-        return simulator.run_step()
+        if not self.sanitize:
+            return simulator.run_step()
+        static = simulator.static_check()
+        detector = RaceDetector()
+        result = simulator.run_step(detector=detector)
+        self.sanitizer_findings.extend(static)
+        self.sanitizer_findings.extend(detector.findings)
+        self.counters.increment("sanitize.static_findings", len(static))
+        self.counters.increment("sanitize.race_findings", len(detector.findings))
+        self.counters.increment("sanitize.tasks_checked", detector.tasks_checked)
+        return result
 
     # -- diagnostics -----------------------------------------------------------
     def diagnostics(self) -> Diagnostics:

@@ -11,16 +11,40 @@ It shares every cost constant with the analytic model, so the two can be
 cross-validated on small configurations; the DES additionally *exhibits*
 the mechanisms the paper discusses (cores starving during traversals,
 latency hiding through task interleaving) rather than assuming them.
+
+Build / execute split
+---------------------
+:meth:`TaskGraphSimulator.build_step_graph` produces the step's graph as
+declarative :class:`StepNode` records — task kind, cost, locality, declared
+:class:`~repro.analysis.effects.EffectSet` footprint and dependency edges —
+and :meth:`TaskGraphSimulator.run_step` executes that structure on the
+virtual runtime.  The same graph therefore feeds three consumers:
+
+* execution (timing, starvation, message counts),
+* the *static* race checker (:func:`repro.analysis.race.check_graph` over
+  :meth:`StepGraph.static_tasks` — no execution needed),
+* the *dynamic* race detector (pass one to :meth:`run_step`; it observes
+  the worker pools while the graph runs).
+
+Effect model: each hydro stage task reads and writes its own sub-grid's
+conserved variables ``U``, publishes the next stage's donor bands, and
+reads the generation-``s`` ghost bands its neighbours sent.  A ghost
+transfer reads the donor band its producer published at the previous stage
+(the §VII-B promise-guarded direct read) and writes one generation-indexed
+ghost band of the destination — generation indexing mirrors
+``hpx::lcos::channel`` semantics, where every stage's band is a fresh slot.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.amt.future import Future, Promise, when_all
 from repro.amt.locality import Runtime
 from repro.amt.network import Message, NetworkModel
+from repro.analysis.effects import ANY, EffectSet
+from repro.analysis.race import GraphTask, RaceFinding, check_graph
 from repro.distsim.model import DEFAULT_CONSTANTS, ModelConstants, _cpu_rate
 from repro.distsim.runconfig import RunConfig
 from repro.scenarios.spec import ScenarioSpec
@@ -34,6 +58,119 @@ class TaskGraphResult:
     starvation_events: int
     messages: int
     tasks: int
+
+
+@dataclass(frozen=True)
+class StepNode:
+    """One node of the step graph.
+
+    ``kind`` is a pool-task kind ("hydro.flux", "fmm.p2p", "fmm.multipole"),
+    "ghost" (a transfer event: promise + engine post or network message,
+    occupying no worker), or "barrier" (a pure ``when_all``).  ``deps`` are
+    ids of earlier nodes; builders emit in topological order.
+    """
+
+    id: int
+    name: str
+    kind: str
+    locality: int
+    cost: float
+    deps: Tuple[int, ...]
+    effects: Optional[EffectSet] = None
+    #: Ghost-transfer routing (ghost nodes only).
+    src_locality: int = -1
+    size_bytes: int = 0
+
+
+@dataclass
+class StepGraph:
+    """The declarative task graph of one timestep."""
+
+    nodes: List[StepNode] = field(default_factory=list)
+    #: Ids of the nodes whose completion ends the step.
+    finals: Tuple[int, ...] = ()
+
+    def add(
+        self,
+        name: str,
+        kind: str,
+        locality: int = 0,
+        cost: float = 0.0,
+        deps: Tuple[int, ...] = (),
+        effects: Optional[EffectSet] = None,
+        src_locality: int = -1,
+        size_bytes: int = 0,
+    ) -> int:
+        node_id = len(self.nodes)
+        self.nodes.append(
+            StepNode(
+                id=node_id,
+                name=name,
+                kind=kind,
+                locality=locality,
+                cost=cost,
+                deps=deps,
+                effects=effects,
+                src_locality=src_locality,
+                size_bytes=size_bytes,
+            )
+        )
+        return node_id
+
+    @property
+    def n_pool_tasks(self) -> int:
+        """Worker-occupying tasks (excludes ghost events and barriers)."""
+        return sum(1 for n in self.nodes if n.kind not in ("ghost", "barrier"))
+
+    def static_tasks(self) -> List[GraphTask]:
+        """The graph as :class:`~repro.analysis.race.GraphTask` nodes for
+        the static checker."""
+        return [
+            GraphTask(
+                id=n.id,
+                name=n.name,
+                deps=n.deps,
+                effects=n.effects,
+                exec_space="Host",
+                kind=n.kind,
+            )
+            for n in self.nodes
+        ]
+
+
+# -- effect-set factories (the declared footprints of the placeholder tasks) --
+
+
+def _hydro_effects(sg: int, stage: int, neighbors: List[int]) -> EffectSet:
+    """Stage ``stage`` of sub-grid ``sg``: update U in place from the
+    generation-``stage`` ghost bands, then publish next-stage donors."""
+    return EffectSet.make(
+        reads=[(sg, "U")] + [(sg, f"ghost[{nb}]@{stage}") for nb in neighbors],
+        writes=[(sg, "U"), (sg, f"donor@{stage + 1}")],
+    )
+
+
+def _ghost_effects(src: int, dst: int, stage: int) -> EffectSet:
+    """Transfer of ``src``'s donor band (published at stage-1) into
+    ``dst``'s generation-``stage`` ghost slot."""
+    return EffectSet.make(
+        reads=[(src, f"donor@{stage}")],
+        writes=[(dst, f"ghost[{src}]@{stage}")],
+    )
+
+
+def _p2p_effects(sg: int) -> EffectSet:
+    return EffectSet.make(reads=[(sg, "U")], writes=[(sg, "phi")])
+
+
+def _multipole_effects(level: int) -> EffectSet:
+    """Tree-traversal tasks read every node's moments and accumulate into
+    the level's local expansions — a commutative reduction, so same-level
+    tasks commute with each other but conflict with any plain write."""
+    return EffectSet.make(
+        reads=[(ANY, "moments")],
+        accums=[(("level", level), "local")],
+    )
 
 
 class TaskGraphSimulator:
@@ -98,66 +235,82 @@ class TaskGraphSimulator:
         return out
 
     # -- graph construction -------------------------------------------------
-    def run_step(self) -> TaskGraphResult:
+    def build_step_graph(self) -> StepGraph:
+        """The step's task graph as declarative structure (no execution)."""
         spec, config, constants = self.spec, self.config, self.constants
-        runtime = Runtime(
-            n_localities=config.nodes,
-            workers_per_locality=self.workers,
-            network=self.network,
-        )
         cells_per_subgrid = spec.subgrid_n**3
         # One kernel occupies one core for work / per-core-rate seconds.
         hydro_cost = cells_per_subgrid * spec.hydro_flops_per_cell / 3.0 / self.core_rate
         gravity_cost = cells_per_subgrid * spec.gravity_flops_per_cell / self.core_rate
 
-        total_tasks = 0
-        prev_stage: List[Future] = []
+        graph = StepGraph()
+        neighbor_lists = [self._neighbors(sg) for sg in range(self.n_subgrids)]
+
+        barrier: Optional[int] = None
+        hydro_ids: Dict[Tuple[int, int], int] = {}  # (stage, sg) -> node id
         for stage in range(3):
-            stage_futures: List[Future] = []
+            stage_ids: List[int] = []
             for sg in range(self.n_subgrids):
-                loc = runtime.localities[self.owner[sg]]
-                deps: List[Future] = list(prev_stage) if prev_stage else []
-                for nb in self._neighbors(sg):
-                    deps.append(self._ghost_future(runtime, nb, sg, stage))
-                task_future = loc.async_after(
-                    deps,
-                    None,
-                    cost=hydro_cost,
+                deps: List[int] = [] if barrier is None else [barrier]
+                for nb in neighbor_lists[sg]:
+                    # The transfer reads the donor band nb published when it
+                    # finished the previous stage — the promise-guarded
+                    # direct read of the paper's §VII-B.
+                    ghost_deps = (hydro_ids[(stage - 1, nb)],) if stage else ()
+                    deps.append(
+                        graph.add(
+                            name=f"ghost{stage}.{nb}->{sg}",
+                            kind="ghost",
+                            locality=self.owner[sg],
+                            deps=ghost_deps,
+                            effects=_ghost_effects(nb, sg, stage),
+                            src_locality=self.owner[nb],
+                            size_bytes=spec.face_bytes,
+                        )
+                    )
+                node_id = graph.add(
                     name=f"hydro{stage}.{sg}",
                     kind="hydro.flux",
+                    locality=self.owner[sg],
+                    cost=hydro_cost,
+                    deps=tuple(deps),
+                    effects=_hydro_effects(sg, stage, neighbor_lists[sg]),
                 )
-                stage_futures.append(task_future)
-                total_tasks += 1
+                hydro_ids[(stage, sg)] = node_id
+                stage_ids.append(node_id)
             # The paper's scheme has no global barrier between stages, but
             # each sub-grid depends on its neighbours' previous stage via the
             # ghosts; approximating with when_all keeps the graph quadratic-
             # free while preserving the critical path within ~one kernel.
-            prev_stage = [when_all(stage_futures)]
+            barrier = graph.add(
+                name=f"hydro{stage}.barrier", kind="barrier", deps=tuple(stage_ids)
+            )
 
         # Gravity: P2P on leaves, then the Multipole kernel level by level.
-        p2p_futures: List[Future] = []
-        for sg in range(self.n_subgrids):
-            loc = runtime.localities[self.owner[sg]]
-            p2p_futures.append(
-                loc.async_after(
-                    prev_stage, None, cost=gravity_cost, name=f"p2p.{sg}", kind="fmm.p2p"
-                )
+        p2p_ids = [
+            graph.add(
+                name=f"p2p.{sg}",
+                kind="fmm.p2p",
+                locality=self.owner[sg],
+                cost=gravity_cost,
+                deps=(barrier,),
+                effects=_p2p_effects(sg),
             )
-            total_tasks += 1
-        barrier = when_all(p2p_futures)
+            for sg in range(self.n_subgrids)
+        ]
+        barrier = graph.add(name="p2p.barrier", kind="barrier", deps=tuple(p2p_ids))
 
         k = config.tasks_per_multipole_kernel
         level_count = spec.n_subgrids
         level = spec.max_level
         while level >= 0 and level_count >= 1:
-            level_futures: List[Future] = []
+            level_ids: List[int] = []
             per_loc = max(int(level_count) // config.nodes, 0)
             extra = int(level_count) % config.nodes
             for loc_id in range(config.nodes):
                 n_nodes = per_loc + (1 if loc_id < extra else 0)
                 if n_nodes == 0:
                     continue
-                loc = runtime.localities[loc_id]
                 work = (
                     spec.fmm_interactions_per_subgrid
                     * constants.flops_per_interaction
@@ -165,58 +318,114 @@ class TaskGraphSimulator:
                 )
                 for _node in range(n_nodes):
                     for _task in range(k):
-                        level_futures.append(
-                            loc.async_after(
-                                [barrier],
-                                None,
-                                cost=work / k + constants.task_overhead_s,
+                        level_ids.append(
+                            graph.add(
                                 name=f"m2l.L{level}",
                                 kind="fmm.multipole",
+                                locality=loc_id,
+                                cost=work / k + constants.task_overhead_s,
+                                deps=(barrier,),
+                                effects=_multipole_effects(level),
                             )
                         )
-                        total_tasks += 1
-            if level_futures:
-                barrier = when_all(level_futures)
+            if level_ids:
+                barrier = graph.add(
+                    name=f"m2l.L{level}.barrier", kind="barrier", deps=tuple(level_ids)
+                )
             level_count /= 8.0
             level -= 1
 
-        runtime.run_until_ready(barrier)
+        graph.finals = (barrier,)
+        return graph
+
+    def static_check(self) -> List[RaceFinding]:
+        """Race + space analysis of the step graph without executing it."""
+        return check_graph(self.build_step_graph().static_tasks())
+
+    # -- execution ----------------------------------------------------------
+    def run_step(self, detector: Any = None) -> TaskGraphResult:
+        """Execute the step graph on the virtual runtime.
+
+        ``detector`` (a :class:`repro.analysis.race.RaceDetector` or any
+        WorkerPool observer) is installed on every locality's pool for the
+        duration of the step.
+        """
+        graph = self.build_step_graph()
+        runtime = Runtime(
+            n_localities=self.config.nodes,
+            workers_per_locality=self.workers,
+            network=self.network,
+        )
+        if detector is not None:
+            runtime.install_observer(detector)
+
+        futures: Dict[int, Future] = {}
+        for node in graph.nodes:
+            deps = [futures[d] for d in node.deps]
+            if node.kind == "barrier":
+                futures[node.id] = when_all(deps)
+            elif node.kind == "ghost":
+                futures[node.id] = self._launch_ghost(runtime, node, deps)
+            else:
+                loc = runtime.localities[node.locality]
+                futures[node.id] = loc.async_after(
+                    deps,
+                    None,
+                    cost=node.cost,
+                    name=node.name,
+                    kind=node.kind,
+                    effects=node.effects,
+                )
+
+        final = when_all([futures[f] for f in graph.finals])
+        runtime.run_until_ready(final)
         makespan = runtime.engine.now
         starvation = sum(l.pool.starvation_events() for l in runtime.localities)
         return TaskGraphResult(
             makespan_s=makespan,
-            cells_per_second=spec.n_cells / makespan,
+            cells_per_second=self.spec.n_cells / makespan,
             utilization=runtime.utilization(),
             starvation_events=starvation,
             messages=self.network.messages_sent,
-            tasks=total_tasks,
+            tasks=graph.n_pool_tasks,
         )
 
-    def _ghost_future(
-        self, runtime: Runtime, src_sg: int, dst_sg: int, stage: int
+    def _launch_ghost(
+        self, runtime: Runtime, node: StepNode, deps: List[Future]
     ) -> Future:
-        """Future of one ghost band arriving at ``dst_sg``'s locality."""
-        src_loc = self.owner[src_sg]
-        dst_loc = self.owner[dst_sg]
-        spec, constants = self.spec, self.constants
-        promise = Promise(name=f"ghost{stage}.{src_sg}->{dst_sg}")
-        if src_loc == dst_loc and self.config.comm_local_optimization:
-            # Direct memory access guarded by a promise/future pair.
-            runtime.engine.post(
-                constants.face_sync_cpu_s, lambda: promise.set_value(None)
-            )
+        """One ghost band arriving at the destination locality.
+
+        The transfer starts once the producer published its donor band
+        (``deps``; stage-0 bands are initial state, so no wait) and then
+        costs either one promise-guarded local sync or a network message.
+        """
+        src_loc, dst_loc = node.src_locality, node.locality
+        constants = self.constants
+        promise = Promise(name=node.name)
+
+        def launch() -> None:
+            if src_loc == dst_loc and self.config.comm_local_optimization:
+                # Direct memory access guarded by a promise/future pair.
+                runtime.engine.post(
+                    constants.face_sync_cpu_s, lambda: promise.set_value(None)
+                )
+            else:
+                message = Message(
+                    src=src_loc,
+                    dst=dst_loc,
+                    payload=None,
+                    size_bytes=node.size_bytes,
+                    tag=node.name.split(".")[0],
+                )
+                self.network.send(
+                    runtime.engine,
+                    message,
+                    lambda _m: promise.set_value(None),
+                    local=src_loc == dst_loc,
+                )
+
+        if deps:
+            when_all(deps).add_done_callback(lambda _f: launch())
         else:
-            message = Message(
-                src=src_loc,
-                dst=dst_loc,
-                payload=None,
-                size_bytes=spec.face_bytes,
-                tag=f"ghost{stage}",
-            )
-            self.network.send(
-                runtime.engine,
-                message,
-                lambda _m: promise.set_value(None),
-                local=src_loc == dst_loc,
-            )
+            launch()
         return promise.get_future()

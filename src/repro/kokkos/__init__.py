@@ -16,7 +16,14 @@ HPX-Kokkos integration that lets kernels participate in HPX dependency
 graphs.
 """
 
-from repro.kokkos.view import View, deep_copy, HostSpace, DeviceSpaceTag
+from repro.kokkos.view import (
+    View,
+    deep_copy,
+    HostSpace,
+    DeviceSpaceTag,
+    reset_transfer_counter,
+    transfer_counter,
+)
 from repro.kokkos.policies import RangePolicy, MDRangePolicy, TeamPolicy
 from repro.kokkos.spaces import (
     ExecutionSpace,
@@ -38,6 +45,8 @@ __all__ = [
     "deep_copy",
     "HostSpace",
     "DeviceSpaceTag",
+    "reset_transfer_counter",
+    "transfer_counter",
     "RangePolicy",
     "MDRangePolicy",
     "TeamPolicy",

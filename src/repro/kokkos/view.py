@@ -4,6 +4,12 @@ A ``Kokkos::View`` couples storage with a memory space so kernels can only
 touch data where they execute.  Here a view wraps a NumPy array plus a space
 tag; :func:`deep_copy` is the only sanctioned way to move data between
 spaces, and it counts the bytes moved (feeding the GPU-offload cost model).
+
+Under :func:`repro.analysis.spacesan.sanitizer_mode` every element access
+and every raw ``.data`` grab of a *device*-tagged view from host code is a
+reported :class:`~repro.analysis.spacesan.MemorySpaceViolation` — exactly
+the segfault class a real CUDA build turns into undefined behaviour.
+Outside sanitizer mode the checks reduce to one falsy test.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
+
+from repro.analysis.spacesan import report_violation, space_checks_enabled
 
 
 @dataclass(frozen=True)
@@ -23,14 +31,20 @@ class MemorySpaceTag:
 HostSpace = MemorySpaceTag("Host")
 DeviceSpaceTag = MemorySpaceTag("Device", is_device=True)
 
-#: Total bytes moved host<->device by deep_copy (reset by tests as needed).
+#: Total bytes moved host<->device by deep_copy (use reset_transfer_counter()).
 transfer_counter = {"h2d_bytes": 0, "d2h_bytes": 0, "copies": 0}
+
+
+def reset_transfer_counter() -> None:
+    """Zero the deep_copy accounting (between independent measurements)."""
+    for key in transfer_counter:
+        transfer_counter[key] = 0
 
 
 class View:
     """A labelled array in a memory space."""
 
-    __slots__ = ("label", "space", "data")
+    __slots__ = ("label", "space", "_data")
 
     def __init__(
         self,
@@ -41,7 +55,7 @@ class View:
     ) -> None:
         self.label = label
         self.space = space
-        self.data = np.zeros(shape, dtype=dtype)
+        self._data = np.zeros(shape, dtype=dtype)
 
     @classmethod
     def from_array(
@@ -50,44 +64,75 @@ class View:
         view = cls.__new__(cls)
         view.label = label
         view.space = space
-        view.data = array
+        view._data = array
         return view
+
+    # -- storage access ----------------------------------------------------
+    def _check_host_access(self, op: str) -> None:
+        if self.space.is_device and space_checks_enabled():
+            report_violation(
+                self.label, self.space.name, op,
+                "host code touched device memory; move data with deep_copy",
+            )
+
+    @property
+    def data(self) -> np.ndarray:
+        """The backing array.
+
+        Grabbing a device view's raw storage from host code is the classic
+        way to smuggle a transfer past ``deep_copy``; sanitizer mode flags
+        it.  Metadata (`shape`/`size`/`nbytes`) stays legal either way.
+        """
+        self._check_host_access("raw-data")
+        return self._data
+
+    @data.setter
+    def data(self, array: np.ndarray) -> None:
+        self._check_host_access("raw-data")
+        self._data = array
 
     @property
     def shape(self) -> Tuple[int, ...]:
-        return self.data.shape
+        return self._data.shape
 
     @property
     def size(self) -> int:
-        return self.data.size
+        return self._data.size
 
     @property
     def nbytes(self) -> int:
-        return self.data.nbytes
+        return self._data.nbytes
 
     def mirror(self, space: MemorySpaceTag) -> "View":
         """An uninitialised view of the same shape in another space
         (``create_mirror_view``)."""
-        out = View(self.label + "_mirror", self.data.shape, space=space, dtype=self.data.dtype)
+        out = View(self.label + "_mirror", self._data.shape, space=space, dtype=self._data.dtype)
         return out
 
     def __getitem__(self, idx):  # noqa: ANN001, ANN204 - array passthrough
-        return self.data[idx]
+        self._check_host_access("read")
+        return self._data[idx]
 
     def __setitem__(self, idx, value) -> None:  # noqa: ANN001
-        self.data[idx] = value
+        self._check_host_access("write")
+        self._data[idx] = value
 
     def __repr__(self) -> str:
-        return f"<View {self.label!r} {self.data.shape} @{self.space.name}>"
+        return f"<View {self.label!r} {self._data.shape} @{self.space.name}>"
 
 
 def deep_copy(dst: View, src: View) -> None:
-    """Copy between views, accounting host<->device traffic."""
-    if dst.data.shape != src.data.shape:
+    """Copy between views, accounting host<->device traffic.
+
+    This is the sanctioned space crossing: it bypasses the sanitizer's
+    host-access check by construction (mirroring ``Kokkos::deep_copy``,
+    which is legal from host code for any space pair).
+    """
+    if dst._data.shape != src._data.shape:
         raise ValueError(
-            f"deep_copy shape mismatch: {dst.data.shape} vs {src.data.shape}"
+            f"deep_copy shape mismatch: {dst._data.shape} vs {src._data.shape}"
         )
-    np.copyto(dst.data, src.data)
+    np.copyto(dst._data, src._data)
     transfer_counter["copies"] += 1
     if src.space.is_device and not dst.space.is_device:
         transfer_counter["d2h_bytes"] += src.nbytes

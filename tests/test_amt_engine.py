@@ -98,3 +98,29 @@ class TestControl:
         eng.post(1.0, reenter)
         eng.run()
         assert len(errors) == 1
+
+
+class TestNonFiniteDelays:
+    """NaN compares false both ways, so a NaN-keyed heap entry silently
+    corrupts the heap invariant; the engine must reject it at post time."""
+
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf"), float("-inf")])
+    def test_post_rejects_non_finite_delay(self, delay):
+        eng = Engine()
+        with pytest.raises(ValueError, match="non-finite"):
+            eng.post(delay, lambda: None)
+        assert eng.empty()  # nothing slipped into the queue
+
+    @pytest.mark.parametrize("when", [float("nan"), float("inf")])
+    def test_post_at_rejects_non_finite_time(self, when):
+        eng = Engine()
+        with pytest.raises(ValueError, match="non-finite"):
+            eng.post_at(when, lambda: None)
+
+    def test_finite_delays_still_accepted(self):
+        eng = Engine()
+        hits = []
+        eng.post(0.0, lambda: hits.append("now"))
+        eng.post(1e300, lambda: hits.append("later"))
+        eng.run()
+        assert hits == ["now", "later"]

@@ -19,6 +19,7 @@ from repro.kokkos import (
     parallel_for_async,
     parallel_reduce,
     parallel_scan,
+    reset_transfer_counter,
 )
 from repro.kokkos.view import transfer_counter
 
@@ -48,13 +49,19 @@ class TestView:
         assert m.shape == v.shape
 
     def test_deep_copy_and_accounting(self):
-        transfer_counter["h2d_bytes"] = 0
+        reset_transfer_counter()
         host = View("h", (8,))
         host.data[:] = 3.0
         dev = View("d", (8,), space=DeviceSpaceTag)
         deep_copy(dev, host)
         assert (dev.data == 3.0).all()
         assert transfer_counter["h2d_bytes"] == 64
+
+    def test_reset_transfer_counter(self):
+        deep_copy(View("d", (4,), space=DeviceSpaceTag), View("h", (4,)))
+        assert transfer_counter["copies"] > 0
+        reset_transfer_counter()
+        assert transfer_counter == {"h2d_bytes": 0, "d2h_bytes": 0, "copies": 0}
 
     def test_deep_copy_shape_mismatch(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,142 @@
+"""reprolint rules against fixture snippets, plus a clean pass on src/."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from tools.reprolint import lint_paths, lint_source
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestHotLoopAlloc:
+    def test_alloc_in_kernel_loop_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def flux_kernel(n):\n"
+            "    for i in range(n):\n"
+            "        tmp = np.zeros(8)\n"
+        )
+        findings = lint_source(src)
+        assert rules(findings) == ["R001"]
+        assert findings[0].line == 4
+
+    def test_alloc_outside_loop_ok(self):
+        src = (
+            "import numpy as np\n"
+            "def flux_kernel(n):\n"
+            "    tmp = np.zeros(8)\n"
+            "    for i in range(n):\n"
+            "        tmp[i % 8] = i\n"
+        )
+        assert lint_source(src) == []
+
+    def test_non_kernel_function_exempt(self):
+        src = (
+            "import numpy as np\n"
+            "def setup(n):\n"
+            "    for i in range(n):\n"
+            "        tmp = np.zeros(8)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_while_loop_and_alias(self):
+        src = (
+            "import numpy\n"
+            "def kernel(n):\n"
+            "    while n:\n"
+            "        numpy.empty_like(n)\n"
+            "        n -= 1\n"
+        )
+        assert rules(lint_source(src)) == ["R001"]
+
+
+class TestGhostWrites:
+    def test_ghost_slices_call_flagged(self):
+        src = "def f(sg):\n    sg.data[sg.ghost_slices(0, 0)] = 1.0\n"
+        assert rules(lint_source(src, "src/repro/hydro/x.py")) == ["R002"]
+
+    def test_ghost_module_exempt(self):
+        src = "def f(sg):\n    sg.insert(sg.ghost_slices(0, 0), 1.0)\n"
+        assert lint_source(src, "src/repro/octree/ghost.py") == []
+
+
+class TestRawViewCopy:
+    KOKKOS_PREAMBLE = "import numpy as np\nfrom repro.kokkos import View\n"
+
+    def test_copyto_on_data_flagged(self):
+        src = self.KOKKOS_PREAMBLE + "def f(a, b):\n    np.copyto(a.data, b.data)\n"
+        assert rules(lint_source(src, "src/repro/x.py")) == ["R003"]
+
+    def test_data_aliasing_flagged(self):
+        src = self.KOKKOS_PREAMBLE + "def f(a, b):\n    a.data = b.data\n"
+        assert rules(lint_source(src, "src/repro/x.py")) == ["R003"]
+
+    def test_gated_on_kokkos_import(self):
+        # Plain-numpy modules (e.g. octree internals) copy buffers freely.
+        src = "import numpy as np\ndef f(a, b):\n    np.copyto(a.data, b.data)\n"
+        assert lint_source(src, "src/repro/octree/x.py") == []
+
+    def test_view_module_exempt(self):
+        src = self.KOKKOS_PREAMBLE + "def f(a, b):\n    np.copyto(a.data, b.data)\n"
+        assert lint_source(src, "src/repro/kokkos/view.py") == []
+
+    def test_deep_copy_ok(self):
+        src = self.KOKKOS_PREAMBLE + "from repro.kokkos import deep_copy\n" \
+            "def f(a, b):\n    deep_copy(a, b)\n"
+        assert lint_source(src, "src/repro/x.py") == []
+
+
+class TestBareRandom:
+    def test_legacy_global_state_flagged(self):
+        src = "import numpy as np\nx = np.random.rand(4)\n"
+        assert rules(lint_source(src)) == ["R004"]
+
+    def test_seed_flagged(self):
+        src = "import numpy\nnumpy.random.seed(42)\n"
+        assert rules(lint_source(src)) == ["R004"]
+
+    def test_default_rng_ok(self):
+        src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert lint_source(src) == []
+
+    def test_legacy_import_from_flagged(self):
+        src = "from numpy.random import rand\n"
+        assert rules(lint_source(src)) == ["R004"]
+
+    def test_default_rng_import_ok(self):
+        src = "from numpy.random import default_rng\n"
+        assert lint_source(src) == []
+
+
+class TestDriver:
+    def test_src_tree_is_clean(self):
+        assert lint_paths([str(REPO / "src")]) == []
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        findings = lint_paths([str(tmp_path)])
+        assert rules(findings) == ["R000"]
+
+    def test_module_entrypoint_exit_codes(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "src/"],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_module_entrypoint_flags_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nnp.random.seed(1)\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", str(bad)],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "R004" in proc.stdout

@@ -1,0 +1,260 @@
+"""reprolint: AST lint pass enforcing this repo's invariants.
+
+    python -m tools.reprolint src/
+
+Rules (each exists because breaking it silently invalidates either the
+numerics or the performance model):
+
+R001 no-hot-loop-alloc
+    No NumPy array allocation inside a loop in a kernel function (named
+    ``kernel`` or ``*_kernel``).  Kernel bodies model tight compute loops;
+    a per-iteration allocation would never survive on A64FX and silently
+    skews any wall-time measurement taken through them.
+
+R002 ghost-write-via-module
+    ``ghost_slices`` may only be called from ``repro/octree/ghost.py``.
+    Ghost bands carry inter-sub-grid dependencies; writing them anywhere
+    else bypasses the exchange protocol the race analysis reasons about.
+
+R003 raw-view-copy
+    In modules that import ``repro.kokkos``, views move between arrays
+    only through ``deep_copy`` — not ``np.copyto(a.data, b.data)`` or
+    ``a.data = b.data``, which dodge the transfer accounting and the
+    memory-space sanitizer.  (``repro/kokkos/view.py`` itself is exempt:
+    it implements ``deep_copy``.)
+
+R004 no-bare-numpy-random
+    No ``numpy.random.*`` legacy global-state API; use
+    ``numpy.random.default_rng(seed)``.  Global-state draws make runs
+    depend on import order, which breaks the determinism tests.
+
+Exit status is 1 when any finding is reported, 0 on a clean pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set
+
+_ALLOC_FNS = {
+    "zeros", "ones", "empty", "full", "array", "arange",
+    "zeros_like", "ones_like", "empty_like", "full_like", "copy",
+}
+_GHOST_EXEMPT = ("repro/octree/ghost.py",)
+_VIEW_EXEMPT = ("repro/kokkos/view.py",)
+_RANDOM_ALLOWED = {"default_rng", "Generator", "SeedSequence"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    """Names the module binds to the numpy package (``np``, ``numpy``...)."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def _imports_kokkos(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(a.name.startswith("repro.kokkos") for a in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.startswith("repro.kokkos"):
+                return True
+            if module == "repro" and any(a.name == "kokkos" for a in node.names):
+                return True
+    return False
+
+
+def _is_kernel_fn(node: ast.AST) -> bool:
+    return isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+        node.name == "kernel" or node.name.endswith("_kernel")
+    )
+
+
+def _is_numpy_attr_call(call: ast.Call, aliases: Set[str], names: Set[str]) -> bool:
+    fn = call.func
+    return (
+        isinstance(fn, ast.Attribute)
+        and fn.attr in names
+        and isinstance(fn.value, ast.Name)
+        and fn.value.id in aliases
+    )
+
+
+def _is_dot_data(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr == "data"
+
+
+def _path_matches(path: str, suffixes: Sequence[str]) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(normalized.endswith(suffix) for suffix in suffixes)
+
+
+def _check_hot_loop_alloc(tree: ast.Module, path: str, aliases: Set[str]) -> List[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not _is_kernel_fn(node):
+            continue
+        for loop in ast.walk(node):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for call in ast.walk(loop):
+                if isinstance(call, ast.Call) and _is_numpy_attr_call(
+                    call, aliases, _ALLOC_FNS
+                ):
+                    findings.append(Finding(
+                        path, call.lineno, "R001",
+                        f"allocation ({ast.unparse(call.func)}) inside a loop in "
+                        f"kernel function {node.name!r}; hoist it out of the hot loop",
+                    ))
+    return findings
+
+
+def _check_ghost_writes(tree: ast.Module, path: str) -> List[Finding]:
+    if _path_matches(path, _GHOST_EXEMPT):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "ghost_slices"
+        ):
+            findings.append(Finding(
+                path, node.lineno, "R002",
+                "ghost bands may only be touched through repro.octree.ghost; "
+                "direct ghost_slices access bypasses the exchange protocol",
+            ))
+    return findings
+
+
+def _check_raw_view_copy(tree: ast.Module, path: str, aliases: Set[str]) -> List[Finding]:
+    if not _imports_kokkos(tree) or _path_matches(path, _VIEW_EXEMPT):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and _is_numpy_attr_call(node, aliases, {"copyto"})
+            and len(node.args) >= 2
+            and _is_dot_data(node.args[0])
+            and _is_dot_data(node.args[1])
+        ):
+            findings.append(Finding(
+                path, node.lineno, "R003",
+                "move views with repro.kokkos.deep_copy, not np.copyto on raw "
+                ".data (skips transfer accounting and the space sanitizer)",
+            ))
+        elif (
+            isinstance(node, ast.Assign)
+            and any(_is_dot_data(t) for t in node.targets)
+            and _is_dot_data(node.value)
+        ):
+            findings.append(Finding(
+                path, node.lineno, "R003",
+                "aliasing one view's .data into another bypasses deep_copy",
+            ))
+    return findings
+
+
+def _check_bare_random(tree: ast.Module, path: str, aliases: Set[str]) -> List[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "random"
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id in aliases
+            and node.attr not in _RANDOM_ALLOWED
+        ):
+            findings.append(Finding(
+                path, node.lineno, "R004",
+                f"legacy numpy.random.{node.attr} uses global state; "
+                "seed an explicit numpy.random.default_rng instead",
+            ))
+        elif (
+            isinstance(node, ast.ImportFrom)
+            and node.module == "numpy.random"
+            and any(a.name not in _RANDOM_ALLOWED for a in node.names)
+        ):
+            findings.append(Finding(
+                path, node.lineno, "R004",
+                "import only default_rng/Generator/SeedSequence from "
+                "numpy.random; the legacy API uses global state",
+            ))
+    return findings
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source text; the unit of testing."""
+    tree = ast.parse(source, filename=path)
+    aliases = _numpy_aliases(tree)
+    findings: List[Finding] = []
+    findings += _check_hot_loop_alloc(tree, path, aliases)
+    findings += _check_ghost_writes(tree, path)
+    findings += _check_raw_view_copy(tree, path, aliases)
+    findings += _check_bare_random(tree, path, aliases)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Iterable[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    for file in iter_python_files(paths):
+        try:
+            source = file.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(Finding(str(file), 0, "R000", f"unreadable: {exc}"))
+            continue
+        try:
+            findings.extend(lint_source(source, str(file)))
+        except SyntaxError as exc:
+            findings.append(Finding(str(file), exc.lineno or 0, "R000", f"syntax error: {exc.msg}"))
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if argv else 2
+    findings = lint_paths(argv)
+    for finding in findings:
+        print(finding)
+    n_files = len(iter_python_files(argv))
+    status = f"{len(findings)} finding(s)" if findings else "clean"
+    print(f"reprolint: {n_files} file(s) checked, {status}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
