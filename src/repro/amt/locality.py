@@ -176,11 +176,24 @@ class Runtime:
         """Drain the event queue; returns final virtual time."""
         return self.engine.run(until=until, max_events=max_events)
 
-    def run_until_ready(self, future: Future, max_events: int = 10_000_000) -> Any:
-        """Run the engine until ``future`` resolves, then return its value."""
+    def run_until_ready(
+        self,
+        future: Future,
+        max_events: int = 10_000_000,
+        watchdog: Any = None,
+    ) -> Any:
+        """Run the engine until ``future`` resolves, then return its value.
+
+        ``watchdog`` (a :class:`repro.resilience.watchdog.DeadlockWatchdog`)
+        upgrades the quiesced-but-unfinished case from a generic error to a
+        typed :class:`~repro.resilience.watchdog.DeadlockError` naming the
+        stalled future chain.
+        """
         processed = 0
         while not future.is_ready():
             if not self.engine.step():
+                if watchdog is not None:
+                    raise watchdog.diagnose(future)
                 raise RuntimeError(
                     f"event queue drained but future {future.name!r} never resolved "
                     "(deadlock: a dependency was never scheduled)"

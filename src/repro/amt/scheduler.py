@@ -33,6 +33,10 @@ class WorkerPool:
         self.observer = None
         self._ready: Deque[Task] = deque()
         self._idle_workers: List[int] = list(range(n_workers))
+        #: Tasks submitted with unready dependencies, still waiting — the
+        #: deadlock watchdog reads this to name what a quiesced pool was
+        #: blocked on.
+        self._waiting: Dict[int, Tuple[Task, List[Future]]] = {}
         # Statistics.
         self.tasks_completed = 0
         self.tasks_failed = 0
@@ -76,15 +80,18 @@ class WorkerPool:
         if not deps:
             return self.submit(task)
         remaining = [len(deps)]
+        self._waiting[task.id] = (task, deps)
 
         def on_done(f: Future) -> None:
             if f.has_exception():
                 if not task.future.is_ready():
                     task.state = TaskState.FAILED
+                    self._waiting.pop(task.id, None)
                     task.future._set_exception(f._exception)  # noqa: SLF001
                 return
             remaining[0] -= 1
             if remaining[0] == 0 and not task.future.is_ready():
+                self._waiting.pop(task.id, None)
                 self.submit(task)
 
         for f in deps:
@@ -143,6 +150,19 @@ class WorkerPool:
         starved = len(self._idle_workers) - len(self._ready)
         if starved > 0:
             self._starvation_samples.append((self.engine.now, starved))
+
+    def waiting_tasks(self) -> List[Tuple[Task, List[Future]]]:
+        """Tasks still blocked on dependencies, with their unready deps.
+
+        Empty on a healthy quiesced pool; non-empty entries after the
+        engine drains are the deadlock witnesses.
+        """
+        out = []
+        for task, deps in self._waiting.values():
+            unready = [f for f in deps if not f.is_ready()]
+            if unready:
+                out.append((task, unready))
+        return out
 
     # -- statistics -------------------------------------------------------
     @property

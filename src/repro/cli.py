@@ -34,6 +34,22 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run the analysis suite alongside each step: "
                           "memory-space sanitizer over the physics, static "
                           "+ dynamic race detection over the task graph")
+    run.add_argument("--faults", default=None, metavar="SPEC",
+                     help="inject seeded network faults, e.g. "
+                          "'drop=0.01,seed=7' or 'crash_loc=1,crash_step=2' "
+                          "(keys: drop, delay, delay_s, dup, seed, "
+                          "crash_loc, crash_step)")
+    run.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                     help="write a checkpoint every N steps; with --faults "
+                          "this enables rollback-and-replay on unrecoverable "
+                          "faults")
+    run.add_argument("--checkpoint-dir", default=None,
+                     help="directory for the checkpoint series (default: a "
+                          "temporary directory)")
+    run.add_argument("--no-recovery", action="store_true",
+                     help="disable the acknowledged-retransmit transport: "
+                          "injected faults deadlock (diagnosed by the "
+                          "watchdog) instead of being retried")
 
     scale = sub.add_parser("scale", help="evaluate the distributed model")
     scale.add_argument("--scenario", default="rotating_star",
@@ -66,27 +82,49 @@ def _command_run(args: argparse.Namespace) -> int:
     from repro.core import OctoTigerSim
     from repro.core.diagnostics import diagnostics
     from repro.machines import MACHINES
+    from repro.resilience import DeadlockError, FaultSpec, UnrecoverableFault
 
     scenario = _scenario_spec(args.scenario, args.level, build_mesh=True)
     if scenario.mesh is None:
         print("level too large to build in memory; use `scale`", file=sys.stderr)
         return 2
     machine = MACHINES[args.machine]
+    faults = FaultSpec.parse(args.faults) if args.faults else None
     sim = OctoTigerSim(
         scenario.mesh, eos=scenario.eos,
         omega=getattr(scenario, "omega", 0.0),
         machine=machine, nodes=args.nodes,
         sanitize=args.sanitize,
+        faults=faults,
+        recovery=not args.no_recovery,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
     )
     before = diagnostics(scenario.mesh)
     print(f"{args.scenario} level {args.level}: {scenario.mesh.n_cells()} cells "
           f"on {args.nodes}x {machine.name}")
-    for record in sim.run(args.steps):
-        print(f"  step {record.step}: dt={record.dt:.3e} "
-              f"{record.cells_per_second:.3e} cells/s "
-              f"{record.node_power_w:.0f} W/node")
-    after = diagnostics(scenario.mesh)
+    try:
+        for record in sim.run(args.steps):
+            print(f"  step {record.step}: dt={record.dt:.3e} "
+                  f"{record.cells_per_second:.3e} cells/s "
+                  f"{record.node_power_w:.0f} W/node")
+    except DeadlockError as exc:
+        # The paper's undebugable hang, reduced to one line.
+        print(f"DEADLOCK: {str(exc).splitlines()[0]}", file=sys.stderr)
+        return 4
+    except UnrecoverableFault as exc:
+        print(f"UNRECOVERABLE FAULT: {exc}", file=sys.stderr)
+        return 5
+    after = diagnostics(sim.mesh)
     print(f"mass drift {after.mass - before.mass:+.3e}")
+    if faults is not None:
+        totals = {
+            name.split(".", 1)[1]: int(sim.counters.total(name))
+            for name in sim.counters.names()
+            if name.startswith("resilience.")
+        }
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(totals.items()))
+        print(f"resilience: {summary}")
     if args.sanitize:
         n = len(sim.sanitizer_findings)
         checked = sim.counters.total("sanitize.tasks_checked")
@@ -99,7 +137,7 @@ def _command_run(args: argparse.Namespace) -> int:
         from repro.ioutil import save_checkpoint
 
         path = save_checkpoint(
-            scenario.mesh, args.checkpoint, time=sim.integrator.time,
+            sim.mesh, args.checkpoint, time=sim.integrator.time,
             step=sim.integrator.steps_taken,
         )
         print(f"checkpoint written to {path}")

@@ -26,7 +26,7 @@ semantics; the rotating-frame source is supported because it is local.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +49,9 @@ from repro.octree.ghost import (
 from repro.octree.mesh import AmrMesh
 from repro.octree.node import NodeKey, OctreeNode
 from repro.octree.partition import sfc_partition
+from repro.resilience.faults import FaultSpec
+from repro.resilience.protocol import ReliableTransport, RetryPolicy
+from repro.resilience.watchdog import DeadlockWatchdog
 
 
 @dataclass
@@ -59,6 +62,9 @@ class DistributedStepResult:
     bytes_sent: int
     tasks_completed: int
     utilization: float
+    messages_dropped: int = 0
+    retransmits: int = 0
+    acks: int = 0
 
 
 class DistributedHydroDriver:
@@ -72,6 +78,8 @@ class DistributedHydroDriver:
         config: Optional[RunConfig] = None,
         constants: ModelConstants = DEFAULT_CONSTANTS,
         workers_per_locality: int = 8,
+        faults: Optional[FaultSpec] = None,
+        recovery: Any = None,
     ) -> None:
         from repro.machines.specs import FUGAKU
 
@@ -80,6 +88,10 @@ class DistributedHydroDriver:
         self.omega = omega
         self.config = config or RunConfig(machine=FUGAKU, nodes=2)
         self.constants = constants
+        self.faults = faults
+        if recovery is True:
+            recovery = RetryPolicy()
+        self.recovery: Optional[RetryPolicy] = recovery or None
         self.workers = min(self.config.active_cores, workers_per_locality)
         node_rate = _cpu_rate(self.config, constants)
         self.core_rate = node_rate / self.workers
@@ -109,11 +121,19 @@ class DistributedHydroDriver:
         mesh, eos = self.mesh, self.eos
         leaves = mesh.leaves()
         network = self._network()
+        if self.faults is not None:
+            network.fault_injector = self.faults.injector(stream=self.steps_taken)
         runtime = Runtime(
             n_localities=self.config.nodes,
             workers_per_locality=self.workers,
             network=network,
         )
+        transport = (
+            ReliableTransport(network, runtime.engine, policy=self.recovery)
+            if self.recovery is not None
+            else None
+        )
+        watchdog = DeadlockWatchdog(runtime)
         kernel_cost = self._kernel_cost()
         fill_cost = self.constants.face_sync_cpu_s
 
@@ -158,9 +178,13 @@ class DistributedHydroDriver:
                         for donor in donors:
                             deps.append(update_futures[donor.key])
 
-                        fill_futures[(leaf.key, axis, side)] = self._fill_task(
+                        fill = self._fill_task(
                             runtime, network, loc, leaf, axis, side, kind, other,
-                            deps, fill_cost,
+                            deps, fill_cost, transport, watchdog,
+                        )
+                        fill_futures[(leaf.key, axis, side)] = fill
+                        watchdog.watch(
+                            fill, deps, name=f"fill.{leaf.key}.ax{axis}.s{side}"
                         )
             # 2. Kernels + updates with anti-dependencies.
             new_updates: Dict[NodeKey, Future] = {}
@@ -202,14 +226,20 @@ class DistributedHydroDriver:
                     )
                     self._floors(leaf)
 
+                watchdog.watch(kernel_future, deps, name=f"hydro.{leaf.key}")
                 new_updates[leaf.key] = loc.async_after(
                     [kernel_future, *anti], update, cost=0.0,
                     name=f"update.{leaf.key}", kind="hydro.update",
                 )
+                watchdog.watch(
+                    new_updates[leaf.key], [kernel_future, *anti],
+                    name=f"update.{leaf.key}",
+                )
             update_futures = new_updates
 
         barrier = when_all(list(update_futures.values()))
-        runtime.run_until_ready(barrier)
+        watchdog.watch(barrier, list(update_futures.values()), name="step.final")
+        runtime.run_until_ready(barrier, watchdog=watchdog)
 
         for leaf in leaves:
             self._resync_tau(leaf)
@@ -224,6 +254,9 @@ class DistributedHydroDriver:
             bytes_sent=network.bytes_sent,
             tasks_completed=sum(l.pool.tasks_completed for l in runtime.localities),
             utilization=runtime.utilization(),
+            messages_dropped=network.messages_dropped,
+            retransmits=transport.stats.retransmits if transport else 0,
+            acks=transport.stats.acks_received if transport else 0,
         )
         self.last_result = result
         return result
@@ -241,6 +274,8 @@ class DistributedHydroDriver:
         other,  # noqa: ANN001
         deps: List[Future],
         fill_cost: float,
+        transport: Optional[ReliableTransport] = None,
+        watchdog: Optional[DeadlockWatchdog] = None,
     ) -> Future:
         """Schedule one face fill with the right transport."""
 
@@ -266,7 +301,8 @@ class DistributedHydroDriver:
             return loc.async_after(deps, do_fill, cost=fill_cost, kind="ghost.local")
 
         # Remote (or unoptimized local) path: the donor side sends the band.
-        promise = Promise(name=f"ghost.{leaf.key}.{axis}.{side}")
+        name = f"ghost.{leaf.key}.ax{axis}.s{side}"
+        promise = Promise(name=name)
         size = leaf.subgrid.nbytes_face()
 
         def send(_v) -> None:  # noqa: ANN001
@@ -278,15 +314,19 @@ class DistributedHydroDriver:
                     promise.set_value(None)
 
             for src in donor_localities:
-                network.send(
-                    runtime.engine,
-                    Message(src, leaf.locality, None, size, tag="ghost"),
-                    deliver,
-                    local=src == leaf.locality,
-                )
+                message = Message(src, leaf.locality, None, size, tag=name)
+                if transport is not None:
+                    transport.send(message, deliver, local=src == leaf.locality)
+                else:
+                    network.send(
+                        runtime.engine, message, deliver,
+                        local=src == leaf.locality,
+                    )
 
         when_all(deps).add_done_callback(send)
         arrived = promise.get_future()
+        if watchdog is not None:
+            watchdog.watch(arrived, deps, name=name)
         return loc.async_after([arrived], do_fill, cost=fill_cost, kind="ghost.remote")
 
     def _floors(self, leaf: OctreeNode) -> None:

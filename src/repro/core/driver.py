@@ -37,6 +37,9 @@ from repro.octree.mesh import AmrMesh
 from repro.octree.node import NodeKey
 from repro.octree.partition import sfc_partition
 from repro.profiling.apex import CounterRegistry
+from repro.resilience.faults import FaultSpec
+from repro.resilience.protocol import RetryPolicy, UnrecoverableFault
+from repro.resilience.watchdog import DeadlockError
 from repro.scenarios.spec import ScenarioSpec, workload_from_mesh
 
 
@@ -83,6 +86,11 @@ class OctoTigerSim:
         constants: ModelConstants = DEFAULT_CONSTANTS,
         empty_mass_threshold: float = 1e-12,
         sanitize: bool = False,
+        faults: Optional[FaultSpec] = None,
+        recovery: Any = True,
+        checkpoint_every: int = 0,
+        checkpoint_dir: Any = None,  # str | Path | None
+        max_rollbacks: int = 8,
     ) -> None:
         self.mesh = mesh
         self.eos = eos or IdealGasEOS()
@@ -90,6 +98,25 @@ class OctoTigerSim:
         self.config = config or RunConfig(machine=machine, nodes=nodes)
         self.constants = constants
         self.counters = CounterRegistry()
+        #: Resilience: ``faults`` injects a seeded fault schedule into every
+        #: step's virtual network; ``recovery`` (default on) enables the
+        #: acknowledged-retransmit transport; ``checkpoint_every`` > 0 writes
+        #: periodic checkpoints so :meth:`run` can roll back and replay after
+        #: an unrecoverable fault (retries exhausted, node crash).
+        self.faults = faults
+        if recovery is True:
+            recovery = RetryPolicy()
+        self.recovery: Optional[RetryPolicy] = recovery or None
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
+        self.max_rollbacks = max_rollbacks
+        self._series = None
+        #: A crashed locality rejoins after the first rollback (restart heals
+        #: the node); one-shot like the paper's "1 out of 20 runs".
+        self._crash_recovered = False
+        #: Bumped per rollback so replayed steps draw fresh fault schedules —
+        #: the network environment after a restart is not the one that failed.
+        self._replay_epoch = 0
         #: When True, each step runs under the analysis suite: the physics
         #: under the memory-space sanitizer (collect mode), the task graph
         #: through the static checker and with the dynamic race detector
@@ -258,21 +285,147 @@ class OctoTigerSim:
         return record
 
     def run(self, n_steps: int, dt: Optional[float] = None) -> List[StepRecord]:
-        return [self.step(dt) for _ in range(n_steps)]
+        """Advance ``n_steps``; with faults + checkpointing enabled this is
+        the resilient loop: periodic checkpoints, and on an unrecoverable
+        fault (retransmission gave up / node crash) roll back to the last
+        checkpoint and replay.  Replay is bit-deterministic, so the final
+        state matches an uninterrupted run exactly."""
+        if self.faults is None and not self.checkpoint_every:
+            return [self.step(dt) for _ in range(n_steps)]
+        return self._run_resilient(n_steps, dt)
+
+    def _run_resilient(self, n_steps: int, dt: Optional[float]) -> List[StepRecord]:
+        series = self._checkpoint_series()
+        self._write_checkpoint(series)  # rollback target before the first step
+        target = self.integrator.steps_taken + n_steps
+        rollbacks = 0
+        records: List[StepRecord] = []
+        while self.integrator.steps_taken < target:
+            try:
+                record = self.step(dt)
+            except (UnrecoverableFault, DeadlockError) as exc:
+                if isinstance(exc, DeadlockError):
+                    self.counters.increment("resilience.watchdog_trips")
+                if self.recovery is None or self.checkpoint_every <= 0:
+                    raise
+                rollbacks += 1
+                if rollbacks > self.max_rollbacks:
+                    raise UnrecoverableFault(
+                        f"giving up after {self.max_rollbacks} rollbacks; "
+                        f"last fault: {exc}"
+                    ) from exc
+                self.counters.increment("resilience.rollbacks")
+                self._rollback(series)
+                records = [r for r in records if r.step <= self.integrator.steps_taken]
+                continue
+            records.append(record)
+            if (
+                self.checkpoint_every > 0
+                and self.integrator.steps_taken % self.checkpoint_every == 0
+            ):
+                self._write_checkpoint(series)
+        return records
+
+    # -- resilience ----------------------------------------------------------
+    def _checkpoint_series(self):  # noqa: ANN202 - CheckpointSeries
+        if self._series is None:
+            from repro.ioutil import CheckpointSeries
+
+            directory = self.checkpoint_dir
+            if directory is None:
+                import tempfile
+
+                directory = tempfile.mkdtemp(prefix="repro-ckpt-")
+            self._series = CheckpointSeries(directory, prefix="driver")
+        return self._series
+
+    def _write_checkpoint(self, series) -> None:  # noqa: ANN001
+        series.write(
+            self.mesh,
+            self.integrator.steps_taken,
+            time=self.integrator.time,
+            extra={"omega": self.integrator.omega},
+        )
+        self.counters.increment("resilience.checkpoints")
+
+    def _rollback(self, series) -> None:  # noqa: ANN001
+        """Restore the newest checkpoint and rebind solvers to the mesh."""
+        mesh, meta = series.load_latest()
+        self.mesh = mesh
+        gravity_cb = None
+        if self.gravity_solver is not None:
+            gravity_cb = self.gravity_solver.as_gravity_callback()
+        restored = HydroIntegrator(
+            mesh,
+            self.eos,
+            cfl=self.integrator.cfl,
+            omega=meta["extra"].get("omega", self.integrator.omega),
+            gravity=gravity_cb,
+        )
+        restored.reconstruction = self.integrator.reconstruction
+        restored.reflux = self.integrator.reflux
+        restored.time = meta.get("time", 0.0)
+        restored.steps_taken = meta.get("step", 0)
+        self.integrator = restored
+        sfc_partition(mesh, self.config.nodes)
+        self._spec = None
+        self.records = [r for r in self.records if r.step <= restored.steps_taken]
+        # The crashed node came back with the restart: heal the crash fault
+        # so the replay is not wedged by the same injection, and reseed the
+        # fault streams (the post-restart network is a fresh environment).
+        self._crash_recovered = True
+        self._replay_epoch += 1
+
+    def _effective_faults(self) -> Optional[FaultSpec]:
+        if self.faults is None:
+            return None
+        if self._crash_recovered and self.faults.crash_locality >= 0:
+            return self.faults.without_crash()
+        return self.faults
 
     def _virtual_timing(self) -> TaskGraphResult:
-        simulator = TaskGraphSimulator(self.spec, self.config, self.constants)
-        if not self.sanitize:
-            return simulator.run_step()
-        static = simulator.static_check()
-        detector = RaceDetector()
-        result = simulator.run_step(detector=detector)
-        self.sanitizer_findings.extend(static)
-        self.sanitizer_findings.extend(detector.findings)
-        self.counters.increment("sanitize.static_findings", len(static))
-        self.counters.increment("sanitize.race_findings", len(detector.findings))
-        self.counters.increment("sanitize.tasks_checked", detector.tasks_checked)
+        faults = self._effective_faults()
+        simulator = TaskGraphSimulator(
+            self.spec,
+            self.config,
+            self.constants,
+            faults=faults,
+            recovery=self.recovery if faults is not None else None,
+            fault_stream=self.integrator.steps_taken
+            + 1_000_003 * self._replay_epoch,
+        )
+        try:
+            if not self.sanitize:
+                result = simulator.run_step()
+            else:
+                static = simulator.static_check()
+                detector = RaceDetector()
+                result = simulator.run_step(detector=detector)
+                self.sanitizer_findings.extend(static)
+                self.sanitizer_findings.extend(detector.findings)
+                self.counters.increment("sanitize.static_findings", len(static))
+                self.counters.increment("sanitize.race_findings", len(detector.findings))
+                self.counters.increment("sanitize.tasks_checked", detector.tasks_checked)
+        finally:
+            self._harvest_resilience_counters(simulator)
         return result
+
+    def _harvest_resilience_counters(self, simulator: TaskGraphSimulator) -> None:
+        if self.faults is None:
+            return
+        network = simulator.network
+        self.counters.increment("resilience.messages_dropped", network.messages_dropped)
+        self.counters.increment("resilience.messages_delayed", network.messages_delayed)
+        self.counters.increment(
+            "resilience.messages_duplicated", network.messages_duplicated
+        )
+        if simulator.transport is not None:
+            stats = simulator.transport.stats
+            self.counters.increment("resilience.retransmits", stats.retransmits)
+            self.counters.increment("resilience.acks", stats.acks_received)
+            self.counters.increment(
+                "resilience.duplicates_suppressed", stats.duplicates_suppressed
+            )
 
     # -- diagnostics -----------------------------------------------------------
     def diagnostics(self) -> Diagnostics:

@@ -47,6 +47,9 @@ from repro.analysis.effects import ANY, EffectSet
 from repro.analysis.race import GraphTask, RaceFinding, check_graph
 from repro.distsim.model import DEFAULT_CONSTANTS, ModelConstants, _cpu_rate
 from repro.distsim.runconfig import RunConfig
+from repro.resilience.faults import FaultSpec
+from repro.resilience.protocol import ReliableTransport, RetryPolicy
+from repro.resilience.watchdog import DeadlockWatchdog
 from repro.scenarios.spec import ScenarioSpec
 
 
@@ -58,6 +61,10 @@ class TaskGraphResult:
     starvation_events: int
     messages: int
     tasks: int
+    #: Resilience accounting (zero on clean, unprotected runs).
+    messages_dropped: int = 0
+    retransmits: int = 0
+    acks: int = 0
 
 
 @dataclass(frozen=True)
@@ -182,7 +189,14 @@ class TaskGraphSimulator:
         config: RunConfig,
         constants: ModelConstants = DEFAULT_CONSTANTS,
         max_workers_per_locality: int = 16,
+        faults: Optional[FaultSpec] = None,
+        recovery: Any = None,
+        fault_stream: int = 0,
     ) -> None:
+        """``faults`` injects a seeded fault schedule into the network;
+        ``recovery`` enables the acknowledged-retransmit transport (``True``
+        for the default :class:`RetryPolicy`, or a policy instance);
+        ``fault_stream`` decorrelates fault draws between timesteps."""
         if spec.n_subgrids > 20_000:
             raise ValueError(
                 "the task-graph simulator is for small configurations; "
@@ -191,6 +205,10 @@ class TaskGraphSimulator:
         self.spec = spec
         self.config = config
         self.constants = constants
+        self.faults = faults
+        if recovery is True:
+            recovery = RetryPolicy()
+        self.recovery: Optional[RetryPolicy] = recovery or None
         # Cap workers so the event count stays tractable; the per-core rate
         # is scaled so node throughput is preserved.
         self.workers = min(config.active_cores, max_workers_per_locality)
@@ -205,6 +223,10 @@ class TaskGraphSimulator:
             local_copy_Bps=config.machine.node.memory_bw_gbs * 1e9,
             name=net.name,
         )
+        if faults is not None:
+            self.network.fault_injector = faults.injector(stream=fault_stream)
+        #: Bound per run_step when recovery is enabled.
+        self.transport: Optional[ReliableTransport] = None
 
         # Lay the sub-grids on a cubic lattice; block-partition the raveled
         # order (slab SFC) across localities.
@@ -358,6 +380,12 @@ class TaskGraphSimulator:
         )
         if detector is not None:
             runtime.install_observer(detector)
+        self.transport = (
+            ReliableTransport(self.network, runtime.engine, policy=self.recovery)
+            if self.recovery is not None
+            else None
+        )
+        watchdog = DeadlockWatchdog(runtime)
 
         futures: Dict[int, Future] = {}
         for node in graph.nodes:
@@ -376,11 +404,14 @@ class TaskGraphSimulator:
                     kind=node.kind,
                     effects=node.effects,
                 )
+            watchdog.watch(futures[node.id], deps, name=node.name)
 
         final = when_all([futures[f] for f in graph.finals])
-        runtime.run_until_ready(final)
+        watchdog.watch(final, [futures[f] for f in graph.finals], name="step.final")
+        runtime.run_until_ready(final, watchdog=watchdog)
         makespan = runtime.engine.now
         starvation = sum(l.pool.starvation_events() for l in runtime.localities)
+        stats = self.transport.stats if self.transport is not None else None
         return TaskGraphResult(
             makespan_s=makespan,
             cells_per_second=self.spec.n_cells / makespan,
@@ -388,6 +419,9 @@ class TaskGraphSimulator:
             starvation_events=starvation,
             messages=self.network.messages_sent,
             tasks=graph.n_pool_tasks,
+            messages_dropped=self.network.messages_dropped,
+            retransmits=stats.retransmits if stats else 0,
+            acks=stats.acks_received if stats else 0,
         )
 
     def _launch_ghost(
@@ -415,14 +449,21 @@ class TaskGraphSimulator:
                     dst=dst_loc,
                     payload=None,
                     size_bytes=node.size_bytes,
-                    tag=node.name.split(".")[0],
+                    tag=node.name,
                 )
-                self.network.send(
-                    runtime.engine,
-                    message,
-                    lambda _m: promise.set_value(None),
-                    local=src_loc == dst_loc,
-                )
+                if self.transport is not None:
+                    self.transport.send(
+                        message,
+                        lambda _m: promise.set_value(None),
+                        local=src_loc == dst_loc,
+                    )
+                else:
+                    self.network.send(
+                        runtime.engine,
+                        message,
+                        lambda _m: promise.set_value(None),
+                        local=src_loc == dst_loc,
+                    )
 
         if deps:
             when_all(deps).add_done_callback(lambda _f: launch())

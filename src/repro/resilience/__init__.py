@@ -1,0 +1,46 @@
+"""Resilience layer: surviving the faults the paper could only observe.
+
+The paper's §VI-D/§VII report two failures the authors could not debug
+before their allocations ended: Octo-Tiger hanging on Fugaku under Fujitsu
+MPI at the largest node counts, and deadlocking "about 1 out of 20 runs" on
+distributed Ookami.  :mod:`repro.distsim.reliability` models the *diagnosis*
+side (closed-form hang probability) and :class:`repro.amt.network.NetworkModel`
+injects the faults; this package adds the *recovery* side:
+
+* :mod:`repro.resilience.faults` — seeded fault schedules (drop, delay,
+  duplicate, node crash) injected into the network model;
+* :mod:`repro.resilience.protocol` — acknowledged delivery with per-message
+  sequence numbers, timeout + exponential-backoff retransmission, duplicate
+  suppression and FIFO reordering, so a lost ghost message no longer wedges
+  the step;
+* :mod:`repro.resilience.watchdog` — a deadlock watchdog that turns a
+  quiesced-but-unfinished runtime into a typed :class:`DeadlockError`
+  naming the stalled future chain (the paper's undebugable hang becomes a
+  one-line diagnosis).
+
+The driver ties the three together with checkpoint-restart
+(:meth:`repro.core.driver.OctoTigerSim.run`): on an unrecoverable fault
+(retries exhausted, node crash) it rolls back to the last checkpoint and
+replays — the same loop a training stack runs around collective comms.
+"""
+
+from repro.resilience.faults import FaultDecision, FaultInjector, FaultSpec
+from repro.resilience.protocol import (
+    RetryPolicy,
+    ReliableTransport,
+    TransportStats,
+    UnrecoverableFault,
+)
+from repro.resilience.watchdog import DeadlockError, DeadlockWatchdog
+
+__all__ = [
+    "FaultDecision",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "ReliableTransport",
+    "TransportStats",
+    "UnrecoverableFault",
+    "DeadlockError",
+    "DeadlockWatchdog",
+]

@@ -1,0 +1,144 @@
+"""Seeded fault schedules for the network model.
+
+A :class:`FaultSpec` describes *what* can go wrong (per-message drop /
+delay / duplication probabilities, an optional node crash); a
+:class:`FaultInjector` turns it into deterministic per-message decisions.
+Decisions are keyed on ``(seed, stream, message index)`` through numpy's
+``SeedSequence``, so whether message ``i`` is dropped depends only on its
+send index — retransmissions (which consume fresh indices) get fresh,
+independent draws, and inserting a retransmission never perturbs the fate
+of later messages.  ``stream`` separates timesteps, so a multi-step run
+does not replay the same fault pattern every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the injector decided for one message."""
+
+    drop: bool = False
+    extra_delay_s: float = 0.0
+    duplicates: int = 0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault model, parseable from the CLI.
+
+    ``crash_locality`` models a node dying: once active, every message to
+    or from that locality is dropped — retransmission cannot save it, so
+    recovery requires checkpoint-restart.  ``crash_step`` limits the crash
+    to one injector stream (one driver timestep); ``-1`` means every step.
+    """
+
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_s: float = 0.0
+    duplicate_rate: float = 0.0
+    seed: int = 0
+    crash_locality: int = -1
+    crash_step: int = -1
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "delay_rate", "duplicate_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.delay_s < 0.0:
+            raise ValueError("delay_s must be non-negative")
+
+    @property
+    def any_random(self) -> bool:
+        return (
+            self.drop_rate > 0.0
+            or self.delay_rate > 0.0
+            or self.duplicate_rate > 0.0
+        )
+
+    def without_crash(self) -> "FaultSpec":
+        """The same schedule with the node crash healed (post-restart)."""
+        return replace(self, crash_locality=-1)
+
+    def injector(self, stream: int = 0) -> "FaultInjector":
+        return FaultInjector(self, stream=stream)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse a CLI spec like ``"drop=0.01,seed=7,crash_loc=1,crash_step=2"``.
+
+        Keys: ``drop``, ``delay`` (rate), ``delay_s``, ``dup``, ``seed``,
+        ``crash_loc``, ``crash_step``.
+        """
+        keys = {
+            "drop": ("drop_rate", float),
+            "delay": ("delay_rate", float),
+            "delay_s": ("delay_s", float),
+            "dup": ("duplicate_rate", float),
+            "seed": ("seed", int),
+            "crash_loc": ("crash_locality", int),
+            "crash_step": ("crash_step", int),
+        }
+        kwargs = {}
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(f"fault spec item {item!r} is not key=value")
+            key, value = item.split("=", 1)
+            key = key.strip()
+            if key not in keys:
+                raise ValueError(
+                    f"unknown fault key {key!r}; expected one of {sorted(keys)}"
+                )
+            field_name, cast = keys[key]
+            kwargs[field_name] = cast(value)
+        return cls(**kwargs)
+
+
+class FaultInjector:
+    """Deterministic per-message fault decisions for a :class:`FaultSpec`.
+
+    Conforms to the duck-typed protocol :class:`repro.amt.network.NetworkModel`
+    consults on every send: ``decide(index, src, dst) -> FaultDecision``.
+    """
+
+    def __init__(self, spec: FaultSpec, stream: int = 0) -> None:
+        self.spec = spec
+        self.stream = stream
+        self.decisions = 0
+        self.drops = 0
+
+    @property
+    def crash_active(self) -> bool:
+        spec = self.spec
+        return spec.crash_locality >= 0 and (
+            spec.crash_step < 0 or spec.crash_step == self.stream
+        )
+
+    def decide(self, index: int, src: int, dst: int) -> FaultDecision:
+        spec = self.spec
+        self.decisions += 1
+        if self.crash_active and spec.crash_locality in (src, dst):
+            self.drops += 1
+            return FaultDecision(drop=True)
+        if not spec.any_random:
+            return FaultDecision()
+        # One tiny PCG64 per message, keyed on (seed, stream, index): the
+        # draw is a pure function of the message index, independent of how
+        # many retransmissions were inserted before it.
+        rng = np.random.default_rng([spec.seed, self.stream, index])
+        u_drop, u_delay, u_dup = rng.random(3)
+        if u_drop < spec.drop_rate:
+            self.drops += 1
+            return FaultDecision(drop=True)
+        extra = spec.delay_s if u_delay < spec.delay_rate else 0.0
+        duplicates = 1 if u_dup < spec.duplicate_rate else 0
+        return FaultDecision(extra_delay_s=extra, duplicates=duplicates)
