@@ -30,6 +30,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nodes", type=int, default=4)
     run.add_argument("--checkpoint", default=None,
                      help="write a checkpoint here after the run")
+    run.add_argument("--hydro-plan", default=True,
+                     action=argparse.BooleanOptionalAction,
+                     help="use the cached batched hydro step (stacked "
+                          "sub-grid kernels + vectorized ghost exchange); "
+                          "--no-hydro-plan selects the per-leaf reference "
+                          "path (identical bits, slower)")
     run.add_argument("--sanitize", action="store_true",
                      help="run the analysis suite alongside each step: "
                           "memory-space sanitizer over the physics, static "
@@ -94,6 +100,7 @@ def _command_run(args: argparse.Namespace) -> int:
         scenario.mesh, eos=scenario.eos,
         omega=getattr(scenario, "omega", 0.0),
         machine=machine, nodes=args.nodes,
+        hydro_plan=args.hydro_plan,
         sanitize=args.sanitize,
         faults=faults,
         recovery=not args.no_recovery,

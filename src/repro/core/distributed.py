@@ -99,6 +99,13 @@ class DistributedHydroDriver:
         self.time = 0.0
         self.steps_taken = 0
         self.last_result: Optional[DistributedStepResult] = None
+        #: Cached step skeleton (leaves, donor kinds, anti-dependency
+        #: readers), keyed on the mesh topology version — the same
+        #: invalidation contract as the hydro/FMM execution plans.  The
+        #: task graph is re-instantiated every step (costs and futures are
+        #: per-step state) but its *shape* only changes on regrid.
+        self._skeleton: Optional[tuple] = None
+        self._skeleton_version = -1
 
     # -- cost helpers --------------------------------------------------------
     def _kernel_cost(self) -> float:
@@ -116,10 +123,43 @@ class DistributedHydroDriver:
             name=net.name,
         )
 
+    def _step_skeleton(self):  # noqa: ANN202
+        """Topology-derived step structure, cached until the mesh regrids.
+
+        Returns ``(leaves, face_kinds, readers)`` where ``face_kinds`` maps
+        ``(leaf, axis, side)`` to its donor classification and ``readers``
+        is the anti-dependency map (which fills read each leaf's interior).
+        All three are pure functions of the octree structure, so they are
+        rebuilt only when ``mesh.topology_version`` moves.
+        """
+        if self._skeleton_version == self.mesh.topology_version and (
+            self._skeleton is not None
+        ):
+            return self._skeleton
+        mesh = self.mesh
+        leaves = mesh.leaves()
+        readers: Dict[NodeKey, List[Tuple[NodeKey, int, int]]] = {
+            k.key: [] for k in leaves
+        }
+        face_kinds: Dict[Tuple[NodeKey, int, int], Tuple[str, object]] = {}
+        for leaf in leaves:
+            for axis in range(3):
+                for side in (0, 1):
+                    kind, other = mesh.face_neighbor(leaf, axis, side)
+                    face_kinds[(leaf.key, axis, side)] = (kind, other)
+                    if kind == "same" or kind == "coarse":
+                        readers[other.key].append((leaf.key, axis, side))
+                    elif kind == "fine":
+                        for child in other:
+                            readers[child.key].append((leaf.key, axis, side))
+        self._skeleton = (leaves, face_kinds, readers)
+        self._skeleton_version = mesh.topology_version
+        return self._skeleton
+
     # -- step ------------------------------------------------------------------
     def step(self, dt: float) -> DistributedStepResult:
         mesh, eos = self.mesh, self.eos
-        leaves = mesh.leaves()
+        leaves, face_kinds, readers = self._step_skeleton()
         network = self._network()
         if self.faults is not None:
             network.fault_injector = self.faults.injector(stream=self.steps_taken)
@@ -141,21 +181,6 @@ class DistributedHydroDriver:
         for leaf in leaves:
             s = leaf.subgrid.interior
             u0[leaf.key] = leaf.subgrid.data[:, s, s, s].copy()
-
-        # Donor map: for each leaf, which (reader leaf, axis, side) fills
-        # read its interior — the anti-dependency set.
-        readers: Dict[NodeKey, List[Tuple[NodeKey, int, int]]] = {k.key: [] for k in leaves}
-        face_kinds: Dict[Tuple[NodeKey, int, int], Tuple[str, object]] = {}
-        for leaf in leaves:
-            for axis in range(3):
-                for side in (0, 1):
-                    kind, other = mesh.face_neighbor(leaf, axis, side)
-                    face_kinds[(leaf.key, axis, side)] = (kind, other)
-                    if kind == "same" or kind == "coarse":
-                        readers[other.key].append((leaf.key, axis, side))
-                    elif kind == "fine":
-                        for child in other:
-                            readers[child.key].append((leaf.key, axis, side))
 
         update_futures: Dict[NodeKey, Future] = {
             leaf.key: _ready() for leaf in leaves

@@ -85,6 +85,7 @@ class OctoTigerSim:
         config: Optional[RunConfig] = None,
         constants: ModelConstants = DEFAULT_CONSTANTS,
         empty_mass_threshold: float = 1e-12,
+        hydro_plan: bool = True,
         sanitize: bool = False,
         faults: Optional[FaultSpec] = None,
         recovery: Any = True,
@@ -136,9 +137,18 @@ class OctoTigerSim:
             # fmm.m2l, fmm.l2p, fmm.p2p) into this run's counter registry.
             self.gravity_solver.registry = self.counters
             gravity_cb = self.gravity_solver.as_gravity_callback()
+        #: ``hydro_plan`` selects the cached batched hydro step (stacked
+        #: sub-grid kernels + vectorized ghost exchange); ``False`` keeps the
+        #: per-leaf reference path.  Both produce identical bits.
+        self.hydro_plan = hydro_plan
         self.integrator = HydroIntegrator(
-            mesh, self.eos, cfl=cfl, omega=omega, gravity=gravity_cb
+            mesh, self.eos, cfl=cfl, omega=omega, gravity=gravity_cb,
+            batched=hydro_plan,
         )
+        # Route the integrator's per-phase timers (hydro.plan, hydro.ghost,
+        # hydro.reconstruct, hydro.riemann, hydro.update) into this run's
+        # counter registry, next to the fmm.* phases.
+        self.integrator.registry = self.counters
         sfc_partition(mesh, self.config.nodes)
         self._spec: Optional[ScenarioSpec] = None
         self.records: List[StepRecord] = []
@@ -361,9 +371,11 @@ class OctoTigerSim:
             cfl=self.integrator.cfl,
             omega=meta["extra"].get("omega", self.integrator.omega),
             gravity=gravity_cb,
+            batched=self.hydro_plan,
         )
         restored.reconstruction = self.integrator.reconstruction
         restored.reflux = self.integrator.reflux
+        restored.registry = self.counters
         restored.time = meta.get("time", 0.0)
         restored.steps_taken = meta.get("step", 0)
         self.integrator = restored

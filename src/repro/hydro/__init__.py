@@ -23,6 +23,7 @@ from repro.hydro.solver import dudt_subgrid, primitives_from_conserved
 from repro.hydro.sources import gravity_source, rotating_frame_source
 from repro.hydro.timestep import cfl_timestep_subgrid, global_timestep
 from repro.hydro.integrator import HydroIntegrator
+from repro.hydro.plan import HydroPlan, build_hydro_plan
 from repro.hydro.reflux import apply_flux_corrections
 from repro.hydro.exact import exact_riemann, sod_solution
 
@@ -40,6 +41,8 @@ __all__ = [
     "cfl_timestep_subgrid",
     "global_timestep",
     "HydroIntegrator",
+    "HydroPlan",
+    "build_hydro_plan",
     "apply_flux_corrections",
     "exact_riemann",
     "sod_solution",

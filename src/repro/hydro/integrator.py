@@ -11,22 +11,47 @@ Each stage fills ghosts, evaluates the flux divergence on every leaf, adds
 gravity / rotating-frame sources, and applies floors.  After the full step
 the entropy tracer is re-synchronised with the energy where the dual-energy
 switch is inactive, and interior nodes are restricted from their children.
+
+Two execution paths share those numerics:
+
+* the **batched** path (default) routes the whole step through a cached
+  :class:`repro.hydro.plan.HydroPlan` — stacked per-level kernels and a
+  vectorized ghost exchange, bit-identical to the reference but without the
+  per-leaf Python walks;
+* :meth:`HydroIntegrator.step_reference` keeps the original per-leaf loops
+  as the numerics oracle (exactly like ``FmmSolver.solve_reference``).
+
+Both fold the per-leaf CFL signal reduction into the end of the step, so
+:meth:`HydroIntegrator.timestep` serves the next dt from a cache instead of
+re-walking the mesh with a second primitives pass.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.hydro.eos import IdealGasEOS
+from repro.hydro.plan import (
+    NFIELDS,
+    HydroPlan,
+    build_hydro_plan,
+    stacked_resync_tau_kernel,
+    stacked_rhs_kernel,
+    stacked_signal_kernel,
+    stacked_source_kernel,
+    stacked_update_kernel,
+)
+from repro.hydro.reflux import apply_flux_corrections
 from repro.hydro.solver import dudt_subgrid
 from repro.hydro.sources import gravity_source, rotating_frame_source
-from repro.hydro.timestep import global_timestep
+from repro.hydro.timestep import global_timestep, max_signal_subgrid
 from repro.octree.fields import Field
 from repro.octree.ghost import fill_all_ghosts
 from repro.octree.mesh import AmrMesh
 from repro.octree.node import NodeKey, OctreeNode
+from repro.profiling.apex import CounterRegistry, global_registry
 
 #: Signature of a gravity callback: mesh -> {leaf key: (3, N, N, N) accel}.
 GravityCallback = Callable[[AmrMesh], Dict[NodeKey, np.ndarray]]
@@ -36,11 +61,16 @@ _RK3_STAGES = ((0.0, 1.0), (0.75, 0.25), (1.0 / 3.0, 2.0 / 3.0))
 
 
 class HydroIntegrator:
-    """Drives SSP-RK3 steps over the whole mesh (serial reference path).
+    """Drives SSP-RK3 steps over the whole mesh.
 
     The distributed driver in :mod:`repro.core` performs the same stages as
     Kokkos kernels on the AMT runtime; this class is the numerics oracle the
-    integration tests compare against.
+    integration tests compare against.  ``batched`` selects the plan-cached
+    stacked path (default; see :mod:`repro.hydro.plan`); the per-leaf
+    reference stays available via ``batched=False`` or
+    :meth:`step_reference`.  Set ``registry`` to route the ``hydro.*``
+    per-phase timers into a specific :class:`CounterRegistry` instead of the
+    process-global one.
     """
 
     def __init__(
@@ -53,6 +83,7 @@ class HydroIntegrator:
         gravity_every_stage: bool = False,
         reflux: bool = True,
         reconstruction: str = "muscl",
+        batched: bool = True,
     ) -> None:
         self.mesh = mesh
         self.eos = eos or IdealGasEOS()
@@ -65,15 +96,67 @@ class HydroIntegrator:
         self.reflux = reflux
         #: "muscl" (2nd order, default) or "constant" (1st order Godunov).
         self.reconstruction = reconstruction
+        #: Route steps through the cached :class:`HydroPlan` (fast path).
+        self.batched = batched
+        self.registry: Optional[CounterRegistry] = None
         self.time = 0.0
         self.steps_taken = 0
         self.last_dt = 0.0
         self.faces_refluxed = 0
+        self._plan: Optional[HydroPlan] = None
+        #: (topology_version, steps_taken, {leaf key: peak signal}) from the
+        #: end of the last step — valid until the mesh or the state moves on.
+        self._signal_cache: Optional[Tuple[int, int, Dict[NodeKey, float]]] = None
 
-    # -- single stage --------------------------------------------------------
-    def _stage_rhs(self, leaf: OctreeNode, accel: Optional[np.ndarray]):
+    # -- plan cache -----------------------------------------------------------
+    def plan_for(self, mesh: Optional[AmrMesh] = None) -> HydroPlan:
+        """The cached batched plan, rebuilt only when the mesh topology
+        (``mesh.topology_version``) changed or leaf storage was rebound."""
+        mesh = mesh if mesh is not None else self.mesh
+        if self._plan is None or not self._plan.matches(mesh):
+            self._plan = build_hydro_plan(mesh)
+            self._registry().increment("hydro.plan_builds")
+        return self._plan
+
+    def invalidate_plan(self) -> None:
+        """Drop the cached plan (the next batched step rebuilds it)."""
+        self._plan = None
+
+    def _registry(self) -> CounterRegistry:
+        return self.registry if self.registry is not None else global_registry()
+
+    # -- timestep -------------------------------------------------------------
+    def _cached_signals(self) -> Optional[Dict[NodeKey, float]]:
+        """Per-leaf signals from the last step, if still valid."""
+        if self._signal_cache is None:
+            return None
+        version, step_no, signals = self._signal_cache
+        if version != self.mesh.topology_version or step_no != self.steps_taken:
+            return None
+        return signals
+
+    def timestep(self) -> float:
+        """The next global CFL dt, served from the end-of-step signal cache
+        when valid (both step paths populate it) — exactly equal to a full
+        :func:`global_timestep` recomputation.
+
+        The cache assumes leaf fields did not change outside ``step``; code
+        that mutates the state directly between steps should call
+        :func:`global_timestep` itself (or take another step first).
+        """
+        return global_timestep(
+            self.mesh, self.eos, self.cfl, signals=self._cached_signals()
+        )
+
+    def _record_signals(self, signals: Dict[NodeKey, float]) -> None:
+        self._signal_cache = (self.mesh.topology_version, self.steps_taken, signals)
+
+    # -- single stage (reference path) ---------------------------------------
+    def _stage_rhs(
+        self, leaf: OctreeNode, accel: Optional[np.ndarray], collect_fluxes: bool
+    ):
         """RHS of one leaf; returns (dudt, boundary_fluxes_or_None)."""
-        if self.reflux:
+        if collect_fluxes:
             dudt, _, fluxes = dudt_subgrid(
                 leaf.subgrid, leaf.dx, self.eos,
                 return_boundary_fluxes=True,
@@ -116,9 +199,15 @@ class HydroIntegrator:
     # -- full step ------------------------------------------------------------
     def step(self, dt: Optional[float] = None) -> float:
         """Advance the mesh by one RK3 step; returns the dt used."""
+        if self.batched:
+            return self._step_batched(dt)
+        return self.step_reference(dt)
+
+    def step_reference(self, dt: Optional[float] = None) -> float:
+        """One RK3 step via the per-leaf reference loops (numerics oracle)."""
         leaves = self.mesh.leaves()
         if dt is None:
-            dt = global_timestep(self.mesh, self.eos, self.cfl)
+            dt = self.timestep()
 
         u0: Dict[NodeKey, np.ndarray] = {}
         for leaf in leaves:
@@ -129,6 +218,10 @@ class HydroIntegrator:
         if self.gravity is not None:
             accel = self.gravity(self.mesh)
 
+        # Boundary fluxes only feed refluxing, which needs a coarse-fine
+        # interface to exist — on a uniform mesh skip the six face copies
+        # per leaf per stage entirely.
+        collect_fluxes = self.reflux and self.mesh.max_level() > 0
         for stage_index, (a0, a1) in enumerate(_RK3_STAGES):
             fill_all_ghosts(self.mesh)
             if self.gravity is not None and self.gravity_every_stage and stage_index:
@@ -136,13 +229,13 @@ class HydroIntegrator:
             rhs: Dict[NodeKey, np.ndarray] = {}
             fluxes: Dict[NodeKey, dict] = {}
             for leaf in leaves:
-                dudt, leaf_fluxes = self._stage_rhs(leaf, accel.get(leaf.key))
+                dudt, leaf_fluxes = self._stage_rhs(
+                    leaf, accel.get(leaf.key), collect_fluxes
+                )
                 rhs[leaf.key] = dudt
                 if leaf_fluxes is not None:
                     fluxes[leaf.key] = leaf_fluxes
-            if self.reflux and fluxes and self.mesh.max_level() > 0:
-                from repro.hydro.reflux import apply_flux_corrections
-
+            if collect_fluxes and fluxes:
                 self.faces_refluxed += apply_flux_corrections(
                     self.mesh, rhs, fluxes
                 )
@@ -160,14 +253,132 @@ class HydroIntegrator:
         self.time += dt
         self.steps_taken += 1
         self.last_dt = dt
+        self._record_signals(
+            {leaf.key: max_signal_subgrid(leaf.subgrid, self.eos) for leaf in leaves}
+        )
+        return dt
+
+    # -- batched step ---------------------------------------------------------
+    def _gather_accel(self, plan: HydroPlan) -> List[np.ndarray]:
+        """Solve gravity and stack the per-leaf accelerations per block."""
+        accel_map = self.gravity(self.mesh)
+        out: List[np.ndarray] = []
+        n = plan.n
+        for b, blk in enumerate(plan.blocks):
+            buf = plan.scratch.get(("accel", b), (blk.n_leaves, 3, n, n, n))
+            for j, key in enumerate(blk.keys):
+                a = accel_map.get(key)
+                if a is None:
+                    buf[j] = 0.0
+                else:
+                    buf[j] = a
+            out.append(buf)
+        return out
+
+    def _step_batched(self, dt: Optional[float] = None) -> float:
+        """One RK3 step through the cached plan's stacked kernels.
+
+        Bit-identical to :meth:`step_reference`: every kernel reuses the
+        reference's elementwise building blocks on the stacked blocks, the
+        refluxing runs on per-leaf views into the stacked dudt, and maxima /
+        convex combinations are order-independent per element.
+        """
+        reg = self._registry()
+        with reg.timer("hydro.plan"):
+            plan = self.plan_for()
+        if dt is None:
+            dt = self.timestep()
+        eos = self.eos
+        s = plan.interior
+        scratch = plan.scratch
+        blocks = plan.blocks
+        n = plan.n
+
+        u0: List[np.ndarray] = []
+        for b, blk in enumerate(blocks):
+            buf = scratch.get(("u0", b), (blk.n_leaves, NFIELDS, n, n, n))
+            np.copyto(buf, blk.u[:, :, s, s, s])
+            u0.append(buf)
+
+        accel_blocks: List[Optional[np.ndarray]] = [None] * len(blocks)
+        if self.gravity is not None:
+            accel_blocks = self._gather_accel(plan)
+
+        # The plan knows whether any coarse-fine interface exists at all
+        # (fine-class ghost faces); without one, refluxing cannot trigger
+        # and the boundary-flux extraction is pure overhead.
+        collect_fluxes = self.reflux and plan.ghosts.face_counts["fine"] > 0
+        for stage_index, (a0, a1) in enumerate(_RK3_STAGES):
+            with reg.timer("hydro.ghost"):
+                plan.ghosts.fill_ghosts_kernel(plan.arena)
+            if self.gravity is not None and self.gravity_every_stage and stage_index:
+                accel_blocks = self._gather_accel(plan)
+            rhs_views: Dict[NodeKey, np.ndarray] = {}
+            flux_views: Dict[NodeKey, dict] = {}
+            dudts: List[np.ndarray] = []
+            for b, blk in enumerate(blocks):
+                dudt = scratch.get(("dudt", b), (blk.n_leaves, NFIELDS, n, n, n))
+                faces = None
+                if collect_fluxes:
+                    faces = {
+                        (axis, side): scratch.get(
+                            ("face", b, axis, side), (blk.n_leaves, NFIELDS, n, n)
+                        )
+                        for axis in range(3)
+                        for side in (0, 1)
+                    }
+                stacked_rhs_kernel(
+                    blk.u, blk.dx, eos, dudt,
+                    reconstruction=self.reconstruction,
+                    faces=faces,
+                    registry=reg,
+                    scratch=scratch,
+                    tag=b,
+                )
+                if accel_blocks[b] is not None or self.omega != 0.0:
+                    stacked_source_kernel(
+                        blk.u[:, :, s, s, s], dudt,
+                        accel=accel_blocks[b], omega=self.omega, x=blk.x, y=blk.y,
+                    )
+                dudts.append(dudt)
+                if collect_fluxes:
+                    for j, key in enumerate(blk.keys):
+                        rhs_views[key] = dudt[j]
+                        flux_views[key] = {fs: face[j] for fs, face in faces.items()}
+            if collect_fluxes and flux_views:
+                # apply_flux_corrections mutates the per-leaf dudt views in
+                # place, which lands directly in the stacked scratch arrays.
+                self.faces_refluxed += apply_flux_corrections(
+                    self.mesh, rhs_views, flux_views
+                )
+            with reg.timer("hydro.update"):
+                for b, blk in enumerate(blocks):
+                    stacked_update_kernel(
+                        blk.u[:, :, s, s, s], u0[b], dudts[b], a0, a1, dt, eos,
+                        scratch=scratch, tag=b,
+                    )
+
+        with reg.timer("hydro.update"):
+            for blk in blocks:
+                stacked_resync_tau_kernel(blk.u[:, :, s, s, s], eos)
+        self.mesh.restrict_all()
+        self.time += dt
+        self.steps_taken += 1
+        self.last_dt = dt
+        signals: Dict[NodeKey, float] = {}
+        for b, blk in enumerate(blocks):
+            out = scratch.get(("signal", b), (blk.n_leaves,))
+            stacked_signal_kernel(blk.u[:, :, s, s, s], eos, out)
+            for j, key in enumerate(blk.keys):
+                signals[key] = float(out[j])
+        self._record_signals(signals)
         return dt
 
     def run(self, t_end: float, max_steps: int = 100_000) -> int:
         """Step until ``t_end`` (clipping the final dt); returns step count."""
         taken = 0
         while self.time < t_end and taken < max_steps:
-            dt = global_timestep(self.mesh, self.eos, self.cfl)
-            dt = min(dt, t_end - self.time)
+            dt = min(self.timestep(), t_end - self.time)
             self.step(dt)
             taken += 1
         return taken

@@ -1,0 +1,759 @@
+"""Batched hydro execution plan: stacked sub-grid kernels, vectorized ghosts.
+
+The per-leaf reference integrator walks ``mesh.leaves()`` in Python three
+times per RK3 stage; on a level-L mesh that is hundreds of tiny NumPy calls
+per step.  Following the same plan/execute split PR 1 gave the gravity
+solver (:class:`repro.gravity.plan.FmmPlan`) — and the paper's kernel
+restructuring for wide vector execution on A64FX (SVE vectorization, Fig 7)
+— :class:`HydroPlan` captures everything that is a pure function of the mesh
+*topology* once, and the execute path runs a handful of wide kernels:
+
+* **storage arena** — all leaf sub-grids move into one flat ``float64``
+  arena, ordered by ``(level, morton)``; each leaf's
+  ``(NFIELDS, M, M, M)`` chunk is *adopted* as its ``subgrid.data`` (a view,
+  so every existing per-leaf API keeps working), and the leaves of each
+  refinement level form one contiguous ``(B, NFIELDS, M, M, M)`` block;
+* **ghost index plan** — the whole-mesh ghost exchange becomes four
+  class-grouped fancy-indexed copies over the arena
+  (:func:`repro.octree.ghost.ghost_index_plan`);
+* **stacked kernels** — reconstruction, HLL fluxes, flux divergence,
+  boundary-flux extraction, sources, the RK3 convex combination, floors,
+  the tau resync and the CFL signal reduction each run once per level block
+  instead of once per leaf.  They reuse the *same* elementwise building
+  blocks as the reference (``primitives_from_conserved``,
+  ``reconstruct_axis``, ``hll_flux``), so batching cannot change rounding:
+  the batched step is bit-identical to the reference step.
+
+The plan is keyed on :attr:`repro.octree.mesh.AmrMesh.topology_version`
+(same invalidation contract as ``FmmPlan``) plus an identity check that the
+leaves still reference the plan's arena views — so regrids *and* external
+storage rebinding (e.g. a second plan adopting the mesh) both trigger a
+rebuild.  Scratch buffers live in a :class:`ScratchArena` reused across
+stages and steps; the hot path allocates nothing (reprolint R001).
+
+See ``docs/hydro_plan.md`` for the full architecture.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.effects import ANY, declare_effects
+from repro.hydro.eos import IdealGasEOS
+from repro.hydro.riemann import PRIM_KEYS
+from repro.hydro.solver import primitives_from_conserved
+from repro.octree.fields import Field, NFIELDS
+from repro.octree.ghost import GhostIndexPlan, ghost_index_plan
+from repro.octree.mesh import AmrMesh
+from repro.octree.node import NodeKey
+
+
+class ScratchArena:
+    """Named preallocated ``float64`` buffers, reused across stages and steps.
+
+    ``get`` allocates on first use and returns the same buffer afterwards —
+    the batched step's working set (u0 snapshots, dudt, boundary-flux faces,
+    stacked accelerations, per-leaf signals) is allocated once per plan and
+    recycled, keeping the hot loops allocation-free.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[tuple, np.ndarray] = {}
+        self._groups: Dict[tuple, dict] = {}
+
+    def get(self, name, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        key = (name, tuple(shape), dtype)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def group(self, key) -> dict:
+        """A named dict for kernels that bundle many buffers: fetched with
+        one lookup per call instead of one ``get`` per buffer."""
+        grp = self._groups.get(key)
+        if grp is None:
+            grp = {}
+            self._groups[key] = grp
+        return grp
+
+    def nbytes(self) -> int:
+        total = sum(buf.nbytes for buf in self._buffers.values())
+        for grp in self._groups.values():
+            total += sum(
+                buf.nbytes for buf in grp.values() if isinstance(buf, np.ndarray)
+            )
+        return total
+
+
+@dataclass
+class LevelBlock:
+    """All leaves of one refinement level, stacked contiguously."""
+
+    level: int
+    dx: float
+    keys: List[NodeKey]
+    #: (B, NFIELDS, M, M, M) view into the plan arena.
+    u: np.ndarray
+    #: (B, n, n, n) interior cell-centre coordinates (rotating frame).
+    x: np.ndarray
+    y: np.ndarray
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.keys)
+
+
+class HydroPlan:
+    """Cached batched execution plan for the hydro step.
+
+    Build with :func:`build_hydro_plan`; validity is checked with
+    :meth:`matches` (topology version + arena-view identity).  Building the
+    plan *adopts* the mesh's leaf storage into one flat arena — field values
+    are preserved, and ``leaf.subgrid.data`` stays a live
+    ``(NFIELDS, M, M, M)`` array for every per-leaf consumer.
+    """
+
+    def __init__(self, mesh: AmrMesh) -> None:
+        self.mesh_ref = weakref.ref(mesh)
+        self.topology_version = mesh.topology_version
+        self.n = mesh.n
+        self.ghost_width = mesh.ghost
+        m = self.n + 2 * self.ghost_width
+        self.m = m
+        #: Interior slice shared by every sub-grid in the mesh.
+        self.interior = slice(self.ghost_width, self.ghost_width + self.n)
+        chunk = NFIELDS * m**3
+
+        leaves = sorted(mesh.leaves(), key=lambda nd: nd.key)
+        self.leaf_keys: List[NodeKey] = [leaf.key for leaf in leaves]
+        self.slot: Dict[NodeKey, int] = {k: i for i, k in enumerate(self.leaf_keys)}
+        offsets = {leaf.key: i * chunk for i, leaf in enumerate(leaves)}
+
+        self.arena = np.empty(len(leaves) * chunk)
+        self.views: List[np.ndarray] = []
+        for i, leaf in enumerate(leaves):
+            view = self.arena[i * chunk : (i + 1) * chunk].reshape(NFIELDS, m, m, m)
+            np.copyto(view, leaf.subgrid.data)
+            leaf.subgrid.data = view
+            self.views.append(view)
+
+        # Leaves sort level-major under (level, morton), so each level is one
+        # contiguous arena run and stacks into a (B, NFIELDS, M, M, M) view.
+        self.blocks: List[LevelBlock] = []
+        start = 0
+        while start < len(leaves):
+            level = leaves[start].level
+            stop = start
+            while stop < len(leaves) and leaves[stop].level == level:
+                stop += 1
+            batch = leaves[start:stop]
+            u = self.arena[start * chunk : stop * chunk].reshape(
+                len(batch), NFIELDS, m, m, m
+            )
+            x = np.empty((len(batch), self.n, self.n, self.n))
+            y = np.empty_like(x)
+            for j, leaf in enumerate(batch):
+                cx, cy, _ = leaf.cell_centers()
+                x[j] = cx
+                y[j] = cy
+            self.blocks.append(
+                LevelBlock(
+                    level=level,
+                    dx=batch[0].dx,
+                    keys=[b.key for b in batch],
+                    u=u,
+                    x=x,
+                    y=y,
+                )
+            )
+            start = stop
+
+        self.ghosts: GhostIndexPlan = ghost_index_plan(mesh, offsets)
+        self.scratch = ScratchArena()
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaf_keys)
+
+    def matches(self, mesh: AmrMesh) -> bool:
+        """Whether this plan is still valid for ``mesh``.
+
+        Topology version covers regrids; the view-identity check covers
+        anything else that rebinds leaf storage away from this plan's arena
+        (another plan adopting the mesh, a checkpoint restore, ...).
+        """
+        if self.mesh_ref() is not mesh:
+            return False
+        if self.topology_version != mesh.topology_version:
+            return False
+        nodes = mesh.nodes
+        return all(
+            nodes[key].subgrid.data is view
+            for key, view in zip(self.leaf_keys, self.views)
+        )
+
+    def nbytes(self) -> int:
+        """Arena + scratch footprint (index arrays excluded)."""
+        return self.arena.nbytes + self.scratch.nbytes()
+
+
+def build_hydro_plan(mesh: AmrMesh) -> HydroPlan:
+    """Build the batched execution plan for ``mesh`` (adopts leaf storage)."""
+    return HydroPlan(mesh)
+
+
+def _timer(registry, name: str):
+    return registry.timer(name) if registry is not None else nullcontext()
+
+
+#: Index of each primitive key within the stacked reconstruction array.
+_PRIM_SLOT = {key: i for i, key in enumerate(PRIM_KEYS)}
+
+
+def _axslice(ndim: int, ax: int, lo, hi) -> tuple:
+    index = [slice(None)] * ndim
+    index[ax] = slice(lo, hi)
+    return tuple(index)
+
+
+#: All-ones uint64: multiplying a bool array by it yields a full bit mask.
+_U64_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+#: Bit pattern of float64 1.0 (the HLL degenerate-denominator fallback).
+_U64_ONE_F = np.uint64(np.float64(1.0).view(np.uint64))
+
+
+# Bit-pattern selects: ``where(cond, a, b) == b ^ ((a ^ b) & mask)`` on the
+# uint64 views, with ``mask = bool * _U64_ONES``.  Identical to ``np.where``
+# for every input (NaN, infinities and signed zeros included) and ~4x faster
+# than NumPy's select on branch-random masks; used inline in the HLL kernel.
+
+
+def _muscl_scratch(w: np.ndarray, ax: int, scratch: ScratchArena) -> np.ndarray:
+    """Scratch-buffered MUSCL reconstruction, bit-identical to
+    :func:`repro.hydro.reconstruct.reconstruct_axis`.
+
+    Same elementwise expression tree, two structural savings: every
+    temporary lives in the arena (the reference's face-sized temporaries
+    sit above the allocator's mmap threshold, so it page-faults fresh pages
+    on every call), and the reference's ``d_minus`` / ``d_plus`` are the
+    same first-difference array shifted by one, so one diff (and one
+    ``abs``) pass serves both.
+
+    Returns one ``(2,) + face_shape`` stack — row 0 the left state, row 1
+    the right — so the Riemann solve can run both sides per pass.
+    """
+    nd = w.ndim
+    mx = w.shape[ax]
+    g = scratch.group(("recon", ax, w.shape))
+    if not g:
+        shape = list(w.shape)
+        shape[ax] = mx - 1
+        sh_d = tuple(shape)
+        shape[ax] = mx - 2
+        sh_m = tuple(shape)
+        shape[ax] = mx - 3
+        sh_f = tuple(shape)
+        g["diff"] = np.empty(sh_d)
+        g["absd"] = np.empty(sh_d)
+        g["prod"] = np.empty(sh_m)
+        g["flag"] = np.empty(sh_m, dtype=bool)
+        g["msk"] = np.empty(sh_m, dtype=np.uint64)
+        g["slope"] = np.empty(sh_m)
+        g["wlr"] = np.empty((2,) + sh_f)
+    diff = g["diff"]
+    absd = g["absd"]
+    prod = g["prod"]
+    flag = g["flag"]
+    msk = g["msk"]
+    slope = g["slope"]
+    wlr = g["wlr"]
+    w_left = wlr[0]
+    w_right = wlr[1]
+
+    # diff[i] = w[i+1] - w[i]; d_minus = diff[:-1], d_plus = diff[1:].
+    np.subtract(w[_axslice(nd, ax, 1, None)], w[_axslice(nd, ax, 0, mx - 1)], out=diff)
+    d_minus = diff[_axslice(nd, ax, 0, mx - 2)]
+    d_plus = diff[_axslice(nd, ax, 1, None)]
+    # minmod: where(a*b > 0, where(|a| < |b|, a, b), 0).  The inner select
+    # only survives where a and b share a sign (the outer mask zeroes the
+    # rest to exactly +0.0), and there it picks the smaller-magnitude
+    # operand with the common sign — i.e. copysign(min(|a|, |b|), a),
+    # bit-for-bit (a NaN in either operand still washes out through the
+    # outer mask, whose comparison is False for NaN products).
+    np.abs(diff, out=absd)
+    np.minimum(
+        absd[_axslice(nd, ax, 0, mx - 2)], absd[_axslice(nd, ax, 1, None)], out=slope
+    )
+    np.copysign(slope, d_minus, out=slope)
+    np.multiply(d_minus, d_plus, out=prod)
+    np.greater(prod, 0.0, out=flag)
+    np.multiply(flag, _U64_ONES, out=msk)
+    sv = slope.view(np.uint64)
+    sv &= msk
+    slope *= 0.5
+
+    center = w[_axslice(nd, ax, 1, mx - 1)]
+    np.add(
+        center[_axslice(nd, ax, 0, mx - 3)],
+        slope[_axslice(nd, ax, 0, mx - 3)],
+        out=w_left,
+    )
+    np.subtract(
+        center[_axslice(nd, ax, 1, None)],
+        slope[_axslice(nd, ax, 1, None)],
+        out=w_right,
+    )
+    return wlr
+
+
+def _constant_scratch(w: np.ndarray, ax: int, scratch: ScratchArena) -> np.ndarray:
+    """First-order face states: shifted cell values, copied into the same
+    ``(2,) + face_shape`` side stack the MUSCL path produces."""
+    nd = w.ndim
+    mx = w.shape[ax]
+    shape = list(w.shape)
+    shape[ax] = mx - 3
+    g = scratch.group(("recon0", ax, w.shape))
+    if not g:
+        g["wlr"] = np.empty((2,) + tuple(shape))
+    wlr = g["wlr"]
+    np.copyto(wlr[0], w[_axslice(nd, ax, 1, mx - 2)])
+    np.copyto(wlr[1], w[_axslice(nd, ax, 2, mx - 1)])
+    return wlr
+
+
+def _hll_scratch(
+    wlr: np.ndarray,
+    axis: int,
+    eos: IdealGasEOS,
+    scratch: ScratchArena,
+) -> np.ndarray:
+    """Scratch-buffered HLL solve over a ``(2,) + (K,) + face_shape`` side
+    stack (row 0 the left states, row 1 the right).
+
+    Bit-identical to :func:`repro.hydro.riemann.hll_flux` (the signal
+    output, unused on this path, is skipped).  Returns a scratch array of
+    shape ``(NFIELDS,) + face_shape`` that stays valid until the next
+    ``_hll_scratch`` call with the same face shape.
+
+    Structural savings over the reference, none of which move a bit:
+
+    * both sides run through every conserved / flux / sound-speed
+      expression as one ufunc call on the side-stacked pair, halving the
+      NumPy dispatch count;
+    * the passive rows (tau / f1 / f2, conserved == primitive) are never
+      copied into a conserved stack — their flux and jump terms read the
+      primitives directly (``PRIM_KEYS[5:]`` lines up with
+      ``Field.TAU..FRAC2``);
+    * ``max(p, 0)`` is computed once per side and reused by the pressure
+      flux and the sound speed (the reference evaluates it three times).
+    """
+    fshape = wlr.shape[2:]
+    wide = (NFIELDS,) + fshape
+    g = scratch.group(("hll", fshape))
+    if not g:
+        for name in ("u2", "f2", "t4"):
+            g[name] = np.empty((2,) + wide)
+        for name in ("fs", "diff"):
+            g[name] = np.empty(wide)
+        for name in ("maxp2", "kin2", "tmp2", "c2"):
+            g[name] = np.empty((2,) + fshape)
+        for name in ("sl", "sr", "slsr", "safe"):
+            g[name] = np.empty(fshape)
+        g["mask"] = np.empty(fshape, dtype=bool)
+        g["umask"] = np.empty(fshape, dtype=np.uint64)
+    u2, f2, t4 = g["u2"], g["f2"], g["t4"]
+    fs, dwide = g["fs"], g["diff"]
+    maxp2, kin2, tmp2, c2 = g["maxp2"], g["kin2"], g["tmp2"], g["c2"]
+    s_left, s_right, slsr = g["sl"], g["sr"], g["slsr"]
+    safe = g["safe"]
+    mask = g["mask"]
+    npass = Field.TAU  # first passive row; rows [npass:] stay primitive
+
+    # _conserved_from_prim on both sides at once, reference expressions.
+    rho2 = u2[:, Field.RHO]
+    np.maximum(wlr[:, _PRIM_SLOT["rho"]], eos.rho_floor, out=rho2)
+    v2x = wlr[:, _PRIM_SLOT["vx"]]
+    v2y = wlr[:, _PRIM_SLOT["vy"]]
+    v2z = wlr[:, _PRIM_SLOT["vz"]]
+    # kinetic = (0.5 * rho) * ((vx**2 + vy**2) + vz**2), reference order.
+    np.multiply(v2x, v2x, out=kin2)
+    np.multiply(v2y, v2y, out=tmp2)
+    kin2 += tmp2
+    np.multiply(v2z, v2z, out=tmp2)
+    kin2 += tmp2
+    np.multiply(0.5, rho2, out=tmp2)
+    np.multiply(tmp2, kin2, out=kin2)
+    np.maximum(wlr[:, _PRIM_SLOT["p"]], 0.0, out=maxp2)
+    np.multiply(rho2, v2x, out=u2[:, Field.SX])
+    np.multiply(rho2, v2y, out=u2[:, Field.SY])
+    np.multiply(rho2, v2z, out=u2[:, Field.SZ])
+    # egas = kinetic + eint with eint = max(p, 0) / (gamma - 1).
+    np.divide(maxp2, eos.gamma - 1.0, out=u2[:, Field.EGAS])
+    u2[:, Field.EGAS] += kin2
+
+    # _physical_flux on both sides: f = u * v, then the pressure fix-ups.
+    vel_slot = _PRIM_SLOT[("vx", "vy", "vz")[axis]]
+    v2 = wlr[:, vel_slot]
+    np.multiply(u2[:, :npass], v2[:, None], out=f2[:, :npass])
+    np.multiply(wlr[:, npass:], v2[:, None], out=f2[:, npass:])
+    f2[:, Field.SX + axis] += maxp2
+    np.multiply(maxp2, v2, out=tmp2)
+    f2[:, Field.EGAS] += tmp2
+
+    # sound_speed: sqrt((gamma * max(p, 0)) / max(rho, floor)) — the floored
+    # rho is exactly the conserved stack's density row.
+    np.multiply(eos.gamma, maxp2, out=c2)
+    np.divide(c2, rho2, out=c2)
+    np.sqrt(c2, out=c2)
+
+    # s_left = min(vl - cl, vr - cr), s_right = max(vl + cl, vr + cr).
+    np.subtract(v2, c2, out=kin2)
+    np.minimum(kin2[0], kin2[1], out=s_left)
+    np.add(v2, c2, out=kin2)
+    np.maximum(kin2[0], kin2[1], out=s_right)
+
+    # safe = where(|denom| > 1e-300, denom, 1.0) with denom = s_right - s_left,
+    # as an in-place bit select against the constant 1.0 pattern.  In any
+    # non-degenerate state s_right - s_left ~ 2c, so the select is skipped
+    # unless some face actually collapses (same bits either way).
+    umask = g["umask"]
+    np.subtract(s_right, s_left, out=safe)
+    np.abs(safe, out=slsr)
+    np.greater(slsr, 1e-300, out=mask)
+    if not mask.all():
+        np.multiply(mask, _U64_ONES, out=umask)
+        safe_v = safe.view(np.uint64)
+        safe_v ^= _U64_ONE_F
+        safe_v &= umask
+        safe_v ^= _U64_ONE_F
+
+    # f_star = ((s_r * fl - s_l * fr) + (s_l * s_r) * (ur - ul)) / safe.
+    # Pairing s_right with fl and s_left with fr turns the two coefficient
+    # products into one broadcast multiply over the side stack.
+    np.multiply(s_left, s_right, out=slsr)
+    np.subtract(u2[1, :npass], u2[0, :npass], out=dwide[:npass])
+    np.subtract(wlr[1, npass:], wlr[0, npass:], out=dwide[npass:])
+    coef2 = kin2
+    coef2[0] = s_right
+    coef2[1] = s_left
+    np.multiply(coef2[:, None], f2, out=t4)
+    np.subtract(t4[0], t4[1], out=fs)
+    t2 = t4[1]
+    np.multiply(slsr, dwide, out=t2)
+    fs += t2
+    fs /= safe
+    fl = f2[0]
+    fr = f2[1]
+
+    # flux = where(s_l >= 0, fl, where(s_r <= 0, fr, f_star)): successive
+    # bit selects into f_star pick the same element in every case (the
+    # outer condition is applied last, so it wins on overlap, exactly like
+    # the nested where).  Subsonic faces take f_star, so each select is
+    # skipped outright when its condition holds nowhere — the usual case —
+    # which drops six field-wide integer passes per solve with identical
+    # output bits.
+    fsv = fs.view(np.uint64)
+    t2v = t2.view(np.uint64)
+    np.less_equal(s_right, 0.0, out=mask)
+    if mask.any():
+        np.multiply(mask, _U64_ONES, out=umask)
+        np.bitwise_xor(fr.view(np.uint64), fsv, out=t2v)
+        t2v &= umask
+        fsv ^= t2v
+    np.greater_equal(s_left, 0.0, out=mask)
+    if mask.any():
+        np.multiply(mask, _U64_ONES, out=umask)
+        np.bitwise_xor(fl.view(np.uint64), fsv, out=t2v)
+        t2v &= umask
+        fsv ^= t2v
+    return fs
+
+
+def stacked_primitives_kernel(
+    u: np.ndarray, eos: IdealGasEOS, scratch: ScratchArena, tag
+) -> np.ndarray:
+    """Primitives of one ``(B, NFIELDS, M, M, M)`` block, stacked per key.
+
+    Returns a ``(len(PRIM_KEYS), B, M, M, M)`` scratch array holding the
+    exact values of :func:`repro.hydro.solver.primitives_from_conserved`
+    (same elementwise expressions, evaluated into reused buffers), laid out
+    so the whole reconstruction sweep runs as one wide kernel per axis.
+
+    Two cost cuts with identical bits: the dual-energy fallback
+    ``tau ** gamma`` (a ``pow`` over the whole block, by far the most
+    expensive scalar op here) only runs when the energy-difference switch
+    actually trips somewhere, and the passive rows (tau / f1 / f2, primitive
+    == conserved) are **not** copied — the caller reads them straight from
+    ``u``, so only rows ``:5`` of the result are meaningful.
+    """
+    ut = u.transpose(1, 0, 2, 3, 4)
+    shape = ut.shape[1:]
+    ws = scratch.get(("prims", tag), (len(PRIM_KEYS),) + shape)
+    work = scratch.get(("prims.work", tag), (2,) + shape)
+    mask = scratch.get(("prims.mask", tag), shape, dtype=bool)
+    rho = ws[_PRIM_SLOT["rho"]]
+    vx = ws[_PRIM_SLOT["vx"]]
+    vy = ws[_PRIM_SLOT["vy"]]
+    vz = ws[_PRIM_SLOT["vz"]]
+    np.maximum(ut[Field.RHO], eos.rho_floor, out=rho)
+    np.divide(ut[Field.SX], rho, out=vx)
+    np.divide(ut[Field.SY], rho, out=vy)
+    np.divide(ut[Field.SZ], rho, out=vz)
+    # kinetic = (0.5 * rho) * ((vx**2 + vy**2) + vz**2), associated exactly
+    # as the reference's ``0.5 * rho * (vx**2 + vy**2 + vz**2)``.
+    kinetic = work[0]
+    np.multiply(vx, vx, out=kinetic)
+    tmp = work[1]
+    np.multiply(vy, vy, out=tmp)
+    kinetic += tmp
+    np.multiply(vz, vz, out=tmp)
+    kinetic += tmp
+    np.multiply(0.5, rho, out=tmp)
+    np.multiply(tmp, kinetic, out=kinetic)
+    # dual_energy_eint: where(egas - kin < eta * egas, tau ** gamma branch,
+    # max(egas - kin, floor)).  The base branch is computed everywhere (the
+    # tau branch overwrites it where the switch trips, same value as the
+    # reference's where), and the pow only runs if some cell actually trips.
+    egas = ut[Field.EGAS]
+    eint = ws[_PRIM_SLOT["p"]]
+    np.subtract(egas, kinetic, out=eint)
+    np.multiply(eos.dual_eta, egas, out=tmp)
+    np.less(eint, tmp, out=mask)
+    any_tau = mask.any()
+    np.maximum(eint, eos.eint_floor, out=eint)
+    if any_tau:
+        np.maximum(ut[Field.TAU], 0.0, out=tmp)
+        np.power(tmp, eos.gamma, out=tmp)
+        umask = scratch.get(("prims.umask", tag), shape, dtype=np.uint64)
+        np.multiply(mask, _U64_ONES, out=umask)
+        ev = eint.view(np.uint64)
+        tv = tmp.view(np.uint64)
+        tv ^= ev
+        tv &= umask
+        ev ^= tv
+    # pressure = (gamma - 1) * max(eint, floor); multiplication commutes
+    # bitwise, so the in-place scale matches the reference expression.
+    np.maximum(eint, eos.eint_floor, out=eint)
+    eint *= eos.gamma - 1.0
+    return ws
+
+
+@declare_effects(
+    reads=[(ANY, "U", "Host"), (ANY, "U.ghost", "Host")],
+    writes=[(ANY, "dudt", "Host"), (ANY, "boundary_flux", "Host")],
+)
+def stacked_rhs_kernel(
+    u: np.ndarray,
+    dx: float,
+    eos: IdealGasEOS,
+    dudt: np.ndarray,
+    reconstruction: str = "muscl",
+    faces: Optional[Dict[Tuple[int, int], np.ndarray]] = None,
+    registry=None,
+    scratch: Optional[ScratchArena] = None,
+    tag=0,
+) -> None:
+    """Flux divergence over one stacked ``(B, NFIELDS, M, M, M)`` block.
+
+    Bit-identical to :func:`repro.hydro.solver.dudt_subgrid` per leaf: the
+    same reconstruction, Riemann solve and per-axis accumulation order run
+    over the stacked block (all elementwise, so batching cannot change
+    rounding).  Two batched-only optimizations on top of stacking:
+
+    * the reference reconstructs over the full transverse extent and crops
+      the corner-garbage afterwards; fluxes are pointwise along each axis
+      line, so trimming the transverse axes to the interior *before* the
+      sweep drops ~2.25x of the work without changing a bit;
+    * the eight primitive keys stack into one ``(8, B, ...)`` array, so
+      each axis sweep is one wide reconstruction instead of eight.
+
+    ``dudt`` is ``(B, NFIELDS, n, n, n)`` and is overwritten; ``faces``
+    (when given) maps ``(axis, side)`` to ``(B, NFIELDS, n, n)``
+    boundary-flux buffers for the refluxing step.
+    """
+    if reconstruction == "muscl":
+        reconstruct = _muscl_scratch
+    elif reconstruction == "constant":
+        reconstruct = _constant_scratch
+    else:
+        raise ValueError(f"unknown reconstruction {reconstruction!r}")
+    if scratch is None:
+        scratch = ScratchArena()
+    n = dudt.shape[2]
+    nb = dudt.shape[0]
+    g = (u.shape[2] - n) // 2
+    mx = n + 4
+    ws = stacked_primitives_kernel(u, eos, scratch, tag)
+    # Passive primitive rows (tau / f1 / f2) equal their conserved fields,
+    # and PRIM_KEYS[5:] lines up with Field.TAU..FRAC2 — read them straight
+    # from u instead of staging copies through ws.
+    upass = u.transpose(1, 0, 2, 3, 4)[Field.TAU : Field.FRAC2 + 1]
+    dudt[...] = 0.0
+    nk = len(PRIM_KEYS)
+    wbuf = scratch.get(("rhs.sweep", tag), (nk, mx, nb, n, n))
+    div = scratch.get(("rhs.div", tag), (NFIELDS, n, nb, n, n))
+    interior = slice(g, g + n)
+    # When dx is a power of two (every level of a power-of-two domain),
+    # x / dx == x * (1 / dx) for every float x: scaling by an exact power
+    # of two changes only the exponent, so division and
+    # reciprocal-multiplication round identically.  The multiply is ~4x
+    # cheaper than the divide on a full block.
+    dx_pow2 = math.frexp(dx)[0] == 0.5
+    rdx = 1.0 / dx
+    # dudt seen as (NFIELDS, sweep, B, t1, t2) per axis, matching the
+    # sweep-major flux layout below (dudt itself is (B, NFIELDS, n, n, n)).
+    dudt_sweep = (
+        dudt.transpose(1, 2, 0, 3, 4),
+        dudt.transpose(1, 3, 0, 2, 4),
+        dudt.transpose(1, 4, 0, 2, 3),
+    )
+
+    for axis in range(3):
+        sweep = axis + 2  # the sweep spatial axis within (K, B, x, y, z)
+        with _timer(registry, "hydro.reconstruct"):
+            # Stencil trim along the sweep axis (cells [g-2, g+n+2) feed the
+            # n + 1 interior faces) + transverse trim to the interior, copied
+            # once into sweep-major contiguous layout (K, Mx, B, t1, t2) so
+            # every reconstruction pass streams contiguous memory.
+            index = [interior] * 5
+            index[0] = slice(None)  # key axis
+            index[1] = slice(None)  # batch axis
+            index[sweep] = slice(g - 2, g + n + 2)
+            perm = (0, sweep, 1) + tuple(d for d in (2, 3, 4) if d != sweep)
+            trim = tuple(index)
+            np.copyto(wbuf[:5], ws[:5][trim].transpose(perm))
+            np.copyto(wbuf[5:], upass[trim].transpose(perm))
+            wlr = reconstruct(wbuf, 1, scratch)
+            assert wlr.shape[2] == n + 1, "stencil accounting broke"
+
+        with _timer(registry, "hydro.riemann"):
+            flux = _hll_scratch(wlr, axis, eos, scratch)
+
+        # flux is (NFIELDS, n + 1, B, t1, t2): divergence always slices the
+        # face axis, and the strided write lands in the dudt view once.
+        np.subtract(flux[:, 1 : n + 1], flux[:, 0:n], out=div)
+        if dx_pow2:
+            div *= rdx
+        else:
+            div /= dx
+        target = dudt_sweep[axis]
+        target -= div
+
+        if faces is not None:
+            faces[(axis, 0)][...] = flux[:, 0].transpose(1, 0, 2, 3)
+            faces[(axis, 1)][...] = flux[:, n].transpose(1, 0, 2, 3)
+
+
+@declare_effects(
+    reads=[(ANY, "U", "Host"), (ANY, "accel", "Host")],
+    accums=[(ANY, "dudt", "Host")],
+)
+def stacked_source_kernel(
+    u_int: np.ndarray,
+    dudt: np.ndarray,
+    accel: Optional[np.ndarray] = None,
+    omega: float = 0.0,
+    x: Optional[np.ndarray] = None,
+    y: Optional[np.ndarray] = None,
+) -> None:
+    """Gravity + rotating-frame sources over one block, in reference order.
+
+    ``u_int`` and ``dudt`` are ``(B, NFIELDS, n, n, n)``; ``accel`` (when
+    given) is ``(B, 3, n, n, n)``.  Matches
+    :func:`repro.hydro.sources.gravity_source` then
+    :func:`~repro.hydro.sources.rotating_frame_source` term for term.
+    """
+    ut = u_int.transpose(1, 0, 2, 3, 4)
+    dt_t = dudt.transpose(1, 0, 2, 3, 4)
+    rho = ut[Field.RHO]
+    if accel is not None:
+        g0, g1, g2 = accel[:, 0], accel[:, 1], accel[:, 2]
+        dt_t[Field.SX] += rho * g0
+        dt_t[Field.SY] += rho * g1
+        dt_t[Field.SZ] += rho * g2
+        dt_t[Field.EGAS] += (
+            ut[Field.SX] * g0 + ut[Field.SY] * g1 + ut[Field.SZ] * g2
+        )
+    if omega != 0.0:
+        sx, sy = ut[Field.SX], ut[Field.SY]
+        cfx = omega**2 * x
+        cfy = omega**2 * y
+        dt_t[Field.SX] += 2.0 * omega * sy + rho * cfx
+        dt_t[Field.SY] += -2.0 * omega * sx + rho * cfy
+        dt_t[Field.EGAS] += sx * cfx + sy * cfy
+
+
+@declare_effects(
+    reads=[(ANY, "U0", "Host"), (ANY, "dudt", "Host")],
+    writes=[(ANY, "U", "Host")],
+)
+def stacked_update_kernel(
+    u_int: np.ndarray,
+    u0: np.ndarray,
+    dudt: np.ndarray,
+    a0: float,
+    a1: float,
+    dt: float,
+    eos: IdealGasEOS,
+    scratch: Optional[ScratchArena] = None,
+    tag=0,
+) -> None:
+    """RK3 convex combination + positivity floors over one level block.
+
+    ``u_new = a0 * u0 + a1 * (u + dt * dudt)`` evaluated in the reference's
+    association, staged through scratch when an arena is provided.
+    """
+    if scratch is None:
+        u_int[...] = a0 * u0 + a1 * (u_int + dt * dudt)
+    else:
+        acc = scratch.get(("upd.acc", tag), u0.shape)
+        tmp = scratch.get(("upd.tmp", tag), u0.shape)
+        np.multiply(dt, dudt, out=acc)
+        np.add(u_int, acc, out=acc)
+        np.multiply(a1, acc, out=acc)
+        np.multiply(a0, u0, out=tmp)
+        np.add(tmp, acc, out=acc)
+        u_int[...] = acc
+    ut = u_int.transpose(1, 0, 2, 3, 4)
+    np.maximum(ut[Field.RHO], eos.rho_floor, out=ut[Field.RHO])
+    np.maximum(ut[Field.TAU], 0.0, out=ut[Field.TAU])
+    np.maximum(ut[Field.FRAC1], 0.0, out=ut[Field.FRAC1])
+    np.maximum(ut[Field.FRAC2], 0.0, out=ut[Field.FRAC2])
+
+
+@declare_effects(reads=[(ANY, "U", "Host")], writes=[(ANY, "U.tau", "Host")])
+def stacked_resync_tau_kernel(u_int: np.ndarray, eos: IdealGasEOS) -> None:
+    """End-of-step tau resync where the energy difference is trustworthy."""
+    ut = u_int.transpose(1, 0, 2, 3, 4)
+    rho = np.maximum(ut[Field.RHO], eos.rho_floor)
+    kinetic = 0.5 * (ut[Field.SX] ** 2 + ut[Field.SY] ** 2 + ut[Field.SZ] ** 2) / rho
+    diff = ut[Field.EGAS] - kinetic
+    healthy = diff > eos.dual_eta * ut[Field.EGAS]
+    ut[Field.TAU] = np.where(
+        healthy, eos.tau_from_eint(np.maximum(diff, eos.eint_floor)), ut[Field.TAU]
+    )
+
+
+@declare_effects(reads=[(ANY, "U", "Host")])
+def stacked_signal_kernel(
+    u_int: np.ndarray, eos: IdealGasEOS, out: np.ndarray
+) -> None:
+    """Per-leaf peak CFL wave speed ``|vx|+|vy|+|vz|+3c`` over one block.
+
+    Folded into the end of the batched step so ``global_timestep`` reads a
+    cached per-leaf signal instead of re-walking the mesh.  Exact maxima,
+    so the cached dt equals the recomputed one bit for bit.
+    """
+    w = primitives_from_conserved(u_int.transpose(1, 0, 2, 3, 4), eos)
+    c = eos.sound_speed(w["rho"], w["p"])
+    speed = np.abs(w["vx"]) + np.abs(w["vy"]) + np.abs(w["vz"]) + 3.0 * c
+    np.max(speed, axis=(1, 2, 3), out=out)

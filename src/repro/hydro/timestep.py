@@ -3,38 +3,69 @@
 Octo-Tiger does **not** use adaptive (per-level) time stepping: one global
 dt, the minimum CFL limit over every leaf, advances the whole tree — that is
 what keeps conservation at machine precision.  We reproduce that policy.
+
+The per-leaf signal (peak wave speed) is a pure reduction over the leaf's
+interior, so the batched integrator folds it into the end of each step and
+:func:`global_timestep` can be served from that cache (``signals=``) instead
+of re-walking the mesh; both paths share :func:`max_signal_subgrid` /
+``_dt_from_peak`` so the cached and recomputed dt agree exactly.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.hydro.eos import IdealGasEOS
 from repro.hydro.solver import primitives_from_conserved
 from repro.octree.mesh import AmrMesh
+from repro.octree.node import NodeKey
 from repro.octree.subgrid import SubGrid
+
+
+def max_signal_subgrid(sg: SubGrid, eos: IdealGasEOS) -> float:
+    """Peak CFL wave speed ``|vx| + |vy| + |vz| + 3c`` over one interior."""
+    s = sg.interior
+    u = sg.data[:, s, s, s]
+    w = primitives_from_conserved(u, eos)
+    c = eos.sound_speed(w["rho"], w["p"])
+    speed = np.abs(w["vx"]) + np.abs(w["vy"]) + np.abs(w["vz"]) + 3.0 * c
+    return float(speed.max())
+
+
+def _dt_from_peak(dx: float, peak: float, cfl: float) -> float:
+    if peak <= 0.0:
+        return np.inf
+    return cfl * dx / peak
 
 
 def cfl_timestep_subgrid(
     sg: SubGrid, dx: float, eos: IdealGasEOS, cfl: float = 0.4
 ) -> float:
     """CFL limit of one sub-grid's interior: cfl * dx / max(|v| + c)."""
-    s = sg.interior
-    u = sg.data[:, s, s, s]
-    w = primitives_from_conserved(u, eos)
-    c = eos.sound_speed(w["rho"], w["p"])
-    speed = np.abs(w["vx"]) + np.abs(w["vy"]) + np.abs(w["vz"]) + 3.0 * c
-    peak = float(speed.max())
-    if peak <= 0.0:
-        return np.inf
-    return cfl * dx / peak
+    return _dt_from_peak(dx, max_signal_subgrid(sg, eos), cfl)
 
 
-def global_timestep(mesh: AmrMesh, eos: IdealGasEOS, cfl: float = 0.4) -> float:
-    """The single global dt: minimum CFL limit over all leaves."""
+def global_timestep(
+    mesh: AmrMesh,
+    eos: IdealGasEOS,
+    cfl: float = 0.4,
+    signals: Optional[Dict[NodeKey, float]] = None,
+) -> float:
+    """The single global dt: minimum CFL limit over all leaves.
+
+    ``signals`` optionally maps leaf keys to cached peak wave speeds (from
+    the last step's signal reduction); leaves present in it skip the
+    primitives recomputation.  Missing leaves fall back to the full
+    computation, so a partially stale cache is still correct.
+    """
     dt = np.inf
     for leaf in mesh.leaves():
-        dt = min(dt, cfl_timestep_subgrid(leaf.subgrid, leaf.dx, eos, cfl))
+        peak = signals.get(leaf.key) if signals is not None else None
+        if peak is None:
+            peak = max_signal_subgrid(leaf.subgrid, eos)
+        dt = min(dt, _dt_from_peak(leaf.dx, peak, cfl))
     if not np.isfinite(dt):
         raise ValueError("global timestep is unbounded: mesh holds no signal")
     return dt

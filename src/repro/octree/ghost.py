@@ -21,12 +21,15 @@ one description.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.effects import ANY, declare_effects
+from repro.octree.fields import NFIELDS
 from repro.octree.mesh import AmrMesh
 from repro.octree.node import NodeKey, OctreeNode
+from repro.octree.subgrid import SubGrid
 
 
 @dataclass(frozen=True)
@@ -46,19 +49,29 @@ def _transverse_axes(axis: int) -> Tuple[int, int]:
     return tuple(a for a in range(3) if a != axis)  # type: ignore[return-value]
 
 
+#: Child-cell offsets of the 2x2x2 restriction stencil, in summation order.
+#: :func:`_restrict2` and :meth:`GhostIndexPlan.fill_ghosts_kernel` must add
+#: the eight terms in exactly this order so the two paths stay bit-identical.
+_RESTRICT_OFFSETS = (
+    (0, 0, 0),
+    (1, 0, 0),
+    (0, 1, 0),
+    (0, 0, 1),
+    (1, 1, 0),
+    (1, 0, 1),
+    (0, 1, 1),
+    (1, 1, 1),
+)
+
+
 def _restrict2(band: np.ndarray) -> np.ndarray:
     """2x2x2 conservative average over the three spatial axes of
     ``(F, a, b, c)`` with even extents."""
-    return 0.125 * (
-        band[:, 0::2, 0::2, 0::2]
-        + band[:, 1::2, 0::2, 0::2]
-        + band[:, 0::2, 1::2, 0::2]
-        + band[:, 0::2, 0::2, 1::2]
-        + band[:, 1::2, 1::2, 0::2]
-        + band[:, 1::2, 0::2, 1::2]
-        + band[:, 0::2, 1::2, 1::2]
-        + band[:, 1::2, 1::2, 1::2]
-    )
+    i, j, k = _RESTRICT_OFFSETS[0]
+    total = band[:, i::2, j::2, k::2]
+    for i, j, k in _RESTRICT_OFFSETS[1:]:
+        total = total + band[:, i::2, j::2, k::2]
+    return 0.125 * total
 
 
 def _fill_boundary(leaf: OctreeNode, axis: int, side: int) -> None:
@@ -224,3 +237,207 @@ def exchange_plan(mesh: AmrMesh) -> List[GhostExchange]:
                         )
                     )
     return plan
+
+
+# -- vectorized ghost index plan ---------------------------------------------
+#
+# When every leaf's storage lives in one flat arena (repro.hydro.plan), each
+# ghost band fill above is a pure gather: boundary/same/coarse fills move
+# values with slicing, np.repeat, np.take and np.tile only, and the fine fill
+# is a fixed 8-term average.  Tracing those *same* fill functions over cubes
+# of flat arena indices (instead of field values) therefore yields, per
+# class, a source-index array and a destination-index array such that
+# ``arena[dst] = arena[src]`` reproduces the fill exactly.  The whole-mesh
+# exchange collapses to four fancy-indexed copies.
+
+
+class _IndexSubGrid(SubGrid):
+    """A SubGrid whose ``data`` holds flat arena indices, for fill tracing."""
+
+    def __init__(self, n: int, ghost: int, cube: np.ndarray) -> None:
+        super().__init__(n, ghost)
+        self.data = cube
+
+
+class _IndexNode:
+    """Just enough of :class:`OctreeNode` for the fill functions above."""
+
+    __slots__ = ("subgrid", "coords", "octant")
+
+    def __init__(self, subgrid: _IndexSubGrid, coords, octant: int) -> None:
+        self.subgrid = subgrid
+        self.coords = coords
+        self.octant = octant
+
+
+def _as_index(arrays: List[np.ndarray]) -> np.ndarray:
+    if not arrays:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(arrays).astype(np.intp, copy=False)
+
+
+class GhostIndexPlan:
+    """Vectorized whole-mesh ghost exchange as class-grouped index copies.
+
+    Built by :func:`ghost_index_plan` for meshes whose leaf sub-grids share
+    one flat storage arena.  Faces group into the four exchange classes
+    (``same``, ``coarse``, ``boundary`` each as one src/dst gather pair;
+    ``fine`` as eight gathers averaged in :func:`_restrict2`'s summation
+    order), and :meth:`fill_ghosts_kernel` applies all of them with
+    preallocated buffers — no per-leaf Python walk, no hot-loop allocation.
+    """
+
+    def __init__(
+        self,
+        same: Tuple[np.ndarray, np.ndarray],
+        coarse: Tuple[np.ndarray, np.ndarray],
+        boundary: Tuple[np.ndarray, np.ndarray],
+        fine: Tuple[np.ndarray, np.ndarray],
+        face_counts: Dict[str, int],
+    ) -> None:
+        self.same_src, self.same_dst = same
+        self.coarse_src, self.coarse_dst = coarse
+        self.boundary_src, self.boundary_dst = boundary
+        self.fine_src, self.fine_dst = fine  # (8, K) and (K,)
+        self.face_counts = face_counts
+        self._same_buf = np.empty(self.same_dst.size)
+        self._coarse_buf = np.empty(self.coarse_dst.size)
+        self._boundary_buf = np.empty(self.boundary_dst.size)
+        self._fine_buf = np.empty(self.fine_dst.size)
+        self._fine_acc = np.empty(self.fine_dst.size)
+
+    @property
+    def n_ghost_cells(self) -> int:
+        """Total arena slots written per exchange (all fields)."""
+        return (
+            self.same_dst.size
+            + self.coarse_dst.size
+            + self.boundary_dst.size
+            + self.fine_dst.size
+        )
+
+    @declare_effects(reads=[(ANY, "U", "Host")], writes=[(ANY, "U.ghost", "Host")])
+    def fill_ghosts_kernel(self, flat: np.ndarray) -> None:
+        """Whole-mesh ghost exchange over the flat storage arena.
+
+        Equivalent to :func:`fill_all_ghosts` bit for bit: sources are
+        interior cells only (which no fill writes) and each ghost band has
+        exactly one writer, so class application order is irrelevant.
+        """
+        np.take(flat, self.same_src, out=self._same_buf)
+        flat[self.same_dst] = self._same_buf
+        np.take(flat, self.coarse_src, out=self._coarse_buf)
+        flat[self.coarse_dst] = self._coarse_buf
+        np.take(flat, self.boundary_src, out=self._boundary_buf)
+        flat[self.boundary_dst] = self._boundary_buf
+        if self.fine_dst.size:
+            np.take(flat, self.fine_src[0], out=self._fine_acc)
+            for row in range(1, 8):
+                np.take(flat, self.fine_src[row], out=self._fine_buf)
+                np.add(self._fine_acc, self._fine_buf, out=self._fine_acc)
+            np.multiply(0.125, self._fine_acc, out=self._fine_acc)
+            flat[self.fine_dst] = self._fine_acc
+
+
+def _fine_index_rows(
+    leaf: _IndexNode, children: List[_IndexNode], axis: int, side: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Eight source-index rows + destination indices for one fine-class face.
+
+    Mirrors :func:`_fill_fine` exactly, except the 2x2x2 average is kept
+    symbolic: row ``t`` holds the indices of the ``t``-th
+    :data:`_RESTRICT_OFFSETS` term.
+    """
+    sg = leaf.subgrid
+    g, n = sg.ghost, sg.n
+    half = n // 2
+    t1, t2 = _transverse_axes(axis)
+    band_shape = tuple(g if a == axis else n for a in range(3))
+    out = np.empty((8, sg.data.shape[0]) + band_shape, dtype=np.intp)
+    for child in children:
+        csg = child.subgrid
+        cg = csg.ghost
+        donor = [None, None, None]
+        if side == 0:
+            donor[axis] = slice(cg + csg.n - 2 * g, cg + csg.n)
+        else:
+            donor[axis] = slice(cg, cg + 2 * g)
+        donor[t1] = csg.interior
+        donor[t2] = csg.interior
+        band = csg.data[(slice(None),) + tuple(donor)]
+        b1 = (child.octant >> t1) & 1
+        b2 = (child.octant >> t2) & 1
+        dest = [None, None, None]
+        dest[axis] = slice(0, g)
+        dest[t1] = slice(b1 * half, (b1 + 1) * half)
+        dest[t2] = slice(b2 * half, (b2 + 1) * half)
+        for t, (i, j, k) in enumerate(_RESTRICT_OFFSETS):
+            out[(t, slice(None)) + tuple(dest)] = band[:, i::2, j::2, k::2]
+    dst = sg.data[(slice(None),) + sg.ghost_slices(axis, side)]
+    return out.reshape(8, -1), dst.ravel()
+
+
+def ghost_index_plan(
+    mesh: AmrMesh, offsets: Dict[NodeKey, int], nfields: int = NFIELDS
+) -> GhostIndexPlan:
+    """Trace the reference fills into a :class:`GhostIndexPlan`.
+
+    ``offsets`` maps each leaf key to the flat-arena offset of its
+    ``(nfields, M, M, M)`` chunk.  Each leaf gets a cube of its own arena
+    indices; running the reference fill functions over those cubes leaves
+    every traced ghost band holding the arena index of its source cell
+    (fills read interiors only, so cubes stay pristine where it matters).
+    """
+    leaves = mesh.leaves()
+    n, g = mesh.n, mesh.ghost
+    m = n + 2 * g
+    chunk = nfields * m**3
+    proxies: Dict[NodeKey, _IndexNode] = {}
+    for leaf in leaves:
+        base = offsets[leaf.key]
+        cube = np.arange(base, base + chunk, dtype=np.intp).reshape(nfields, m, m, m)
+        proxies[leaf.key] = _IndexNode(
+            _IndexSubGrid(n, g, cube), leaf.coords, leaf.octant
+        )
+
+    src: Dict[str, List[np.ndarray]] = {"same": [], "coarse": [], "boundary": []}
+    dst: Dict[str, List[np.ndarray]] = {"same": [], "coarse": [], "boundary": []}
+    fine_src: List[np.ndarray] = []
+    fine_dst: List[np.ndarray] = []
+    face_counts = {"same": 0, "coarse": 0, "boundary": 0, "fine": 0}
+    for leaf in leaves:
+        proxy = proxies[leaf.key]
+        sg = proxy.subgrid
+        for axis in range(3):
+            for side in (0, 1):
+                kind, other = mesh.face_neighbor(leaf, axis, side)
+                face_counts[kind] += 1
+                band = (slice(None),) + sg.ghost_slices(axis, side)
+                if kind == "fine":
+                    rows, band_dst = _fine_index_rows(
+                        proxy, [proxies[c.key] for c in other], axis, side
+                    )
+                    fine_src.append(rows)
+                    fine_dst.append(band_dst)
+                    continue
+                # The band is pristine until its own fill below runs.
+                dst[kind].append(sg.data[band].ravel().copy())
+                if kind == "boundary":
+                    _fill_boundary(proxy, axis, side)
+                elif kind == "same":
+                    _fill_same(proxy, proxies[other.key], axis, side)
+                else:
+                    _fill_coarse(proxy, proxies[other.key], axis, side)
+                src[kind].append(sg.data[band].ravel().copy())
+
+    if fine_src:
+        fine = (np.concatenate(fine_src, axis=1), _as_index(fine_dst))
+    else:
+        fine = (np.empty((8, 0), dtype=np.intp), np.empty(0, dtype=np.intp))
+    return GhostIndexPlan(
+        same=(_as_index(src["same"]), _as_index(dst["same"])),
+        coarse=(_as_index(src["coarse"]), _as_index(dst["coarse"])),
+        boundary=(_as_index(src["boundary"]), _as_index(dst["boundary"])),
+        fine=fine,
+        face_counts=face_counts,
+    )
