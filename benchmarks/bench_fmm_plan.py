@@ -1,0 +1,215 @@
+"""FMM plan benchmark: cold / warm solves, work-split shards, reference.
+
+Standalone (not a paper figure):
+
+    PYTHONPATH=src python benchmarks/bench_fmm_plan.py [--smoke]
+
+Measures the plan-cached batched FMM solve (``FmmSolver.solve``) against
+the per-node reference traversal (``solve_reference``), and the
+work-split solve (``m2l_split``, see ``docs/comms.md``) against the
+unsplit one.  Persists:
+
+* ``benchmarks/output/fmm_plan.txt`` — the human-readable table,
+* ``BENCH_fmm.json`` at the repo root — machine-readable numbers.
+
+Drift gates (exit 1 on violation):
+
+* batched vs reference within 1e-13 (relative to the field scale);
+* split vs unsplit **exactly zero** — sharding a far batch must not
+  change a single bit (each target keeps its complete, order-preserved
+  source segment).
+
+Timing methodology matches ``bench_hydro_plan.py``: minimum over several
+trials of the mean of a few repetitions, ``gc.collect()`` before each
+trial.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.gravity.fmm import FmmSolver  # noqa: E402
+from repro.octree import AmrMesh, Field  # noqa: E402
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+DRIFT_TOL = 1e-13
+SPLIT_ROWS = 64
+
+
+def build_mesh(levels: int, n: int = 8, refine_keys=(), seed: int = 0):
+    """A gaussian blob on a (possibly adaptively refined) mesh."""
+    rng = np.random.default_rng(seed)
+    mesh = AmrMesh(n=n, ghost=2, domain_size=2.0)
+    for _ in range(levels):
+        for key in list(mesh.leaf_keys()):
+            mesh.refine(key)
+    for k in refine_keys:
+        keys = sorted(mesh.leaf_keys())
+        mesh.refine(keys[k % len(keys)])
+    for leaf in mesh.leaves():
+        x, y, z = leaf.cell_centers()
+        rho = np.exp(-(x**2 + y**2 + z**2) / 0.25) + 0.01 * rng.random(x.shape)
+        leaf.subgrid.set_interior(Field.RHO, rho)
+    mesh.restrict_all()
+    return mesh
+
+
+def best_of(f, reps: int, trials: int) -> float:
+    out = []
+    for _ in range(trials):
+        gc.collect()
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            f()
+        out.append((time.perf_counter() - t0) / reps)
+    return min(out)
+
+
+def relative_drift(res, ref) -> float:
+    """max |res - ref| over phi and accel, relative to the field scales."""
+    phi_scale = max(np.abs(p).max() for p in ref.phi.values()) or 1.0
+    acc_scale = max(np.abs(a).max() for a in ref.accel.values()) or 1.0
+    worst = 0.0
+    for key in ref.phi:
+        worst = max(worst, np.abs(res.phi[key] - ref.phi[key]).max() / phi_scale)
+        worst = max(worst, np.abs(res.accel[key] - ref.accel[key]).max() / acc_scale)
+    return float(worst)
+
+
+def split_drift(res, ref) -> float:
+    """0.0 when split and unsplit agree bit-for-bit, else the max |diff|."""
+    worst = 0.0
+    for key in ref.phi:
+        if not (
+            np.array_equal(res.phi[key], ref.phi[key])
+            and np.array_equal(res.accel[key], ref.accel[key])
+        ):
+            worst = max(
+                worst,
+                float(np.abs(res.phi[key] - ref.phi[key]).max()),
+                float(np.abs(res.accel[key] - ref.accel[key]).max()),
+            )
+    return worst
+
+
+def bench_level(levels: int, reps: int, trials: int, refine_keys=()):
+    mesh = build_mesh(levels, refine_keys=refine_keys)
+    solver = FmmSolver()
+    split_solver = FmmSolver(m2l_split=SPLIT_ROWS)
+
+    gc.collect()
+    t0 = time.perf_counter()
+    cold_res = solver.solve(mesh)  # plan build + first batched solve
+    cold_s = time.perf_counter() - t0
+
+    warm = best_of(lambda: solver.solve(mesh), reps, trials)
+    split_res = split_solver.solve(mesh)  # builds plan + shard cache
+    warm_split = best_of(lambda: split_solver.solve(mesh), reps, trials)
+    t0 = time.perf_counter()
+    ref_res = solver.solve_reference(mesh)
+    reference_s = time.perf_counter() - t0
+
+    plan = solver.plan_for(mesh)
+    shards = plan.split(SPLIT_ROWS)
+    return {
+        "levels": levels,
+        "leaves": len(mesh.leaves()),
+        "cells": int(mesh.n_cells()),
+        "cold_ms": cold_s * 1e3,
+        "warm_ms": warm * 1e3,
+        "warm_split_ms": warm_split * 1e3,
+        "reference_ms": reference_s * 1e3,
+        "speedup_vs_reference": reference_s / warm,
+        "m2l_split_rows": SPLIT_ROWS,
+        "far_batches": len(plan.far_levels),
+        "split_batches": len(shards),
+        "drift_vs_reference": relative_drift(cold_res, ref_res),
+        "split_drift": split_drift(split_res, cold_res),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes, one trial: drift gates + plumbing check for CI",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        cases = [bench_level(1, reps=1, trials=1, refine_keys=(0,))]
+    else:
+        cases = [
+            bench_level(1, reps=5, trials=8),
+            bench_level(2, reps=2, trials=4),
+            bench_level(1, reps=3, trials=6, refine_keys=(0, 3)),
+        ]
+
+    lines = [
+        "fmm plan: batched solve vs reference traversal "
+        "(min-of-trials, ms per solve)",
+        f"{'mesh':<10} {'leaves':>6} {'cold':>8} {'warm':>8} {'split':>8} "
+        f"{'ref':>9} {'speedup':>8} {'batches':>8}",
+    ]
+    for c in cases:
+        lines.append(
+            f"level {c['levels']:<4} {c['leaves']:>6} {c['cold_ms']:>8.1f} "
+            f"{c['warm_ms']:>8.1f} {c['warm_split_ms']:>8.1f} "
+            f"{c['reference_ms']:>9.1f} {c['speedup_vs_reference']:>7.2f}x "
+            f"{c['far_batches']:>3}->{c['split_batches']:<3}"
+        )
+    for c in cases:
+        lines.append(
+            f"drift level {c['levels']} (leaves {c['leaves']}): "
+            f"vs reference {c['drift_vs_reference']:.3e}, "
+            f"split vs unsplit {c['split_drift']:.3e}"
+        )
+
+    text = "\n".join(lines)
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "fmm_plan.txt").write_text(text + "\n")
+    payload = {
+        "benchmark": "fmm_plan",
+        "smoke": args.smoke,
+        "drift_tol": DRIFT_TOL,
+        "drift": {
+            f"level {c['levels']} leaves {c['leaves']}": c["drift_vs_reference"]
+            for c in cases
+        },
+        "cases": cases,
+    }
+    (REPO_ROOT / "BENCH_fmm.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    status = 0
+    for c in cases:
+        label = f"level {c['levels']} (leaves {c['leaves']})"
+        if not (c["drift_vs_reference"] <= DRIFT_TOL):
+            print(
+                f"FAIL: {label} drift {c['drift_vs_reference']:.3e} > {DRIFT_TOL}",
+                file=sys.stderr,
+            )
+            status = 1
+        if c["split_drift"] != 0.0:
+            print(
+                f"FAIL: {label} split drift {c['split_drift']:.3e} != 0 "
+                "(work-splitting must be bit-identical)",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

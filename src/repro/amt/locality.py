@@ -81,6 +81,21 @@ class Locality:
             deps, Task(fn, args, cost=cost, name=name, kind=kind, effects=effects)
         )
 
+    def async_sharded(
+        self,
+        deps: List[Future],
+        fn: Optional[Callable[..., Any]],
+        cost: float = 0.0,
+        shards: int = 1,
+        name: str = "",
+        kind: str = "task",
+    ) -> Future:
+        """Work-split ``hpx::dataflow``: one payload, ``shards`` cost slices
+        the pool can interleave (see :meth:`WorkerPool.submit_sharded`)."""
+        return self.pool.submit_sharded(
+            deps, fn, cost=cost, shards=shards, name=name, kind=kind
+        )
+
     def __repr__(self) -> str:
         return f"<Locality {self.id} workers={self.pool.n_workers}>"
 

@@ -24,6 +24,10 @@ class Message:
     payload: Any
     size_bytes: int
     tag: str = ""
+    #: Protocol overhead (acks, heartbeats) rather than application data.
+    #: Counted under ``control_messages`` so EXPERIMENTS message counts
+    #: stay comparable across ± recovery runs.
+    control: bool = False
 
 
 @dataclass
@@ -48,6 +52,11 @@ class NetworkModel:
     _last_delivery: Dict[Tuple[int, int], float] = field(default_factory=dict)
     messages_sent: int = 0
     bytes_sent: int = 0
+    #: ``messages_sent`` split by :attr:`Message.control`: application
+    #: payloads vs protocol overhead (acks).  The sum equals
+    #: ``messages_sent``.
+    payload_messages: int = 0
+    control_messages: int = 0
     messages_dropped: int = 0
     messages_delayed: int = 0
     messages_duplicated: int = 0
@@ -116,6 +125,10 @@ class NetworkModel:
         """
         index = self.messages_sent
         self.messages_sent += 1
+        if message.control:
+            self.control_messages += 1
+        else:
+            self.payload_messages += 1
         self.bytes_sent += message.size_bytes
         extra_delay = 0.0
         duplicates = 0

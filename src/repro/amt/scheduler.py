@@ -68,6 +68,45 @@ class WorkerPool:
     ) -> Future:
         return self.submit(Task(fn, args, cost=cost, name=name, kind=kind, effects=effects))
 
+    def submit_sharded(
+        self,
+        deps: Iterable[Future],
+        fn: Optional[Callable[..., Any]],
+        cost: float = 0.0,
+        shards: int = 1,
+        name: str = "",
+        kind: str = "task",
+    ) -> Future:
+        """Split one unit of work across up to ``shards`` workers.
+
+        The paper's work-splitting mechanism (SVII-C) at the scheduler
+        level: the payload runs once (on the first shard), but the virtual
+        cost is divided over ``shards`` independent tasks the pool can run
+        concurrently — a kernel that would occupy one worker for ``cost``
+        seconds instead occupies ``shards`` workers for ``cost/shards``
+        each, shrinking the critical path when cores would otherwise
+        starve.  The returned future resolves when every shard finishes.
+        """
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        deps = list(deps)
+        if shards == 1:
+            task = Task(fn, cost=cost, name=name, kind=kind)
+            return self.submit_after(deps, task) if deps else self.submit(task)
+        from repro.amt.future import when_all
+
+        per = cost / shards
+        parts = []
+        for i in range(shards):
+            task = Task(
+                fn if i == 0 else None,
+                cost=per,
+                name=f"{name}#{i}" if name else "",
+                kind=kind,
+            )
+            parts.append(self.submit_after(deps, task) if deps else self.submit(task))
+        return when_all(parts)
+
     def submit_after(self, deps: Iterable[Future], task: Task) -> Future:
         """Queue ``task`` once every future in ``deps`` is ready.
 

@@ -36,6 +36,16 @@ def _build_parser() -> argparse.ArgumentParser:
                           "sub-grid kernels + vectorized ghost exchange); "
                           "--no-hydro-plan selects the per-leaf reference "
                           "path (identical bits, slower)")
+    run.add_argument("--coalesce", default=True,
+                     action=argparse.BooleanOptionalAction,
+                     help="bundle ghost messages per locality pair (one "
+                          "message per neighbor locality per phase, see "
+                          "docs/comms.md); --no-coalesce sends one message "
+                          "per leaf face (identical bits, more messages)")
+    run.add_argument("--m2l-split", type=int, default=0, metavar="ROWS",
+                     help="shard heavy same-level M2L batches to at most "
+                          "ROWS interaction rows each (0 = unsplit; "
+                          "identical bits)")
     run.add_argument("--sanitize", action="store_true",
                      help="run the analysis suite alongside each step: "
                           "memory-space sanitizer over the physics, static "
@@ -87,6 +97,7 @@ def _scenario_spec(name: str, level: int, build_mesh: bool):  # noqa: ANN202
 def _command_run(args: argparse.Namespace) -> int:
     from repro.core import OctoTigerSim
     from repro.core.diagnostics import diagnostics
+    from repro.distsim import RunConfig
     from repro.machines import MACHINES
     from repro.resilience import DeadlockError, FaultSpec, UnrecoverableFault
 
@@ -100,6 +111,10 @@ def _command_run(args: argparse.Namespace) -> int:
         scenario.mesh, eos=scenario.eos,
         omega=getattr(scenario, "omega", 0.0),
         machine=machine, nodes=args.nodes,
+        config=RunConfig(
+            machine=machine, nodes=args.nodes, coalesce=args.coalesce
+        ),
+        m2l_split=args.m2l_split,
         hydro_plan=args.hydro_plan,
         sanitize=args.sanitize,
         faults=faults,

@@ -1,0 +1,24 @@
+"""Locality-aware message coalescing (the paper's SVII-B at bundle scale).
+
+One :class:`~repro.comms.bundle.PairBundle` per ordered
+``(source_locality, dest_locality)`` pair aggregates every ghost-band
+transfer crossing that cut into a single flat-buffer message, so a step
+sends O(neighbor localities) payload messages instead of O(leaf faces).
+See ``docs/comms.md``.
+"""
+
+from repro.comms.bundle import (
+    GhostBundlePlan,
+    PairBundle,
+    adopt_arena,
+    build_bundle_plan,
+    neighbor_locality_pairs,
+)
+
+__all__ = [
+    "GhostBundlePlan",
+    "PairBundle",
+    "adopt_arena",
+    "build_bundle_plan",
+    "neighbor_locality_pairs",
+]

@@ -1,0 +1,376 @@
+"""Per-locality-pair ghost bundles: coalesced flat-buffer messages.
+
+The un-coalesced distributed step sends one message per remote ghost face
+per RK stage — O(leaf faces) messages, each paying the per-message action
+overhead (and, under the reliable transport, its own seq/ack/timer).  This
+module groups every ghost-band transfer by its ordered
+``(source_locality, dest_locality)`` pair into one :class:`PairBundle`
+backed by a single flat numpy payload buffer, so one step phase sends
+O(neighbor localities) messages instead.
+
+The pack/unpack index arrays are *traced* from the reference fill
+functions of :mod:`repro.octree.ghost`, exactly like
+:class:`~repro.octree.ghost.GhostIndexPlan` but grouped by locality pair
+rather than by exchange class:
+
+* ``same`` / ``coarse`` / ``boundary`` fills are pure gathers — tracing a
+  fill over cubes of flat-arena indices leaves the ghost band holding the
+  arena index of its source cell;
+* a ``fine`` fill is the fixed eight-term restriction average of
+  :data:`~repro.octree.ghost._RESTRICT_OFFSETS`.  Every output cell's
+  eight source cells belong to exactly *one* face child, so a fine face
+  whose children straddle localities splits cleanly: each child's output
+  cells ride the bundle of that child's locality.  The **sender** performs
+  the restriction (accumulate the eight gather rows in stencil order, then
+  multiply by 0.125 — the exact arithmetic of
+  :func:`repro.octree.ghost._restrict2`), so the wire carries the
+  restricted band, an 8x payload reduction, and the unpack side is a pure
+  scatter.
+
+Both sides are bit-identical to the per-face reference fills; the
+distributed-driver equivalence tests assert ``np.array_equal`` between the
+coalesced and un-coalesced paths.
+
+A bundle is rebuilt only when ``AmrMesh.topology_version`` moves — the
+same invalidation contract as the hydro/FMM execution plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.octree.fields import NFIELDS
+from repro.octree.ghost import (
+    _RESTRICT_OFFSETS,
+    _IndexNode,
+    _IndexSubGrid,
+    _fill_boundary,
+    _fill_coarse,
+    _fill_same,
+    _transverse_axes,
+)
+from repro.octree.mesh import AmrMesh
+from repro.octree.node import NodeKey
+
+#: Ordered (source_locality, dest_locality).
+PairKey = Tuple[int, int]
+
+
+def adopt_arena(
+    mesh: AmrMesh, nfields: int = NFIELDS
+) -> Tuple[np.ndarray, Dict[NodeKey, int]]:
+    """Move every leaf sub-grid into one flat storage arena.
+
+    Returns ``(arena, offsets)`` where ``offsets[key]`` is the flat offset
+    of that leaf's ``(nfields, M, M, M)`` chunk; each leaf's
+    ``subgrid.data`` is rebound to a view of the arena (values preserved),
+    so all existing kernels keep working while pack/unpack can fancy-index
+    the whole mesh at once.  Same layout as the batched hydro plan: leaves
+    sorted by key, one chunk per slot.
+    """
+    leaves = sorted(mesh.leaves(), key=lambda nd: nd.key)
+    m = mesh.n + 2 * mesh.ghost
+    chunk = nfields * m**3
+    arena = np.empty(len(leaves) * chunk)
+    offsets: Dict[NodeKey, int] = {}
+    for slot, leaf in enumerate(leaves):
+        base = slot * chunk
+        offsets[leaf.key] = base
+        view = arena[base : base + chunk].reshape(nfields, m, m, m)
+        np.copyto(view, leaf.subgrid.data)
+        leaf.subgrid.data = view
+    return arena, offsets
+
+
+def neighbor_locality_pairs(mesh: AmrMesh) -> List[PairKey]:
+    """The closed form the coalesced message count is tested against.
+
+    Every ordered ``(donor_locality, dest_locality)`` pair, donor != dest,
+    with at least one ghost-band transfer crossing it — fine faces
+    contribute one donor locality per face child.  A coalesced step phase
+    sends exactly one payload message per pair.
+    """
+    pairs = set()
+    for leaf in mesh.leaves():
+        for axis in range(3):
+            for side in (0, 1):
+                kind, other = mesh.face_neighbor(leaf, axis, side)
+                if kind == "boundary":
+                    continue
+                donors = [other] if kind in ("same", "coarse") else list(other)
+                for donor in donors:
+                    if donor.locality != leaf.locality:
+                        pairs.add((donor.locality, leaf.locality))
+    return sorted(pairs)
+
+
+@dataclass
+class PairBundle:
+    """Every ghost transfer from one locality to another, as one message.
+
+    ``copy_src/copy_dst`` cover the pure-gather classes (same, coarse,
+    boundary); ``fine_src`` holds the eight restriction gather rows whose
+    stencil-ordered average lands on ``fine_dst``.  ``pack`` gathers (and
+    restricts) into the preallocated payload buffer on the source side;
+    ``unpack`` scatters it into the destination ghost bands.
+    """
+
+    src_locality: int
+    dst_locality: int
+    copy_src: np.ndarray  # (C,) flat-arena gather indices
+    copy_dst: np.ndarray  # (C,) flat-arena scatter indices
+    fine_src: np.ndarray  # (8, K) restriction gather rows
+    fine_dst: np.ndarray  # (K,) flat-arena scatter indices
+    #: Leaves whose interiors this bundle reads / whose ghosts it writes,
+    #: in deterministic (sorted-key) order — the driver's dependency and
+    #: anti-dependency wiring.
+    donor_keys: Tuple[NodeKey, ...]
+    dest_keys: Tuple[NodeKey, ...]
+    #: Member (dest_key, axis, side) faces; a fine face straddling
+    #: localities is a member of each contributing pair.
+    faces: Tuple[Tuple[NodeKey, int, int], ...]
+    payload: np.ndarray = field(init=False, repr=False)
+    _fine_acc: np.ndarray = field(init=False, repr=False)
+    _fine_tmp: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.payload = np.empty(self.copy_src.size + self.fine_dst.size)
+        self._fine_acc = self.payload[self.copy_src.size :]
+        self._fine_tmp = np.empty(self.fine_dst.size)
+
+    @property
+    def local(self) -> bool:
+        return self.src_locality == self.dst_locality
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size: one float64 per packed ghost cell (all fields)."""
+        return self.payload.size * 8
+
+    @property
+    def n_faces(self) -> int:
+        return len(self.faces)
+
+    def pack(self, arena: np.ndarray) -> np.ndarray:
+        """Gather (and sender-side restrict) into the payload buffer."""
+        c = self.copy_src.size
+        np.take(arena, self.copy_src, out=self.payload[:c])
+        if self.fine_dst.size:
+            np.take(arena, self.fine_src[0], out=self._fine_acc)
+            for row in range(1, 8):
+                np.take(arena, self.fine_src[row], out=self._fine_tmp)
+                np.add(self._fine_acc, self._fine_tmp, out=self._fine_acc)
+            np.multiply(0.125, self._fine_acc, out=self._fine_acc)
+        return self.payload
+
+    def unpack(self, arena: np.ndarray) -> None:
+        """Scatter the payload into the destination ghost bands."""
+        c = self.copy_dst.size
+        arena[self.copy_dst] = self.payload[:c]
+        if self.fine_dst.size:
+            arena[self.fine_dst] = self.payload[c:]
+
+    def apply(self, arena: np.ndarray) -> None:
+        """Local (same-locality) path: pack + unpack in one step — the
+        promise-guarded direct read, but batched over every local face."""
+        self.pack(arena)
+        self.unpack(arena)
+
+
+@dataclass
+class GhostBundlePlan:
+    """All pair bundles of one mesh topology, plus the membership maps the
+    distributed driver wires dependencies through."""
+
+    topology_version: int
+    bundles: Dict[PairKey, PairBundle]
+    #: dest leaf key -> pair keys whose bundles fill (part of) its ghosts.
+    cover: Dict[NodeKey, Tuple[PairKey, ...]]
+    #: donor leaf key -> pair keys whose bundles read its interior.
+    donor_of: Dict[NodeKey, Tuple[PairKey, ...]]
+
+    @property
+    def remote_pairs(self) -> List[PairKey]:
+        return sorted(k for k in self.bundles if k[0] != k[1])
+
+    @property
+    def local_pairs(self) -> List[PairKey]:
+        return sorted(k for k in self.bundles if k[0] == k[1])
+
+    @property
+    def remote_payload_bytes(self) -> int:
+        return sum(self.bundles[k].nbytes for k in self.remote_pairs)
+
+    def matches(self, mesh: AmrMesh) -> bool:
+        return self.topology_version == mesh.topology_version
+
+
+def _child_fine_rows(
+    leaf: _IndexNode, child: _IndexNode, axis: int, side: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One face child's restriction gather rows and destination indices.
+
+    Mirrors :func:`repro.octree.ghost._fill_fine` for a single child: row
+    ``t`` holds the arena indices of the ``t``-th
+    :data:`_RESTRICT_OFFSETS` term, ``dst`` the ghost cells its average
+    lands on.  Eight source rows of an output cell always come from the
+    same child, which is what lets a fine face split across bundles.
+    """
+    sg = leaf.subgrid
+    g, n = sg.ghost, sg.n
+    half = n // 2
+    t1, t2 = _transverse_axes(axis)
+    csg = child.subgrid
+    cg = csg.ghost
+    donor: List[Optional[slice]] = [None, None, None]
+    if side == 0:
+        donor[axis] = slice(cg + csg.n - 2 * g, cg + csg.n)
+    else:
+        donor[axis] = slice(cg, cg + 2 * g)
+    donor[t1] = csg.interior
+    donor[t2] = csg.interior
+    band = csg.data[(slice(None),) + tuple(donor)]
+    rows = np.stack([band[:, i::2, j::2, k::2] for i, j, k in _RESTRICT_OFFSETS])
+
+    b1 = (child.octant >> t1) & 1
+    b2 = (child.octant >> t2) & 1
+    dest: List[Optional[slice]] = [None, None, None]
+    dest[axis] = slice(0, g)
+    dest[t1] = slice(b1 * half, (b1 + 1) * half)
+    dest[t2] = slice(b2 * half, (b2 + 1) * half)
+    dst_band = sg.data[(slice(None),) + sg.ghost_slices(axis, side)]
+    dst = dst_band[(slice(None),) + tuple(dest)]
+    return rows.reshape(8, -1), dst.ravel()
+
+
+class _PairAccumulator:
+    """Per-pair lists collected during the face walk."""
+
+    __slots__ = ("copy_src", "copy_dst", "fine_src", "fine_dst",
+                 "donor_keys", "dest_keys", "faces")
+
+    def __init__(self) -> None:
+        self.copy_src: List[np.ndarray] = []
+        self.copy_dst: List[np.ndarray] = []
+        self.fine_src: List[np.ndarray] = []
+        self.fine_dst: List[np.ndarray] = []
+        self.donor_keys: Dict[NodeKey, None] = {}
+        self.dest_keys: Dict[NodeKey, None] = {}
+        self.faces: List[Tuple[NodeKey, int, int]] = []
+
+
+def _cat(arrays: List[np.ndarray]) -> np.ndarray:
+    if not arrays:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(arrays).astype(np.intp, copy=False)
+
+
+def build_bundle_plan(
+    mesh: AmrMesh, offsets: Dict[NodeKey, int], nfields: int = NFIELDS
+) -> GhostBundlePlan:
+    """Trace the reference fills into per-locality-pair bundles.
+
+    ``offsets`` maps each leaf key to its flat-arena chunk offset (see
+    :func:`adopt_arena`).  Same tracing technique as
+    :func:`repro.octree.ghost.ghost_index_plan` — each leaf gets a cube of
+    its own arena indices, and running the reference fill functions over
+    those cubes leaves every traced ghost band holding the arena index of
+    its source cell — but grouped by ``(donor_locality, dest_locality)``.
+    """
+    leaves = sorted(mesh.leaves(), key=lambda nd: nd.key)
+    n, g = mesh.n, mesh.ghost
+    m = n + 2 * g
+    chunk = nfields * m**3
+    proxies: Dict[NodeKey, _IndexNode] = {}
+    locality: Dict[NodeKey, int] = {}
+    for leaf in leaves:
+        base = offsets[leaf.key]
+        cube = np.arange(base, base + chunk, dtype=np.intp).reshape(nfields, m, m, m)
+        proxies[leaf.key] = _IndexNode(
+            _IndexSubGrid(n, g, cube), leaf.coords, leaf.octant
+        )
+        locality[leaf.key] = leaf.locality
+
+    acc: Dict[PairKey, _PairAccumulator] = {}
+
+    def pair_acc(src_loc: int, dst_loc: int) -> _PairAccumulator:
+        entry = acc.get((src_loc, dst_loc))
+        if entry is None:
+            entry = acc[(src_loc, dst_loc)] = _PairAccumulator()
+        return entry
+
+    for leaf in leaves:
+        proxy = proxies[leaf.key]
+        sg = proxy.subgrid
+        for axis in range(3):
+            for side in (0, 1):
+                kind, other = mesh.face_neighbor(leaf, axis, side)
+                if kind == "fine":
+                    for child in other:
+                        rows, dst = _child_fine_rows(
+                            proxy, proxies[child.key], axis, side
+                        )
+                        entry = pair_acc(child.locality, leaf.locality)
+                        entry.fine_src.append(rows)
+                        entry.fine_dst.append(dst)
+                        entry.donor_keys[child.key] = None
+                        entry.dest_keys[leaf.key] = None
+                        entry.faces.append((leaf.key, axis, side))
+                    continue
+                band = (slice(None),) + sg.ghost_slices(axis, side)
+                # The band is pristine until its own fill below runs
+                # (every fill reads interiors only).
+                dst = sg.data[band].ravel().copy()
+                if kind == "boundary":
+                    donor_key = leaf.key
+                    _fill_boundary(proxy, axis, side)
+                elif kind == "same":
+                    donor_key = other.key
+                    _fill_same(proxy, proxies[other.key], axis, side)
+                else:
+                    donor_key = other.key
+                    _fill_coarse(proxy, proxies[other.key], axis, side)
+                src = sg.data[band].ravel().copy()
+                entry = pair_acc(locality[donor_key], leaf.locality)
+                entry.copy_src.append(src)
+                entry.copy_dst.append(dst)
+                entry.donor_keys[donor_key] = None
+                entry.dest_keys[leaf.key] = None
+                entry.faces.append((leaf.key, axis, side))
+
+    bundles: Dict[PairKey, PairBundle] = {}
+    cover: Dict[NodeKey, List[PairKey]] = {leaf.key: [] for leaf in leaves}
+    donor_of: Dict[NodeKey, List[PairKey]] = {leaf.key: [] for leaf in leaves}
+    for pair in sorted(acc):
+        entry = acc[pair]
+        if entry.fine_src:
+            fine_src = np.concatenate(entry.fine_src, axis=1).astype(
+                np.intp, copy=False
+            )
+        else:
+            fine_src = np.empty((8, 0), dtype=np.intp)
+        bundles[pair] = PairBundle(
+            src_locality=pair[0],
+            dst_locality=pair[1],
+            copy_src=_cat(entry.copy_src),
+            copy_dst=_cat(entry.copy_dst),
+            fine_src=fine_src,
+            fine_dst=_cat(entry.fine_dst),
+            donor_keys=tuple(entry.donor_keys),
+            dest_keys=tuple(entry.dest_keys),
+            faces=tuple(entry.faces),
+        )
+        for key in entry.dest_keys:
+            cover[key].append(pair)
+        for key in entry.donor_keys:
+            donor_of[key].append(pair)
+
+    return GhostBundlePlan(
+        topology_version=mesh.topology_version,
+        bundles=bundles,
+        cover={k: tuple(v) for k, v in cover.items()},
+        donor_of={k: tuple(v) for k, v in donor_of.items()},
+    )

@@ -33,13 +33,15 @@ import numpy as np
 from repro.amt.future import Future, Promise, when_all
 from repro.amt.locality import Runtime
 from repro.amt.network import Message, NetworkModel
+from repro.comms import GhostBundlePlan, adopt_arena, build_bundle_plan
 from repro.distsim.model import DEFAULT_CONSTANTS, ModelConstants, _cpu_rate
 from repro.distsim.runconfig import RunConfig
 from repro.hydro.eos import IdealGasEOS
 from repro.hydro.integrator import _RK3_STAGES
+from repro.hydro.plan import stacked_resync_tau_kernel
 from repro.hydro.solver import dudt_subgrid
 from repro.hydro.sources import rotating_frame_source
-from repro.octree.fields import Field
+from repro.octree.fields import NFIELDS, Field
 from repro.octree.ghost import (
     _fill_boundary,
     _fill_coarse,
@@ -65,6 +67,12 @@ class DistributedStepResult:
     messages_dropped: int = 0
     retransmits: int = 0
     acks: int = 0
+    #: ``messages`` split into application payloads vs protocol control
+    #: traffic (acks).  Historically acks doubled ``messages`` under
+    #: recovery; payload_messages is the number to compare across runs.
+    payload_messages: int = 0
+    control_messages: int = 0
+    duplicates_suppressed: int = 0
 
 
 class DistributedHydroDriver:
@@ -80,6 +88,7 @@ class DistributedHydroDriver:
         workers_per_locality: int = 8,
         faults: Optional[FaultSpec] = None,
         recovery: Any = None,
+        coalesce: Optional[bool] = None,
     ) -> None:
         from repro.machines.specs import FUGAKU
 
@@ -106,6 +115,13 @@ class DistributedHydroDriver:
         #: per-step state) but its *shape* only changes on regrid.
         self._skeleton: Optional[tuple] = None
         self._skeleton_version = -1
+        #: Coalesced ghost exchange (one bundle message per locality pair
+        #: per stage, see repro.comms) vs the retained per-face path.
+        #: ``None`` defers to the run configuration.
+        self.coalesce = self.config.coalesce if coalesce is None else coalesce
+        self._bundle_plan: Optional[GhostBundlePlan] = None
+        self._arena: Optional[np.ndarray] = None
+        self._bundle_version = -1
 
     # -- cost helpers --------------------------------------------------------
     def _kernel_cost(self) -> float:
@@ -178,49 +194,82 @@ class DistributedHydroDriver:
         fill_cost = self.constants.face_sync_cpu_s
 
         u0: Dict[NodeKey, np.ndarray] = {}
-        for leaf in leaves:
-            s = leaf.subgrid.interior
-            u0[leaf.key] = leaf.subgrid.data[:, s, s, s].copy()
+        if self.coalesce:
+            # Arena payoff: every leaf interior is one strided view of the
+            # flat buffer, so the stage-0 state is captured with a single
+            # copy instead of one per leaf.
+            self._bundles()
+            u0_stack = self._stacked_interior().copy()
+            for slot, key in enumerate(sorted(leaf.key for leaf in leaves)):
+                u0[key] = u0_stack[slot]
+        else:
+            for leaf in leaves:
+                s = leaf.subgrid.interior
+                u0[leaf.key] = leaf.subgrid.data[:, s, s, s].copy()
 
         update_futures: Dict[NodeKey, Future] = {
             leaf.key: _ready() for leaf in leaves
         }
 
+        prev_bundle_done: Dict[Tuple[int, int], Future] = {}
         for a0, a1 in _RK3_STAGES:
-            fill_futures: Dict[Tuple[NodeKey, int, int], Future] = {}
-            # 1. Ghost fills.
-            for leaf in leaves:
-                loc = runtime.localities[leaf.locality]
-                for axis in range(3):
-                    for side in (0, 1):
-                        kind, other = face_kinds[(leaf.key, axis, side)]
-                        deps: List[Future] = [update_futures[leaf.key]]
-                        donors: List[OctreeNode] = []
-                        if kind == "same" or kind == "coarse":
-                            donors = [other]
-                        elif kind == "fine":
-                            donors = list(other)
-                        for donor in donors:
-                            deps.append(update_futures[donor.key])
+            # 1. Ghost fills: coalesced bundles (one message per locality
+            # pair) or the retained per-face reference path.  Both produce
+            # ``cover_futures`` (what each leaf's kernel waits for) and
+            # ``anti_futures`` (what reads each leaf's current interior).
+            if self.coalesce:
+                cover_futures, anti_futures, prev_bundle_done = (
+                    self._bundle_stage(
+                        runtime, network, transport, watchdog,
+                        update_futures, fill_cost, prev_bundle_done,
+                    )
+                )
+            else:
+                fill_futures: Dict[Tuple[NodeKey, int, int], Future] = {}
+                for leaf in leaves:
+                    loc = runtime.localities[leaf.locality]
+                    for axis in range(3):
+                        for side in (0, 1):
+                            kind, other = face_kinds[(leaf.key, axis, side)]
+                            deps: List[Future] = [update_futures[leaf.key]]
+                            donors: List[OctreeNode] = []
+                            if kind == "same" or kind == "coarse":
+                                donors = [other]
+                            elif kind == "fine":
+                                donors = list(other)
+                            for donor in donors:
+                                deps.append(update_futures[donor.key])
 
-                        fill = self._fill_task(
-                            runtime, network, loc, leaf, axis, side, kind, other,
-                            deps, fill_cost, transport, watchdog,
-                        )
-                        fill_futures[(leaf.key, axis, side)] = fill
-                        watchdog.watch(
-                            fill, deps, name=f"fill.{leaf.key}.ax{axis}.s{side}"
-                        )
+                            fill = self._fill_task(
+                                runtime, network, loc, leaf, axis, side,
+                                kind, other, deps, fill_cost, transport,
+                                watchdog,
+                            )
+                            fill_futures[(leaf.key, axis, side)] = fill
+                            watchdog.watch(
+                                fill, deps,
+                                name=f"fill.{leaf.key}.ax{axis}.s{side}",
+                            )
+                cover_futures = {
+                    leaf.key: [
+                        fill_futures[(leaf.key, axis, side)]
+                        for axis in range(3)
+                        for side in (0, 1)
+                    ]
+                    for leaf in leaves
+                }
+                anti_futures = {
+                    leaf.key: [
+                        fill_futures[reader] for reader in readers[leaf.key]
+                    ]
+                    for leaf in leaves
+                }
             # 2. Kernels + updates with anti-dependencies.
             new_updates: Dict[NodeKey, Future] = {}
             rhs_store: Dict[NodeKey, np.ndarray] = {}
             for leaf in leaves:
                 loc = runtime.localities[leaf.locality]
-                deps = [
-                    fill_futures[(leaf.key, axis, side)]
-                    for axis in range(3)
-                    for side in (0, 1)
-                ]
+                deps = list(cover_futures[leaf.key])
 
                 def compute(leaf=leaf, rhs_store=rhs_store):  # noqa: ANN001
                     rhs, _ = dudt_subgrid(leaf.subgrid, leaf.dx, eos)
@@ -235,21 +284,23 @@ class DistributedHydroDriver:
                     deps, compute, cost=kernel_cost,
                     name=f"hydro.{leaf.key}", kind="hydro.kernel",
                 )
-                # The update may not run until every neighbour fill that
-                # reads this leaf's current interior has executed.
-                anti = [
-                    fill_futures[reader] for reader in readers[leaf.key]
-                ]
+                # The update may not run until every neighbour fill (or
+                # bundle pack) that reads this leaf's current interior has
+                # executed.
+                anti = anti_futures[leaf.key]
 
                 def update(leaf=leaf, a0=a0, a1=a1, rhs_store=rhs_store):  # noqa: ANN001
                     # Stage coefficients bound as defaults: the task body
-                    # executes after this loop has moved on.
+                    # executes after this loop has moved on.  In-place form
+                    # of ``a0*u0 + a1*(u + dt*rhs)`` — same elementary ops
+                    # (addition commuted), so bit-identical to the
+                    # expression form at a third of the temporaries.
                     s = leaf.subgrid.interior
                     u = leaf.subgrid.data[:, s, s, s]
-                    leaf.subgrid.data[:, s, s, s] = a0 * u0[leaf.key] + a1 * (
-                        u + dt * rhs_store[leaf.key]
-                    )
-                    self._floors(leaf)
+                    u += dt * rhs_store.pop(leaf.key)
+                    u *= a1
+                    u += a0 * u0[leaf.key]
+                    self._floors_view(u)
 
                 watchdog.watch(kernel_future, deps, name=f"hydro.{leaf.key}")
                 new_updates[leaf.key] = loc.async_after(
@@ -266,8 +317,14 @@ class DistributedHydroDriver:
         watchdog.watch(barrier, list(update_futures.values()), name="step.final")
         runtime.run_until_ready(barrier, watchdog=watchdog)
 
-        for leaf in leaves:
-            self._resync_tau(leaf)
+        if self.coalesce:
+            # Same elementwise resync as the per-leaf loop, applied to the
+            # whole arena in one set of vectorized ops (bit-identical: the
+            # math per cell is unchanged, only the batching differs).
+            stacked_resync_tau_kernel(self._stacked_interior(), eos)
+        else:
+            for leaf in leaves:
+                self._resync_tau(leaf)
         mesh.restrict_all()
 
         self.time += dt
@@ -282,11 +339,156 @@ class DistributedHydroDriver:
             messages_dropped=network.messages_dropped,
             retransmits=transport.stats.retransmits if transport else 0,
             acks=transport.stats.acks_received if transport else 0,
+            payload_messages=network.payload_messages,
+            control_messages=network.control_messages,
+            duplicates_suppressed=(
+                transport.stats.duplicates_suppressed if transport else 0
+            ),
         )
         self.last_result = result
         return result
 
     # -- pieces ------------------------------------------------------------------
+    def _bundles(self) -> GhostBundlePlan:
+        """The coalescing plan, rebuilt only when the mesh regrids.
+
+        Adopting the arena rebinds every leaf's sub-grid to a view of one
+        flat buffer (values preserved), so pack/unpack are single
+        fancy-indexed gathers/scatters over the whole mesh.
+        """
+        if (
+            self._bundle_plan is None
+            or self._bundle_version != self.mesh.topology_version
+        ):
+            self._arena, offsets = adopt_arena(self.mesh)
+            self._bundle_plan = build_bundle_plan(self.mesh, offsets)
+            self._bundle_version = self.mesh.topology_version
+        return self._bundle_plan
+
+    def _stacked_interior(self) -> np.ndarray:
+        """All leaf interiors as one ``(leaves, fields, n, n, n)`` view.
+
+        Valid only after :meth:`_bundles` adopted the arena for the current
+        topology; slot order is sorted leaf key, matching ``adopt_arena``.
+        """
+        m = self.mesh.n + 2 * self.mesh.ghost
+        chunk = NFIELDS * m**3
+        s = slice(self.mesh.ghost, self.mesh.ghost + self.mesh.n)
+        stacked = self._arena.reshape(-1, NFIELDS, m, m, m)
+        assert stacked.shape[0] * chunk == self._arena.size
+        return stacked[:, :, s, s, s]
+
+    def _bundle_stage(
+        self,
+        runtime: Runtime,
+        network: NetworkModel,
+        transport: Optional[ReliableTransport],
+        watchdog: DeadlockWatchdog,
+        update_futures: Dict[NodeKey, Future],
+        fill_cost: float,
+        prev_done: Dict[Tuple[int, int], Future],
+    ):
+        """One RK stage's ghost exchange as coalesced pair bundles.
+
+        Per ordered locality pair: a **pack** task on the source locality
+        (gathers + restricts every crossing band into the bundle's flat
+        payload), one network message, and an **unpack** task on the
+        destination (scatters into the ghost bands).  Same-locality pairs
+        under the local-communication optimization collapse to a single
+        work-split **apply** task and send nothing.  Virtual cost matches
+        the per-face path (``fill_cost`` per member face), spread over the
+        pool via :meth:`~repro.amt.locality.Locality.async_sharded`.
+
+        ``prev_done`` carries each bundle's previous-stage completion: the
+        payload buffer is reused across stages, so stage ``k``'s pack may
+        not overwrite it until stage ``k-1``'s unpack has scattered it.
+        """
+        plan = self._bundles()
+        arena = self._arena
+        fill_done: Dict[Tuple[int, int], Future] = {}
+        pack_done: Dict[Tuple[int, int], Future] = {}
+        # One send per neighbor-locality bundle — the coalesced pattern
+        # R005 exists to enforce, not a per-item loop.
+        for pair in sorted(plan.bundles):  # reprolint: sanctioned-bundle
+            bundle = plan.bundles[pair]
+            src_loc = runtime.localities[bundle.src_locality]
+            dst_loc = runtime.localities[bundle.dst_locality]
+            donor_deps = [update_futures[k] for k in bundle.donor_keys]
+            dest_deps = [update_futures[k] for k in bundle.dest_keys]
+            # Work-split granularity: a shard carries at least ~4 faces of
+            # pack/unpack work — narrower shards cost more in per-task
+            # overhead (real and virtual) than the parallelism they buy.
+            shards = min(self.workers, max(1, bundle.n_faces // 4))
+            name = f"bundle.{pair[0]}to{pair[1]}"
+            if bundle.local and self.config.comm_local_optimization:
+                seen = set()
+                deps = [
+                    f for f in donor_deps + dest_deps
+                    if id(f) not in seen and not seen.add(id(f))
+                ]
+                done = src_loc.async_sharded(
+                    deps, lambda b=bundle: b.apply(arena),
+                    cost=fill_cost * bundle.n_faces, shards=shards,
+                    name=name, kind="ghost.bundle.local",
+                )
+                watchdog.watch(done, deps, name=name)
+                fill_done[pair] = done
+                pack_done[pair] = done
+                continue
+            pack_deps = list(donor_deps)
+            if pair in prev_done:
+                pack_deps.append(prev_done[pair])
+            pack = src_loc.async_sharded(
+                pack_deps, lambda b=bundle: b.pack(arena),
+                cost=0.5 * fill_cost * bundle.n_faces, shards=shards,
+                name=f"{name}.pack", kind="ghost.bundle.pack",
+            )
+            watchdog.watch(pack, pack_deps, name=f"{name}.pack")
+            promise = Promise(name=name)
+
+            def send(_v, bundle=bundle, promise=promise, name=name):  # noqa: ANN001
+                delivered = [False]
+
+                def deliver(_m: Message) -> None:
+                    # Guard against raw-network wire duplicates; the
+                    # reliable transport already dedups per bundle.
+                    if not delivered[0]:
+                        delivered[0] = True
+                        promise.set_value(None)
+
+                message = Message(
+                    bundle.src_locality, bundle.dst_locality, None,
+                    bundle.nbytes, tag=name,
+                )
+                if transport is not None:
+                    transport.send(message, deliver, local=bundle.local)
+                else:
+                    network.send(
+                        runtime.engine, message, deliver, local=bundle.local
+                    )
+
+            pack.add_done_callback(send)
+            arrived = promise.get_future()
+            watchdog.watch(arrived, [pack], name=name)
+            unpack_deps = [arrived, *dest_deps]
+            unpack = dst_loc.async_sharded(
+                unpack_deps, lambda b=bundle: b.unpack(arena),
+                cost=0.5 * fill_cost * bundle.n_faces, shards=shards,
+                name=f"{name}.unpack", kind="ghost.bundle.unpack",
+            )
+            watchdog.watch(unpack, unpack_deps, name=f"{name}.unpack")
+            fill_done[pair] = unpack
+            pack_done[pair] = pack
+        cover_futures = {
+            key: [fill_done[p] for p in pairs]
+            for key, pairs in plan.cover.items()
+        }
+        anti_futures = {
+            key: [pack_done[p] for p in pairs]
+            for key, pairs in plan.donor_of.items()
+        }
+        return cover_futures, anti_futures, fill_done
+
     def _fill_task(
         self,
         runtime: Runtime,
@@ -338,7 +540,9 @@ class DistributedHydroDriver:
                 if pending[0] == 0:
                     promise.set_value(None)
 
-            for src in donor_localities:
+            # Retained per-face ablation path (--no-coalesce); the default
+            # coalesced path sends one bundle per locality pair instead.
+            for src in donor_localities:  # reprolint: sanctioned-bundle
                 message = Message(src, leaf.locality, None, size, tag=name)
                 if transport is not None:
                     transport.send(message, deliver, local=src == leaf.locality)
@@ -354,9 +558,7 @@ class DistributedHydroDriver:
             watchdog.watch(arrived, deps, name=name)
         return loc.async_after([arrived], do_fill, cost=fill_cost, kind="ghost.remote")
 
-    def _floors(self, leaf: OctreeNode) -> None:
-        s = leaf.subgrid.interior
-        u = leaf.subgrid.data[:, s, s, s]
+    def _floors_view(self, u: np.ndarray) -> None:
         np.maximum(u[Field.RHO], self.eos.rho_floor, out=u[Field.RHO])
         np.maximum(u[Field.TAU], 0.0, out=u[Field.TAU])
         np.maximum(u[Field.FRAC1], 0.0, out=u[Field.FRAC1])

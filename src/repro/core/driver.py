@@ -85,6 +85,7 @@ class OctoTigerSim:
         config: Optional[RunConfig] = None,
         constants: ModelConstants = DEFAULT_CONSTANTS,
         empty_mass_threshold: float = 1e-12,
+        m2l_split: int = 0,
         hydro_plan: bool = True,
         sanitize: bool = False,
         faults: Optional[FaultSpec] = None,
@@ -131,7 +132,9 @@ class OctoTigerSim:
         gravity_cb = None
         if gravity:
             self.gravity_solver = FmmSolver(
-                order=gravity_order, empty_mass_threshold=empty_mass_threshold
+                order=gravity_order,
+                empty_mass_threshold=empty_mass_threshold,
+                m2l_split=m2l_split,
             )
             # Route the solver's per-phase timers (fmm.plan, fmm.p2m_m2m,
             # fmm.m2l, fmm.l2p, fmm.p2p) into this run's counter registry.
@@ -178,6 +181,7 @@ class OctoTigerSim:
             nodes=nodes,
             simd=config["simd.abi"] != "scalar",
             comm_local_optimization=config["comm.local_optimization"],
+            coalesce=config["comm.coalesce"],
             tasks_per_multipole_kernel=config["runtime.tasks_per_kernel"],
         )
         sim = cls(
@@ -190,6 +194,7 @@ class OctoTigerSim:
             machine=machine,
             nodes=nodes,
             config=run_config,
+            m2l_split=config["gravity.m2l_split"],
         )
         if sim.gravity_solver is not None:
             sim.gravity_solver.theta = config["gravity.theta"]

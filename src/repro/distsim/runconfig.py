@@ -21,6 +21,10 @@ class RunConfig:
     simd: bool = True  # explicit SIMD types (SVE/AVX) in compute kernels
     boost: bool = False  # Fugaku 2.2 GHz boost mode
     comm_local_optimization: bool = True  # paper SVII-B
+    #: Coalesce all ghost transfers between a locality pair into one
+    #: flat-buffer bundle message per step phase (see ``docs/comms.md``):
+    #: O(neighbor localities) payload messages instead of O(leaf faces).
+    coalesce: bool = True
     tasks_per_multipole_kernel: int = 1  # paper SVII-C ("OFF"=1, "ON"=16)
     gpu_aggregation: int = 16  # kernel launches fused per device launch
     cores: int = 0  # 0 = all node cores (Fig. 3 sweeps this)

@@ -80,6 +80,44 @@ def weak_scaling_curve(
     return out
 
 
+def comm_ablation_curves(
+    spec: ScenarioSpec,
+    machine: MachineModel,
+    nodes: Iterable[int],
+    constants: ModelConstants = DEFAULT_CONSTANTS,
+    **config_kwargs,  # noqa: ANN003
+):
+    """The paper's communication-optimization ablation (Fig. 8 shape), on
+    the discrete-event simulator.
+
+    Executes the per-step task graph across node counts for the four
+    combinations of ± message coalescing (``RunConfig.coalesce``, see
+    ``docs/comms.md``) and ± the §VII-B local-communication optimization,
+    returning ``{label: [TaskGraphResult, ...]}``.  The curve separation —
+    bundled runs degrade later as the per-message action overhead stops
+    dominating — is the simulated analogue of the paper's with/without
+    scaling plot.
+    """
+    from repro.distsim.taskgraph import TaskGraphSimulator
+
+    variants = {
+        "coalesce+local_opt": {"coalesce": True, "comm_local_optimization": True},
+        "coalesce": {"coalesce": True, "comm_local_optimization": False},
+        "local_opt": {"coalesce": False, "comm_local_optimization": True},
+        "baseline": {"coalesce": False, "comm_local_optimization": False},
+    }
+    out = {}
+    for label, flags in variants.items():
+        curve = []
+        for n in nodes:
+            cfg = RunConfig(
+                machine=machine, nodes=n, **{**config_kwargs, **flags}
+            )
+            curve.append(TaskGraphSimulator(spec, cfg, constants).run_step())
+        out[label] = curve
+    return out
+
+
 def min_nodes_for(
     spec: ScenarioSpec, machine: MachineModel, power_of_two: bool = True
 ) -> int:

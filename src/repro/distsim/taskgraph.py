@@ -65,6 +65,10 @@ class TaskGraphResult:
     messages_dropped: int = 0
     retransmits: int = 0
     acks: int = 0
+    #: ``messages`` split into application payloads vs protocol control
+    #: traffic (acks) — see :class:`repro.amt.network.Message.control`.
+    payload_messages: int = 0
+    control_messages: int = 0
 
 
 @dataclass(frozen=True)
@@ -272,9 +276,53 @@ class TaskGraphSimulator:
         hydro_ids: Dict[Tuple[int, int], int] = {}  # (stage, sg) -> node id
         for stage in range(3):
             stage_ids: List[int] = []
+            # Coalescing (docs/comms.md): every transfer crossing an
+            # ordered locality pair in this stage becomes one bundled
+            # ghost node — one message whose size is the sum of the member
+            # faces — instead of one message per face.  Local transfers
+            # under the §VII-B optimization stay per-face (they are
+            # promise-guarded direct reads, not messages).
+            bundle_ids: Dict[Tuple[int, int], int] = {}
+            if config.coalesce:
+                pair_edges: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+                for sg in range(self.n_subgrids):
+                    for nb in neighbor_lists[sg]:
+                        pair = (self.owner[nb], self.owner[sg])
+                        if pair[0] == pair[1] and config.comm_local_optimization:
+                            continue
+                        pair_edges.setdefault(pair, []).append((nb, sg))
+                for pair in sorted(pair_edges):
+                    edges = pair_edges[pair]
+                    bundle_deps = (
+                        tuple(sorted({hydro_ids[(stage - 1, nb)] for nb, _ in edges}))
+                        if stage
+                        else ()
+                    )
+                    effects = EffectSet.make(
+                        reads=[
+                            (nb, f"donor@{stage}") for nb in sorted({e[0] for e in edges})
+                        ],
+                        writes=[
+                            (sg, f"ghost[{nb}]@{stage}") for nb, sg in edges
+                        ],
+                    )
+                    bundle_ids[pair] = graph.add(
+                        name=f"bundle{stage}.{pair[0]}to{pair[1]}",
+                        kind="ghost",
+                        locality=pair[1],
+                        deps=bundle_deps,
+                        effects=effects,
+                        src_locality=pair[0],
+                        size_bytes=spec.face_bytes * len(edges),
+                    )
             for sg in range(self.n_subgrids):
                 deps: List[int] = [] if barrier is None else [barrier]
                 for nb in neighbor_lists[sg]:
+                    pair = (self.owner[nb], self.owner[sg])
+                    if pair in bundle_ids:
+                        if bundle_ids[pair] not in deps:
+                            deps.append(bundle_ids[pair])
+                        continue
                     # The transfer reads the donor band nb published when it
                     # finished the previous stage — the promise-guarded
                     # direct read of the paper's §VII-B.
@@ -422,6 +470,8 @@ class TaskGraphSimulator:
             messages_dropped=self.network.messages_dropped,
             retransmits=stats.retransmits if stats else 0,
             acks=stats.acks_received if stats else 0,
+            payload_messages=self.network.payload_messages,
+            control_messages=self.network.control_messages,
         )
 
     def _launch_ghost(
@@ -432,10 +482,38 @@ class TaskGraphSimulator:
         The transfer starts once the producer published its donor band
         (``deps``; stage-0 bands are initial state, so no wait) and then
         costs either one promise-guarded local sync or a network message.
+
+        A message additionally occupies a sender-side worker for the HPX
+        action cost — one ``face_action_cpu_s`` dispatch per *message* plus
+        a ``face_sync_cpu_s`` buffer copy per additional member face.  This
+        is the CPU term coalescing amortises: a bundle of F faces pays one
+        dispatch instead of F (see ``docs/comms.md``).
         """
         src_loc, dst_loc = node.src_locality, node.locality
         constants = self.constants
         promise = Promise(name=node.name)
+
+        def transmit(_f=None) -> None:  # noqa: ANN001
+            message = Message(
+                src=src_loc,
+                dst=dst_loc,
+                payload=None,
+                size_bytes=node.size_bytes,
+                tag=node.name,
+            )
+            if self.transport is not None:
+                self.transport.send(
+                    message,
+                    lambda _m: promise.set_value(None),
+                    local=src_loc == dst_loc,
+                )
+            else:
+                self.network.send(
+                    runtime.engine,
+                    message,
+                    lambda _m: promise.set_value(None),
+                    local=src_loc == dst_loc,
+                )
 
         def launch() -> None:
             if src_loc == dst_loc and self.config.comm_local_optimization:
@@ -444,26 +522,17 @@ class TaskGraphSimulator:
                     constants.face_sync_cpu_s, lambda: promise.set_value(None)
                 )
             else:
-                message = Message(
-                    src=src_loc,
-                    dst=dst_loc,
-                    payload=None,
-                    size_bytes=node.size_bytes,
-                    tag=node.name,
+                n_faces = max(1, node.size_bytes // max(self.spec.face_bytes, 1))
+                pack_cost = (
+                    constants.face_action_cpu_s
+                    + (n_faces - 1) * constants.face_sync_cpu_s
                 )
-                if self.transport is not None:
-                    self.transport.send(
-                        message,
-                        lambda _m: promise.set_value(None),
-                        local=src_loc == dst_loc,
-                    )
-                else:
-                    self.network.send(
-                        runtime.engine,
-                        message,
-                        lambda _m: promise.set_value(None),
-                        local=src_loc == dst_loc,
-                    )
+                pack = runtime.localities[src_loc].async_sharded(
+                    [], None, cost=pack_cost,
+                    shards=min(self.workers, n_faces),
+                    name=f"{node.name}.pack", kind="ghost.pack",
+                )
+                pack.add_done_callback(transmit)
 
         if deps:
             when_all(deps).add_done_callback(lambda _f: launch())

@@ -110,6 +110,7 @@ class FmmSolver:
         momentum_correction: bool = True,
         angmom_correction: bool = True,
         empty_mass_threshold: float = 0.0,
+        m2l_split: int = 0,
     ) -> None:
         if not 0.0 < theta <= 1.0:
             raise ValueError("theta must be in (0, 1]")
@@ -118,6 +119,11 @@ class FmmSolver:
         self.g_newton = g_newton
         self.momentum_correction = momentum_correction
         self.angmom_correction = angmom_correction
+        #: Maximum M2L rows per far batch (0 = unsplit).  Heavy same-level
+        #: batches are sharded via :meth:`FmmPlan.split` so a scheduler can
+        #: interleave them with communication (the paper's SVII-C
+        #: multipole work-splitting); results are bit-identical.
+        self.m2l_split = m2l_split
         #: Sub-grids whose total mass is below this act as pure vacuum
         #: sources (their P2P/M2L source side is skipped).  Star scenarios
         #: are mostly floor-density vacuum; skipping it changes forces by
@@ -215,7 +221,7 @@ class FmmSolver:
             l1 = np.zeros((n_nodes, 3))
             l2 = np.zeros((n_nodes, 3, 3))
             l3 = np.zeros((n_nodes, 3, 3, 3))
-            for fl in plan.far_levels:
+            for fl in plan.split(self.m2l_split):
                 centers = np.repeat(mom_c[fl.tgt_idx], np.diff(fl.indptr), axis=0)
                 s0, s1, s2, s3 = m2l_segmented(
                     mom_m[fl.src_idx],

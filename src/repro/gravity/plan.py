@@ -147,6 +147,38 @@ class FarLevel:
     src_idx: np.ndarray  # (R,) source node indices, concatenated per target
 
 
+def _split_far_level(fl: FarLevel, max_rows: int) -> List[FarLevel]:
+    """Shard one level's CSR batch into contiguous target slices of at most
+    ``max_rows`` interaction rows each (always at least one target).
+
+    Every target appears in exactly one shard with its complete,
+    order-preserved source segment, so accumulating the shards is
+    bit-identical to executing the unsplit batch.
+    """
+    n_targets = fl.tgt_idx.size
+    if fl.src_idx.size <= max_rows or n_targets <= 1:
+        return [fl]
+    counts = np.diff(fl.indptr)
+    shards: List[FarLevel] = []
+    start = 0
+    while start < n_targets:
+        end = start + 1
+        rows = int(counts[start])
+        while end < n_targets and rows + int(counts[end]) <= max_rows:
+            rows += int(counts[end])
+            end += 1
+        lo, hi = int(fl.indptr[start]), int(fl.indptr[end])
+        shards.append(
+            FarLevel(
+                tgt_idx=fl.tgt_idx[start:end],
+                indptr=fl.indptr[start : end + 1] - lo,
+                src_idx=fl.src_idx[lo:hi],
+            )
+        )
+        start = end
+    return shards
+
+
 @dataclass
 class FmmPlan:
     """Topology-derived state of one mesh, reused across solves.
@@ -203,6 +235,33 @@ class FmmPlan:
     n_m2l_pairs: int
     n_near_pairs: int
     m2l_by_level: Dict[int, int] = field(default_factory=dict)
+
+    #: Memoised :meth:`split` shards, keyed on ``max_rows`` — sharding is a
+    #: pure slicing of the CSR arrays, so shards share the plan's storage.
+    _split_cache: Dict[int, List[FarLevel]] = field(default_factory=dict)
+
+    def split(self, max_rows: int) -> List[FarLevel]:
+        """Far batches sharded to at most ``max_rows`` M2L rows each.
+
+        The paper's multipole work-splitting (SVII-C) at plan level: a
+        heavy same-level batch becomes several independent sub-batches a
+        scheduler can interleave with communication.  ``max_rows <= 0``
+        returns the unsplit levels.  Bit-identical to the unsplit
+        execution: each target lives in exactly one shard and its source
+        segment order is preserved, so the per-target accumulation is the
+        same single vectorised sum either way.
+        """
+        if max_rows <= 0:
+            return self.far_levels
+        cached = self._split_cache.get(max_rows)
+        if cached is None:
+            cached = [
+                shard
+                for fl in self.far_levels
+                for shard in _split_far_level(fl, max_rows)
+            ]
+            self._split_cache[max_rows] = cached
+        return cached
 
     def matches(self, mesh: AmrMesh, theta: float) -> bool:
         """Whether this plan is still valid for ``mesh`` at ``theta``."""

@@ -158,6 +158,7 @@ class ReliableTransport:
                 payload=("data", seq, message.payload),
                 size_bytes=message.size_bytes,
                 tag=message.tag,
+                control=message.control,
             ),
             lambda _m, e=entry: self._on_packet(e),
             local=entry.local,
@@ -223,6 +224,7 @@ class ReliableTransport:
                 payload=("ack", entry.seq),
                 size_bytes=self.policy.ack_bytes,
                 tag="ack",
+                control=True,
             ),
             lambda _m, e=entry: self._on_ack(e),
             local=entry.local,

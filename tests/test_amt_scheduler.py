@@ -133,3 +133,54 @@ class TestStatistics:
     def test_workers_validation(self):
         with pytest.raises(ValueError):
             WorkerPool(Engine(), 0)
+
+
+class TestShardedSubmission:
+    def test_sharded_work_shrinks_makespan(self):
+        # One cost-4 unit of work on 4 workers: unsplit occupies one worker
+        # for 4 virtual seconds; split over 4 shards it finishes in 1.
+        engine, pool = make_pool(4)
+        pool.submit_sharded([], None, cost=4.0, shards=4)
+        engine.run()
+        assert engine.now == pytest.approx(1.0)
+
+    def test_unsharded_is_plain_submission(self):
+        engine, pool = make_pool(4)
+        pool.submit_sharded([], None, cost=4.0, shards=1)
+        engine.run()
+        assert engine.now == pytest.approx(4.0)
+        assert pool.tasks_completed == 1
+
+    def test_payload_runs_exactly_once(self):
+        engine, pool = make_pool(4)
+        calls = []
+        future = pool.submit_sharded([], lambda: calls.append(1), cost=2.0, shards=4)
+        engine.run()
+        assert calls == [1]
+        assert future.is_ready()
+        assert pool.tasks_completed == 4
+
+    def test_sharded_respects_dependencies(self):
+        engine, pool = make_pool(4)
+        order = []
+        first = pool.submit_fn(lambda: order.append("dep"), cost=1.0)
+        done = pool.submit_sharded(
+            [first], lambda: order.append("payload"), cost=2.0, shards=2
+        )
+        engine.run()
+        assert order == ["dep", "payload"]
+        assert done.is_ready()
+        # shards start only after the dep: 1.0 + 2.0/2
+        assert engine.now == pytest.approx(2.0)
+
+    def test_sharded_kind_accounting(self):
+        engine, pool = make_pool(4)
+        pool.submit_sharded([], None, cost=4.0, shards=4, kind="ghost.pack")
+        engine.run()
+        assert pool.kind_counts["ghost.pack"] == 4
+        assert pool.kind_time["ghost.pack"] == pytest.approx(4.0)
+
+    def test_invalid_shards_rejected(self):
+        engine, pool = make_pool(2)
+        with pytest.raises(ValueError):
+            pool.submit_sharded([], None, cost=1.0, shards=0)

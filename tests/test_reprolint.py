@@ -113,6 +113,78 @@ class TestBareRandom:
         assert lint_source(src) == []
 
 
+class TestUncoalescedSend:
+    def test_network_send_in_loop_flagged(self):
+        src = (
+            "def fill(network, faces):\n"
+            "    for face in faces:\n"
+            "        network.send(face.msg, face.deliver)\n"
+        )
+        findings = lint_source(src)
+        assert rules(findings) == ["R005"]
+        assert findings[0].line == 3
+
+    def test_transport_attribute_send_in_while_flagged(self):
+        src = (
+            "def drain(self):\n"
+            "    while self.queue:\n"
+            "        self.transport.send(self.queue.pop())\n"
+        )
+        assert rules(lint_source(src)) == ["R005"]
+
+    def test_send_outside_loop_ok(self):
+        src = "def notify(network, msg):\n    network.send(msg, None)\n"
+        assert lint_source(src) == []
+
+    def test_unrelated_send_in_loop_ok(self):
+        # Only message-layer receivers count; generator .send and queue
+        # .send-alikes are not the pattern R005 targets.
+        src = (
+            "def pump(gen, items):\n"
+            "    for item in items:\n"
+            "        gen.send(item)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_sanction_on_send_line(self):
+        src = (
+            "def retransmit(transport, pending):\n"
+            "    for msg in pending:\n"
+            "        transport.send(msg)  # reprolint: sanctioned-bundle\n"
+        )
+        assert lint_source(src) == []
+
+    def test_sanction_on_loop_header(self):
+        src = (
+            "def ablation(network, faces):\n"
+            "    for face in faces:  # reprolint: sanctioned-bundle\n"
+            "        network.send(face.msg)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_nested_loops_report_once(self):
+        src = (
+            "def storm(network, stages):\n"
+            "    for stage in stages:\n"
+            "        for face in stage:\n"
+            "            network.send(face)\n"
+        )
+        findings = lint_source(src)
+        assert [f.rule for f in findings] == ["R005"]
+
+    def test_sanctioned_outer_loop_still_flags_inner(self):
+        # The sanction covers the loop it annotates, not everything under
+        # an outer sanctioned loop.
+        src = (
+            "def mixed(network, stages):\n"
+            "    for stage in stages:  # reprolint: sanctioned-bundle\n"
+            "        network.flush(stage)\n"
+            "        for face in stage:\n"
+            "            network.send(face)\n"
+        )
+        assert rules(lint_source(src)) == ["R005"]
+
+
 class TestDriver:
     def test_src_tree_is_clean(self):
         assert lint_paths([str(REPO / "src")]) == []

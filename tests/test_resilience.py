@@ -195,7 +195,9 @@ class TestReliableTransport:
 # Chaos matrix: real physics through the distributed task graph
 # ---------------------------------------------------------------------------
 CHAOS_SCHEDULES = [
-    pytest.param(FaultSpec(drop_rate=0.05, seed=0), id="drop"),
+    # Coalescing (docs/comms.md) cut per-step message volume ~10x, so the
+    # drop rates here are scaled up to keep the seeded schedules biting.
+    pytest.param(FaultSpec(drop_rate=0.2, seed=1), id="drop"),
     pytest.param(FaultSpec(delay_rate=0.5, delay_s=1e-4, seed=1), id="delay"),
     pytest.param(FaultSpec(duplicate_rate=0.5, seed=2), id="duplicate"),
     pytest.param(
@@ -268,16 +270,17 @@ class TestChaosDistributed:
         mesh, eos = build_mesh()
         driver = DistributedHydroDriver(
             mesh, eos, config=RunConfig(machine=FUGAKU, nodes=2),
-            faults=FaultSpec(drop_rate=0.05, seed=0),
+            faults=FaultSpec(drop_rate=0.2, seed=1),
         )
         with pytest.raises(DeadlockError) as exc:
             driver.step(1e-3)
         err = exc.value
         assert "stalled chain" in str(err)
         assert err.chain, "the watchdog must name the stalled future chain"
-        assert any("ghost" in name or "fill" in name for name in err.chain), (
-            f"expected a ghost/fill stage in the chain, got {err.chain}"
-        )
+        assert any(
+            "ghost" in name or "fill" in name or "bundle" in name
+            for name in err.chain
+        ), f"expected a ghost/fill/bundle stage in the chain, got {err.chain}"
 
     def test_crash_without_recovery_is_a_named_deadlock(self):
         mesh, eos = build_mesh()
@@ -323,13 +326,13 @@ def _assert_conserved_match(totals, reference, rtol=1e-12):
 
 class TestDriverAcceptance:
     @pytest.mark.parametrize("seed", [0, 1])
-    def test_one_percent_drop_with_recovery_matches_fault_free(
+    def test_seeded_drop_with_recovery_matches_fault_free(
         self, seed, blast_reference
     ):
         scenario = sedov_blast(levels=2)
         sim = OctoTigerSim(
             scenario.mesh, eos=scenario.eos, nodes=2,
-            faults=FaultSpec(drop_rate=0.01, seed=seed),
+            faults=FaultSpec(drop_rate=0.1, seed=seed),
         )
         records = sim.run(2)
         assert len(records) == 2
@@ -342,7 +345,7 @@ class TestDriverAcceptance:
         scenario = sedov_blast(levels=2)
         sim = OctoTigerSim(
             scenario.mesh, eos=scenario.eos, nodes=2,
-            faults=FaultSpec(drop_rate=0.01, seed=seed),
+            faults=FaultSpec(drop_rate=0.1, seed=seed),
             recovery=False,
         )
         with pytest.raises(DeadlockError) as exc:

@@ -28,6 +28,16 @@ R004 no-bare-numpy-random
     ``numpy.random.default_rng(seed)``.  Global-state draws make runs
     depend on import order, which breaks the determinism tests.
 
+R005 no-uncoalesced-send
+    No per-item ``network.send`` / ``transport.send`` inside a loop.
+    A send per loop iteration is the O(leaf faces) message pattern the
+    coalescing layer (``repro.comms``, see docs/comms.md) exists to
+    replace with one bundle per neighbor locality; new code should go
+    through a bundle plan.  Deliberate per-item paths (the
+    ``--no-coalesce`` ablation, retransmit loops over already-bundled
+    messages) carry a ``# reprolint: sanctioned-bundle`` comment on the
+    send line or on the loop header.
+
 Exit status is 1 when any finding is reported, 0 on a clean pass.
 """
 
@@ -43,9 +53,14 @@ _ALLOC_FNS = {
     "zeros", "ones", "empty", "full", "array", "arange",
     "zeros_like", "ones_like", "empty_like", "full_like", "copy",
 }
-_GHOST_EXEMPT = ("repro/octree/ghost.py",)
+#: repro/comms/bundle.py is the coalescing layer itself: it traces the
+#: reference fill functions over index proxies (never live field data), so
+#: its ghost_slices reads are how the exchange protocol gets built.
+_GHOST_EXEMPT = ("repro/octree/ghost.py", "repro/comms/bundle.py")
 _VIEW_EXEMPT = ("repro/kokkos/view.py",)
 _RANDOM_ALLOWED = {"default_rng", "Generator", "SeedSequence"}
+_SANCTION_TAG = "# reprolint: sanctioned-bundle"
+_SEND_OWNERS = ("network", "transport")
 
 
 @dataclass(frozen=True)
@@ -205,6 +220,65 @@ def _check_bare_random(tree: ast.Module, path: str, aliases: Set[str]) -> List[F
     return findings
 
 
+def _send_owner(call: ast.Call) -> str:
+    """The receiver name of a ``<owner>.send(...)`` call if it looks like a
+    message-layer object, else ``""``.
+
+    Matches ``network.send``, ``self.transport.send`` and the like by the
+    final attribute/name component containing "network" or "transport" —
+    the two object families that put messages on the virtual wire.
+    """
+    fn = call.func
+    if not (isinstance(fn, ast.Attribute) and fn.attr == "send"):
+        return ""
+    base = fn.value
+    if isinstance(base, ast.Name):
+        name = base.id
+    elif isinstance(base, ast.Attribute):
+        name = base.attr
+    else:
+        return ""
+    lowered = name.lower()
+    return name if any(owner in lowered for owner in _SEND_OWNERS) else ""
+
+
+def _check_uncoalesced_send(
+    tree: ast.Module, path: str, sanctioned: Set[int]
+) -> List[Finding]:
+    findings = []
+    seen: Set[tuple] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.For, ast.While)):
+            continue
+        if node.lineno in sanctioned:
+            continue
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            owner = _send_owner(call)
+            if not owner or call.lineno in sanctioned:
+                continue
+            key = (call.lineno, call.col_offset)
+            if key in seen:  # nested loops walk the same call twice
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                path, call.lineno, "R005",
+                f"per-item {owner}.send inside a loop sends O(items) "
+                "messages; coalesce through a repro.comms bundle plan, or "
+                f"mark a deliberate path with {_SANCTION_TAG!r}",
+            ))
+    return findings
+
+
+def _sanctioned_lines(source: str) -> Set[int]:
+    return {
+        i
+        for i, line in enumerate(source.splitlines(), start=1)
+        if _SANCTION_TAG in line
+    }
+
+
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one module's source text; the unit of testing."""
     tree = ast.parse(source, filename=path)
@@ -214,6 +288,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     findings += _check_ghost_writes(tree, path)
     findings += _check_raw_view_copy(tree, path, aliases)
     findings += _check_bare_random(tree, path, aliases)
+    findings += _check_uncoalesced_send(tree, path, _sanctioned_lines(source))
     return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
 
 
