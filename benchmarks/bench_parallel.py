@@ -1,0 +1,250 @@
+"""Process-backend strong scaling: 1/2/4 workers vs the serial batched step.
+
+Standalone (not a paper figure):
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--smoke]
+
+Measures the true-parallel multiprocessing backend
+(``HydroIntegrator(backend="process")``, see ``docs/parallel.md``) on the
+level-1 and level-2 meshes: warm RK3 step wall-clock at 1, 2 and 4 worker
+processes against the single-process batched baseline, next to the
+distsim-predicted strong-scaling curve for the same workload shape from
+``repro.machines`` (Fugaku node model at 1/2/4 nodes, normalized to 1).
+
+Before timing anything, every benchmarked case is run through the
+DES-vs-process cross-check harness (``repro.core.crosscheck``), which
+asserts ``np.array_equal`` on all fields after every step — the backends
+must agree to the bit or the benchmark exits non-zero.  Persists:
+
+* ``benchmarks/output/parallel.txt`` — the human-readable table,
+* ``BENCH_parallel.json`` at the repo root — machine-readable numbers.
+
+Gates: the bit-identity cross-check always; the >= 1.6x wall-clock gate at
+4 workers on the warm level-2 step only when the host actually exposes
+4+ cores (``os.sched_getaffinity``) — on smaller containers the measured
+curve is recorded honestly and the gate is reported as skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.crosscheck import crosscheck_hydro  # noqa: E402
+from repro.distsim import RunConfig, simulate_step  # noqa: E402
+from repro.hydro import HydroIntegrator, IdealGasEOS  # noqa: E402
+from repro.machines import MACHINES  # noqa: E402
+from repro.octree import AmrMesh, Field  # noqa: E402
+from repro.scenarios.spec import ScenarioSpec  # noqa: E402
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+SPEEDUP_GATE = 1.6
+GATE_NPROCS = 4
+
+
+def build_mesh(levels: int, n: int = 8, seed: int = 0):
+    """A smooth, rotating-star-like state on a uniformly refined mesh."""
+    rng = np.random.default_rng(seed)
+    mesh = AmrMesh(n=n, ghost=2, domain_size=1.0)
+    for _ in range(levels):
+        for key in list(mesh.leaf_keys()):
+            mesh.refine(key)
+    eos = IdealGasEOS()
+    for leaf in mesh.leaves():
+        x, y, z = leaf.cell_centers()
+        rho = (
+            1.0
+            + 0.3 * np.sin(2 * np.pi * x) * np.cos(2 * np.pi * y)
+            + 0.05 * rng.random(x.shape)
+        )
+        p = 1.0 + 0.2 * np.cos(2 * np.pi * z)
+        eint = p / (eos.gamma - 1.0)
+        vx = 0.1 * np.sin(2 * np.pi * y)
+        leaf.subgrid.set_interior(Field.RHO, rho)
+        leaf.subgrid.set_interior(Field.SX, rho * vx)
+        leaf.subgrid.set_interior(Field.EGAS, eint + 0.5 * rho * vx**2)
+        leaf.subgrid.set_interior(Field.TAU, eos.tau_from_eint(eint))
+        leaf.subgrid.set_interior(Field.FRAC1, 0.4 * rho)
+        leaf.subgrid.set_interior(Field.FRAC2, 0.6 * rho)
+    mesh.restrict_all()
+    return mesh, eos
+
+
+def best_of(f, reps: int, trials: int) -> float:
+    out = []
+    for _ in range(trials):
+        gc.collect()
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            f()
+        out.append((time.perf_counter() - t0) / reps)
+    return min(out)
+
+
+def predicted_curve(levels: int, n_leaves: int, nprocs_list) -> dict:
+    """distsim strong-scaling prediction for a same-shaped workload.
+
+    Maps each worker-process count to one Fugaku node of the machine
+    model and normalizes cells/s to the single-node point — the shape of
+    the predicted curve (surface-to-volume ghost traffic vs per-leaf
+    compute) is what the measured curve is compared against.
+    """
+    machine = MACHINES["Fugaku"]
+    spec = ScenarioSpec(
+        name=f"bench-level-{levels}", n_subgrids=n_leaves, max_level=levels
+    )
+    base = None
+    out = {}
+    for nprocs in nprocs_list:
+        r = simulate_step(spec, RunConfig(machine=machine, nodes=nprocs))
+        if base is None:
+            base = r.cells_per_second
+        out[nprocs] = r.cells_per_second / base
+    return out
+
+
+def bench_case(levels: int, nprocs_list, reps: int, trials: int,
+               check_steps: int) -> dict:
+    mesh, eos = build_mesh(levels)
+    n_leaves = len(mesh.leaves())
+    dt = 1e-4
+
+    # Equivalence first: every benchmarked mesh goes through the
+    # DES-vs-process cross-check (np.array_equal per field per step).
+    checks = {}
+    for nprocs in nprocs_list:
+        check_mesh, check_eos = build_mesh(levels)
+        result = crosscheck_hydro(
+            check_mesh, steps=check_steps, nprocs=nprocs, eos=check_eos
+        )
+        checks[nprocs] = result.ok
+
+    serial = HydroIntegrator(mesh, eos)
+    serial.step(dt)  # warm the plan caches
+    serial_s = best_of(lambda: serial.step(dt), reps, trials)
+
+    points = {}
+    for nprocs in nprocs_list:
+        pmesh, peos = build_mesh(levels)
+        integ = HydroIntegrator(pmesh, peos, backend="process", nprocs=nprocs)
+        try:
+            gc.collect()
+            t0 = time.perf_counter()
+            integ.step(dt)  # cold: fork + arena build + first step
+            cold_s = time.perf_counter() - t0
+            warm_s = best_of(lambda: integ.step(dt), reps, trials)
+        finally:
+            integ.close()
+        points[nprocs] = {
+            "cold_ms": cold_s * 1e3,
+            "warm_ms": warm_s * 1e3,
+            "speedup_vs_serial": serial_s / warm_s,
+            "speedup_vs_1proc": None,  # filled below
+            "crosscheck_ok": checks[nprocs],
+        }
+    base_warm = points[nprocs_list[0]]["warm_ms"]
+    for nprocs in nprocs_list:
+        points[nprocs]["speedup_vs_1proc"] = base_warm / points[nprocs]["warm_ms"]
+
+    return {
+        "levels": levels,
+        "leaves": n_leaves,
+        "cells": int(mesh.n_cells()),
+        "serial_warm_ms": serial_s * 1e3,
+        "points": {str(k): v for k, v in points.items()},
+        "predicted_speedup": {
+            str(k): v for k, v in predicted_curve(levels, n_leaves, nprocs_list).items()
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="level-1 only, 1/2 procs, one trial: the CI equivalence gate",
+    )
+    args = parser.parse_args(argv)
+
+    cores = len(os.sched_getaffinity(0))
+    if args.smoke:
+        cases = [bench_case(1, [1, 2], reps=1, trials=1, check_steps=1)]
+    else:
+        cases = [
+            bench_case(1, [1, 2, 4], reps=3, trials=4, check_steps=2),
+            bench_case(2, [1, 2, 4], reps=1, trials=3, check_steps=2),
+        ]
+
+    lines = [
+        "process backend strong scaling: warm RK3 step, min-of-trials "
+        f"(host exposes {cores} core(s))",
+        f"{'mesh':<10} {'nprocs':>6} {'cold':>9} {'warm':>9} {'vs-serial':>10} "
+        f"{'vs-1proc':>9} {'predicted':>10} {'bits':>6}",
+    ]
+    for c in cases:
+        for nprocs, p in c["points"].items():
+            pred = c["predicted_speedup"][nprocs]
+            lines.append(
+                f"level {c['levels']:<4} {nprocs:>6} {p['cold_ms']:>8.1f} "
+                f"{p['warm_ms']:>9.1f} {p['speedup_vs_serial']:>9.2f}x "
+                f"{p['speedup_vs_1proc']:>8.2f}x {pred:>9.2f}x "
+                f"{'ok' if p['crosscheck_ok'] else 'FAIL':>6}"
+            )
+
+    gate_applies = cores >= GATE_NPROCS and not args.smoke
+    gate_ok = True
+    if gate_applies:
+        level2 = next(c for c in cases if c["levels"] == 2)
+        measured = level2["points"][str(GATE_NPROCS)]["speedup_vs_1proc"]
+        gate_ok = measured >= SPEEDUP_GATE
+        lines.append(
+            f"gate: level-2 warm speedup at {GATE_NPROCS} procs = "
+            f"{measured:.2f}x (require >= {SPEEDUP_GATE}x) "
+            f"{'PASS' if gate_ok else 'FAIL'}"
+        )
+    else:
+        lines.append(
+            f"gate: skipped ({'smoke mode' if args.smoke else f'only {cores} core(s) online'}); "
+            "bit-identity cross-check still enforced"
+        )
+
+    text = "\n".join(lines)
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "parallel.txt").write_text(text + "\n")
+    payload = {
+        "benchmark": "parallel",
+        "smoke": args.smoke,
+        "cores_online": cores,
+        "speedup_gate": SPEEDUP_GATE,
+        "gate_nprocs": GATE_NPROCS,
+        "gate_applies": gate_applies,
+        "gate_ok": gate_ok,
+        "cases": cases,
+    }
+    (REPO_ROOT / "BENCH_parallel.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    if not gate_ok:
+        print(
+            f"FAIL: {GATE_NPROCS}-proc speedup below {SPEEDUP_GATE}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

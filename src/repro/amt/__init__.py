@@ -13,6 +13,10 @@ Unlike HPX it runs on a **deterministic discrete-event virtual clock**
 (:mod:`repro.amt.engine`): tasks execute real Python callables, but time is
 simulated, so schedules are reproducible and we can model machines we do not
 have (A64FX nodes, Tofu-D interconnects) while executing genuine numerics.
+
+A second engine implementation, :mod:`repro.amt.parallel`, maps localities
+to real OS processes over shared-memory arenas (:mod:`repro.amt.shm`) —
+true parallelism with the DES engine as its bit-exact oracle.
 """
 
 from repro.amt.future import (
@@ -29,6 +33,14 @@ from repro.amt.scheduler import WorkerPool
 from repro.amt.locality import Locality, Runtime, Channel, ActionRegistry
 from repro.amt.network import NetworkModel, Message
 from repro.amt.pjm import PjmJob, PjmScheduler
+from repro.amt.parallel import (
+    ParallelEngine,
+    ParallelLocality,
+    WorkerCrashError,
+    WorkerError,
+    WorkerTimeoutError,
+)
+from repro.amt.shm import ShmArena
 
 __all__ = [
     "Future",
@@ -49,4 +61,10 @@ __all__ = [
     "Message",
     "PjmJob",
     "PjmScheduler",
+    "ParallelEngine",
+    "ParallelLocality",
+    "WorkerCrashError",
+    "WorkerError",
+    "WorkerTimeoutError",
+    "ShmArena",
 ]

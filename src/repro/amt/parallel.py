@@ -1,0 +1,342 @@
+"""True-parallel engine: localities as real OS processes.
+
+Everything else in :mod:`repro.amt` runs on the deterministic discrete-event
+clock — localities are simulated, and every measured speedup so far is a
+vectorization win on one OS thread.  This module is the second engine
+implementation behind the same API shape: a :class:`ParallelEngine` maps
+each locality to a **forked worker process** (:class:`ParallelLocality`),
+with
+
+* a duplex pipe per worker as the control plane (commands down, replies
+  up — the "small control message" of the paper's local-communication
+  optimization),
+* shared-memory arenas (:mod:`repro.amt.shm`) as the data plane: the
+  parent adopts mesh storage into a ``/dev/shm`` segment *before* forking,
+  so the workers' inherited numpy views alias the same physical pages and
+  ghost exchange becomes a shm write plus a control round-trip,
+* bulk-synchronous rounds (:meth:`ParallelEngine.round`) as the barrier
+  primitive: the parent broadcasts one command, every worker executes it
+  and replies, and the gather is the barrier.
+
+The DES engine stays the bit-exact oracle: consumers (the process hydro
+executor, the FMM M2L fan-out) run the same kernels on the same arenas, so
+the cross-check harness can assert ``np.array_equal`` between backends.
+
+Failure semantics are typed, mirroring the validation contract of
+:meth:`repro.amt.engine.Engine.post`: non-finite or non-positive timeouts
+and bad worker counts are rejected at construction, a worker that raises
+surfaces as :class:`WorkerError` carrying the remote traceback, and a
+worker that dies (the ``FaultSpec`` crash fate, a kill, an ``os._exit``)
+surfaces as :class:`WorkerCrashError` — a subclass of
+:class:`repro.resilience.protocol.UnrecoverableFault`, so the driver's
+checkpoint-rollback machinery applies unchanged.
+
+Workers terminate through ``os._exit`` on purpose: a forked child inherits
+the parent's ``atexit`` hooks, including the shm-unlink guard, and must
+not run them (the guard's PID check is the second line of defence).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import numbers
+import os
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.profiling.apex import CounterRegistry
+from repro.resilience.protocol import UnrecoverableFault
+
+#: A worker handler: called once per command, returns the reply payload.
+Handler = Callable[[Any], Any]
+#: Builds the handler inside the child after fork: (rank, registry) -> handler.
+HandlerFactory = Callable[[int, CounterRegistry], Handler]
+
+#: Reserved control commands (never passed to the handler).
+_STOP = "__stop__"
+_CRASH = "__crash__"
+_TIMERS = "__timers__"
+
+
+class WorkerError(RuntimeError):
+    """A worker's handler raised; carries the remote traceback."""
+
+    def __init__(self, rank: int, remote_traceback: str) -> None:
+        self.rank = rank
+        self.remote_traceback = remote_traceback
+        super().__init__(
+            f"worker {rank} raised:\n{remote_traceback.rstrip()}"
+        )
+
+
+class WorkerCrashError(UnrecoverableFault):
+    """A worker process died mid-round (crash fate, kill, lost pipe).
+
+    Subclasses :class:`UnrecoverableFault` so the resilient driver loop
+    treats a real dead process exactly like a modelled node crash:
+    rollback to the last checkpoint and replay.
+    """
+
+    def __init__(self, ranks: Sequence[int], detail: str = "") -> None:
+        self.ranks = tuple(ranks)
+        msg = f"worker process(es) {list(self.ranks)} died"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class WorkerTimeoutError(UnrecoverableFault):
+    """A round did not complete within the engine timeout."""
+
+    def __init__(self, ranks: Sequence[int], timeout: float) -> None:
+        self.ranks = tuple(ranks)
+        super().__init__(
+            f"worker(s) {list(self.ranks)} did not reply within {timeout:g}s"
+        )
+
+
+class ParallelLocality:
+    """One worker process plus the parent end of its control pipe."""
+
+    def __init__(self, rank: int, process, conn) -> None:  # noqa: ANN001
+        self.rank = rank
+        self.process = process
+        self.conn = conn
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send(self, command: Any) -> None:
+        try:
+            self.conn.send(command)
+        except (BrokenPipeError, OSError):
+            # The worker died; gather() reports it as a WorkerCrashError
+            # (dropping the send here keeps the barrier the single point
+            # where crashes surface, matching the DES crash-fate path).
+            pass
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"ParallelLocality(rank={self.rank}, pid={self.process.pid}, {state})"
+
+
+def _timer_snapshot(registry: CounterRegistry) -> Dict[str, Tuple[int, float, float]]:
+    """(count, total, max) per counter — the wire form of a registry."""
+    out = {}
+    for name in registry.names():
+        counter = registry.get(name)
+        out[name] = (counter.count, counter.total, counter.maximum)
+    return out
+
+
+def _worker_main(rank: int, factory: HandlerFactory, conn) -> None:  # noqa: ANN001
+    """Child main loop: execute commands until told to stop.
+
+    Every exit path goes through ``os._exit`` so the child never runs the
+    atexit hooks it inherited from the parent (notably the shm unlink
+    guard — see the module docstring).
+    """
+    registry = CounterRegistry()
+    try:
+        handler = factory(rank, registry)
+        while True:
+            command = conn.recv()
+            if command == _STOP:
+                conn.send(("ok", None))
+                break
+            if command == _CRASH:
+                # The FaultSpec crash fate made real: die without a reply,
+                # without cleanup, mid-protocol.
+                os._exit(1)
+            if command == _TIMERS:
+                snapshot = _timer_snapshot(registry)
+                registry.reset()
+                conn.send(("ok", snapshot))
+                continue
+            try:
+                result = handler(command)
+            except BaseException:  # noqa: BLE001 - ship the traceback home
+                conn.send(("err", traceback.format_exc()))
+                continue
+            conn.send(("ok", result))
+    except (EOFError, KeyboardInterrupt, BrokenPipeError):
+        pass
+    finally:
+        os._exit(0)
+
+
+class ParallelEngine:
+    """A pool of forked worker localities driven in BSP rounds.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of worker processes (``>= 1``).  Rejected with a typed
+        error when not a positive integer — the same validation posture
+        :meth:`repro.amt.engine.Engine.post` takes on delays.
+    timeout:
+        Per-round reply deadline in seconds.  Must be finite and positive:
+        a NaN timeout would make every ``poll`` return instantly and spin,
+        exactly the class of silent corruption the DES engine's NaN-delay
+        guard rejects at the door.
+    """
+
+    def __init__(self, nprocs: int, timeout: float = 120.0) -> None:
+        if isinstance(nprocs, bool) or not isinstance(nprocs, numbers.Integral):
+            raise TypeError(
+                f"nprocs must be an integer, got {type(nprocs).__name__}"
+            )
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        if isinstance(timeout, bool) or not isinstance(timeout, numbers.Real):
+            raise TypeError(
+                f"timeout must be a real number, got {type(timeout).__name__}"
+            )
+        if not math.isfinite(timeout):
+            raise ValueError(f"non-finite timeout: {timeout}")
+        if timeout <= 0:
+            raise ValueError(f"non-positive timeout: {timeout}")
+        self.nprocs = int(nprocs)
+        self.timeout = float(timeout)
+        self.localities: List[ParallelLocality] = []
+        self.rounds = 0
+        self.control_messages = 0
+        self._ctx = multiprocessing.get_context("fork")
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return bool(self.localities)
+
+    def start(self, factory: HandlerFactory) -> None:
+        """Fork the workers.  ``factory(rank, registry)`` runs *in the
+        child* and returns the command handler, so everything the parent
+        set up before this call (mesh, plans, shm views) is inherited."""
+        if self.started:
+            raise RuntimeError("engine already started")
+        for rank in range(self.nprocs):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(rank, factory, child_conn),
+                daemon=True,
+                name=f"repro-locality-{rank}",
+            )
+            process.start()
+            child_conn.close()
+            self.localities.append(ParallelLocality(rank, process, parent_conn))
+
+    def shutdown(self) -> None:
+        """Stop every worker (graceful, then terminate) and forget them."""
+        for loc in self.localities:
+            try:
+                if loc.alive:
+                    loc.send(_STOP)
+            except (BrokenPipeError, OSError):
+                pass
+        for loc in self.localities:
+            try:
+                if loc.conn.poll(1.0):
+                    loc.conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                pass
+            loc.process.join(timeout=1.0)
+            if loc.alive:
+                loc.process.terminate()
+                loc.process.join(timeout=1.0)
+            loc.conn.close()
+        self.localities = []
+
+    def crash(self, rank: int) -> None:
+        """Make worker ``rank`` die mid-protocol (the crash fate)."""
+        loc = self.localities[rank]
+        loc.send(_CRASH)
+        loc.process.join(timeout=self.timeout)
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:  # noqa: ANN002
+        self.shutdown()
+
+    # -- BSP rounds -----------------------------------------------------------
+    def send(self, rank: int, command: Any) -> None:
+        """Send one command to one worker (reply collected by ``gather``)."""
+        self.localities[rank].send(command)
+        self.control_messages += 1
+
+    def broadcast(self, command: Any) -> None:
+        for loc in self.localities:
+            loc.send(command)
+        self.control_messages += len(self.localities)
+
+    def gather(self, ranks: Optional[Sequence[int]] = None) -> List[Any]:
+        """Collect one reply per worker; the barrier of a BSP round.
+
+        Raises :class:`WorkerError` (handler raised remotely),
+        :class:`WorkerCrashError` (process died) or
+        :class:`WorkerTimeoutError` (deadline passed), naming the ranks.
+        """
+        if ranks is None:
+            ranks = range(len(self.localities))
+        results: List[Any] = []
+        error: Optional[WorkerError] = None
+        dead: List[int] = []
+        stalled: List[int] = []
+        for rank in ranks:
+            loc = self.localities[rank]
+            try:
+                if not loc.conn.poll(self.timeout):
+                    if loc.alive:
+                        stalled.append(rank)
+                    else:
+                        dead.append(rank)
+                    results.append(None)
+                    continue
+                status, payload = loc.conn.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError):
+                dead.append(rank)
+                results.append(None)
+                continue
+            self.control_messages += 1
+            if status == "err":
+                error = error or WorkerError(rank, payload)
+                results.append(None)
+            else:
+                results.append(payload)
+        if dead:
+            raise WorkerCrashError(dead)
+        if stalled:
+            raise WorkerTimeoutError(stalled, self.timeout)
+        if error is not None:
+            raise error
+        return results
+
+    def round(self, command: Any) -> List[Any]:
+        """One BSP round: broadcast, then barrier on all replies."""
+        self.broadcast(command)
+        self.rounds += 1
+        return self.gather()
+
+    # -- timers ---------------------------------------------------------------
+    def harvest_timers(self, registry: CounterRegistry) -> Dict[str, float]:
+        """Pull per-worker timer snapshots and aggregate into ``registry``.
+
+        Every worker-side counter ``name`` lands twice: ``name`` records
+        the **max** total across workers (the critical-path time a profile
+        should compare against the single-process backend) and
+        ``name.workers_mean`` the mean (the balance check).  Returns the
+        max-per-name map.
+        """
+        snapshots = self.round(_TIMERS)
+        names = sorted({name for snap in snapshots for name in snap})
+        maxima: Dict[str, float] = {}
+        for name in names:
+            totals = [snap.get(name, (0, 0.0, 0.0))[1] for snap in snapshots]
+            peak = max(totals)
+            maxima[name] = peak
+            registry.sample(name, peak)
+            registry.sample(f"{name}.workers_mean", sum(totals) / len(totals))
+        return maxima

@@ -66,6 +66,25 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable the acknowledged-retransmit transport: "
                           "injected faults deadlock (diagnosed by the "
                           "watchdog) instead of being retried")
+    run.add_argument("--backend", default="des", choices=["des", "process"],
+                     help="execution backend: 'des' runs physics in-process "
+                          "with discrete-event timing (default); 'process' "
+                          "fans hydro steps and the far-field M2L out over "
+                          "real worker processes with shared-memory arenas "
+                          "(identical bits, see docs/parallel.md)")
+    run.add_argument("--nprocs", type=int, default=2, metavar="N",
+                     help="worker processes for --backend process")
+
+    check = sub.add_parser(
+        "crosscheck",
+        help="run the same steps on the DES and process backends and "
+             "assert bit-identical fields (the parallel-smoke CI gate)")
+    check.add_argument("--nprocs", type=int, default=2, metavar="N")
+    check.add_argument("--steps", type=int, default=2)
+    check.add_argument("--wire", default="shm", choices=["shm", "pipe"],
+                       help="ghost-exchange wire format for the process "
+                            "backend: shm writes (default) or serialized "
+                            "payload buffers over pipes")
 
     scale = sub.add_parser("scale", help="evaluate the distributed model")
     scale.add_argument("--scenario", default="rotating_star",
@@ -121,6 +140,8 @@ def _command_run(args: argparse.Namespace) -> int:
         recovery=not args.no_recovery,
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
+        backend=args.backend,
+        nprocs=args.nprocs,
     )
     before = diagnostics(scenario.mesh)
     print(f"{args.scenario} level {args.level}: {scenario.mesh.n_cells()} cells "
@@ -163,6 +184,24 @@ def _command_run(args: argparse.Namespace) -> int:
             step=sim.integrator.steps_taken,
         )
         print(f"checkpoint written to {path}")
+    sim.close()
+    return 0
+
+
+def _command_crosscheck(args: argparse.Namespace) -> int:
+    from repro.core.crosscheck import BackendMismatch, crosscheck_scenarios
+
+    try:
+        results = crosscheck_scenarios(
+            nprocs=args.nprocs, steps=args.steps, wire=args.wire
+        )
+    except BackendMismatch as exc:
+        print(f"CROSSCHECK FAILED: {exc}", file=sys.stderr)
+        return 1
+    for name, r in zip(("blast", "dwd"), results):
+        print(f"{name}: {r.steps} steps x {r.leaves} leaves, "
+              f"nprocs={r.nprocs}, serial {r.serial_s:.2f}s / "
+              f"process {r.process_s:.2f}s — bit-identical")
     return 0
 
 
@@ -211,6 +250,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "crosscheck":
+        return _command_crosscheck(args)
     if args.command == "scale":
         return _command_scale(args)
     if args.command == "machines":

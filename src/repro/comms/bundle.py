@@ -60,7 +60,7 @@ PairKey = Tuple[int, int]
 
 
 def adopt_arena(
-    mesh: AmrMesh, nfields: int = NFIELDS
+    mesh: AmrMesh, nfields: int = NFIELDS, out: Optional[np.ndarray] = None
 ) -> Tuple[np.ndarray, Dict[NodeKey, int]]:
     """Move every leaf sub-grid into one flat storage arena.
 
@@ -70,11 +70,23 @@ def adopt_arena(
     so all existing kernels keep working while pack/unpack can fancy-index
     the whole mesh at once.  Same layout as the batched hydro plan: leaves
     sorted by key, one chunk per slot.
+
+    ``out`` supplies the storage instead of a fresh allocation — the
+    process backend passes a shared-memory view here, which is what lets
+    forked workers see the adopted mesh without any copies.
     """
     leaves = sorted(mesh.leaves(), key=lambda nd: nd.key)
     m = mesh.n + 2 * mesh.ghost
     chunk = nfields * m**3
-    arena = np.empty(len(leaves) * chunk)
+    if out is not None:
+        if out.dtype != np.float64 or out.size != len(leaves) * chunk:
+            raise ValueError(
+                f"out buffer must be float64 with {len(leaves) * chunk} "
+                f"elements, got {out.dtype} with {out.size}"
+            )
+        arena = out.reshape(-1)
+    else:
+        arena = np.empty(len(leaves) * chunk)
     offsets: Dict[NodeKey, int] = {}
     for slot, leaf in enumerate(leaves):
         base = slot * chunk

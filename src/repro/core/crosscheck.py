@@ -1,0 +1,195 @@
+"""Backend cross-check: the DES oracle vs the real-parallel schedule.
+
+The process backend promises *bit-identical* physics: same kernels, same
+leaves, different cores.  This harness makes that promise executable — it
+clones a mesh, runs the same step sequence through both backends, and
+asserts ``np.array_equal`` on **every field of every leaf after every
+step** (not a tolerance: identical bits).  It backs the
+``parallel-smoke`` CI job, the backend-equivalence tests and the
+benchmark gate in ``benchmarks/bench_parallel.py``.
+
+The serial side runs the batched integrator — itself bit-identical to the
+per-leaf reference and to the DES driver's distributed schedule (the
+equivalence chain established by the hydro-plan and distributed-driver
+test suites) — so one comparison pins all four execution paths together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.hydro.eos import IdealGasEOS
+from repro.hydro.integrator import GravityCallback, HydroIntegrator
+from repro.octree.mesh import AmrMesh
+from repro.octree.node import NodeKey
+
+
+class BackendMismatch(AssertionError):
+    """The two backends produced different bits."""
+
+    def __init__(self, step: int, key: NodeKey, max_abs_diff: float) -> None:
+        self.step = step
+        self.key = key
+        self.max_abs_diff = max_abs_diff
+        super().__init__(
+            f"backend mismatch at step {step}, leaf {key}: "
+            f"max |serial - process| = {max_abs_diff:.3e}"
+        )
+
+
+@dataclass
+class CrosscheckResult:
+    steps: int
+    leaves: int
+    nprocs: int
+    dt: float
+    #: Wall-clock seconds spent inside step() per backend (the cross-check
+    #: is not a benchmark, but the ratio is a useful smoke signal).
+    serial_s: float
+    process_s: float
+
+    @property
+    def ok(self) -> bool:  # mismatches raise, so reaching a result is success
+        return True
+
+
+def clone_mesh(mesh: AmrMesh) -> AmrMesh:
+    """Rebuild an identical mesh with private storage.
+
+    Reconstructs the refinement sequence (coarse to fine) on a fresh
+    ``AmrMesh`` and copies every node's field data, so the clone shares no
+    arrays with the original — required because the process backend adopts
+    its mesh's storage into shared memory.
+    """
+    clone = AmrMesh(n=mesh.n, ghost=mesh.ghost, domain_size=mesh.domain_size)
+    for level in range(mesh.max_level()):
+        for node in mesh.nodes_at_level(level):
+            if not node.is_leaf and clone.nodes[node.key].is_leaf:
+                clone.refine(node.key)
+    for key, node in mesh.nodes.items():
+        np.copyto(clone.nodes[key].subgrid.data, node.subgrid.data)
+    return clone
+
+
+def assert_identical(mesh_a: AmrMesh, mesh_b: AmrMesh, step: int = -1) -> None:
+    """Raise :class:`BackendMismatch` unless every leaf is bit-equal."""
+    keys_a = sorted(leaf.key for leaf in mesh_a.leaves())
+    keys_b = sorted(leaf.key for leaf in mesh_b.leaves())
+    if keys_a != keys_b:
+        raise BackendMismatch(step, keys_a[0] if keys_a else (0, 0), float("inf"))
+    for key in keys_a:
+        a = mesh_a.nodes[key].subgrid.data
+        b = mesh_b.nodes[key].subgrid.data
+        if not np.array_equal(a, b):
+            raise BackendMismatch(step, key, float(np.max(np.abs(a - b))))
+
+
+def conserved_sums(mesh: AmrMesh) -> np.ndarray:
+    """Volume-weighted field totals over the leaves (conservation probe)."""
+    total = None
+    for leaf in mesh.leaves():
+        s = leaf.subgrid.interior
+        sums = leaf.subgrid.data[:, s, s, s].sum(axis=(1, 2, 3)) * leaf.cell_volume
+        total = sums if total is None else total + sums
+    return total
+
+
+def crosscheck_hydro(
+    mesh: AmrMesh,
+    steps: int = 3,
+    nprocs: int = 2,
+    eos: Optional[IdealGasEOS] = None,
+    omega: float = 0.0,
+    gravity: Optional[Callable[[], GravityCallback]] = None,
+    gravity_every_stage: bool = False,
+    reflux: bool = True,
+    wire: str = "shm",
+    dt: Optional[float] = None,
+    mutate: Optional[Callable[[AmrMesh, int], None]] = None,
+) -> CrosscheckResult:
+    """Run ``steps`` RK3 steps on both backends; raise on any divergence.
+
+    ``gravity`` is a *factory* returning a fresh gravity callback (each
+    backend needs its own solver instance so plan caches never alias the
+    other's mesh).  ``mutate(mesh, step_index)`` is applied to **both**
+    meshes before each step — the regrid-propagation hook the hypothesis
+    sweep drives.
+    """
+    import time as _time
+
+    mesh_serial = mesh
+    mesh_process = clone_mesh(mesh)
+    serial = HydroIntegrator(
+        mesh_serial, eos=eos, omega=omega,
+        gravity=gravity() if gravity else None,
+        gravity_every_stage=gravity_every_stage, reflux=reflux,
+    )
+    process = HydroIntegrator(
+        mesh_process, eos=eos, omega=omega,
+        gravity=gravity() if gravity else None,
+        gravity_every_stage=gravity_every_stage, reflux=reflux,
+        backend="process", nprocs=nprocs, wire=wire,
+    )
+    serial_s = process_s = 0.0
+    try:
+        for step in range(steps):
+            if mutate is not None:
+                mutate(mesh_serial, step)
+                mutate(mesh_process, step)
+                assert_identical(mesh_serial, mesh_process, step)
+            step_dt = serial.timestep() if dt is None else dt
+            t0 = _time.perf_counter()
+            serial.step(step_dt)
+            t1 = _time.perf_counter()
+            process.step(step_dt)
+            t2 = _time.perf_counter()
+            serial_s += t1 - t0
+            process_s += t2 - t1
+            assert_identical(mesh_serial, mesh_process, step)
+            if not np.array_equal(
+                conserved_sums(mesh_serial), conserved_sums(mesh_process)
+            ):
+                raise BackendMismatch(step, (0, 0), float("nan"))
+    finally:
+        process.close()
+    return CrosscheckResult(
+        steps=steps,
+        leaves=len(mesh_serial.leaves()),
+        nprocs=nprocs,
+        dt=serial.last_dt,
+        serial_s=serial_s,
+        process_s=process_s,
+    )
+
+
+def crosscheck_scenarios(
+    nprocs: int = 2, steps: int = 2, wire: str = "shm"
+) -> List[CrosscheckResult]:
+    """The CI smoke battery: blast (adaptive, reflux) and a rotating DWD
+    (gravity via FMM) cross-checked on both backends."""
+    from repro.gravity.fmm import FmmSolver
+    from repro.scenarios.blast import sedov_blast
+    from repro.scenarios.dwd import dwd_scenario
+
+    results = []
+    blast = sedov_blast(levels=2)
+    results.append(
+        crosscheck_hydro(
+            blast.mesh, steps=steps, nprocs=nprocs, eos=blast.eos, wire=wire
+        )
+    )
+    dwd = dwd_scenario(level=1, scf_grid=24)
+
+    def gravity_factory() -> GravityCallback:
+        return FmmSolver(empty_mass_threshold=1e-12).as_gravity_callback()
+
+    results.append(
+        crosscheck_hydro(
+            dwd.mesh, steps=steps, nprocs=nprocs, eos=dwd.eos,
+            omega=dwd.omega, gravity=gravity_factory, wire=wire,
+        )
+    )
+    return results

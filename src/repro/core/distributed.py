@@ -89,9 +89,22 @@ class DistributedHydroDriver:
         faults: Optional[FaultSpec] = None,
         recovery: Any = None,
         coalesce: Optional[bool] = None,
+        backend: str = "des",
+        nprocs: int = 2,
+        wire: str = "shm",
     ) -> None:
         from repro.machines.specs import FUGAKU
 
+        if backend not in ("des", "process"):
+            raise ValueError(f"backend must be 'des' or 'process', got {backend!r}")
+        #: "des" executes the task graph on the virtual clock (default);
+        #: "process" fans the same step out over real OS processes via
+        #: :class:`repro.hydro.process_backend.ProcessHydroExecutor` and
+        #: reports measured wall-clock as the makespan.
+        self.backend = backend
+        self.nprocs = nprocs
+        self.wire = wire
+        self._executor = None  # lazy ProcessHydroExecutor
         self.mesh = mesh
         self.eos = eos or IdealGasEOS()
         self.omega = omega
@@ -172,8 +185,79 @@ class DistributedHydroDriver:
         self._skeleton_version = mesh.topology_version
         return self._skeleton
 
+    # -- process backend -------------------------------------------------------
+    def executor(self):
+        """Lazy real-parallel executor (reflux off, matching this driver's
+        hydro-only scope; the numerics are bit-identical to the DES path)."""
+        if self._executor is None:
+            from repro.hydro.process_backend import ProcessHydroExecutor
+
+            self._executor = ProcessHydroExecutor(
+                self.mesh,
+                eos=self.eos,
+                nprocs=self.nprocs,
+                omega=self.omega,
+                reflux=False,
+                wire=self.wire,
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the process backend's worker pool and shm arenas."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def _step_process(self, dt: float) -> DistributedStepResult:
+        """One step on the real-parallel backend, timed with a wall clock.
+
+        The crash fate of ``faults`` is made real: the victim worker
+        process dies mid-protocol and the step raises
+        :class:`~repro.amt.parallel.WorkerCrashError` (an
+        ``UnrecoverableFault``), with the executor's lifecycle guard
+        reclaiming every shm segment on the way out.
+        """
+        import time as _time
+
+        ex = self.executor()
+        ex.ensure()
+        if (
+            self.faults is not None
+            and self.faults.crash_locality >= 0
+            and self.faults.crash_step == self.steps_taken
+            and self.faults.crash_locality < ex.nprocs
+        ):
+            ex.engine.crash(self.faults.crash_locality)
+        rounds_before = ex.engine.rounds
+        control_before = ex.engine.control_messages
+        t0 = _time.perf_counter()
+        try:
+            ex.step(dt)
+        except BaseException:
+            self.close()
+            raise
+        makespan = _time.perf_counter() - t0
+        self.time += dt
+        self.steps_taken += 1
+        payload = ex.payload_messages
+        control = ex.engine.control_messages - control_before
+        result = DistributedStepResult(
+            dt=dt,
+            makespan_s=makespan,
+            messages=payload + control,
+            bytes_sent=ex.payload_bytes,
+            tasks_completed=(ex.engine.rounds - rounds_before) * ex.nprocs,
+            utilization=0.0,
+            payload_messages=payload,
+            control_messages=control,
+        )
+        self.last_result = result
+        return result
+
     # -- step ------------------------------------------------------------------
     def step(self, dt: float) -> DistributedStepResult:
+        if self.backend == "process":
+            return self._step_process(dt)
         mesh, eos = self.mesh, self.eos
         leaves, face_kinds, readers = self._step_skeleton()
         network = self._network()

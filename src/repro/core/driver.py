@@ -93,7 +93,16 @@ class OctoTigerSim:
         checkpoint_every: int = 0,
         checkpoint_dir: Any = None,  # str | Path | None
         max_rollbacks: int = 8,
+        backend: str = "des",
+        nprocs: int = 2,
     ) -> None:
+        if backend not in ("des", "process"):
+            raise ValueError(f"backend must be 'des' or 'process', got {backend!r}")
+        #: "des": physics in-process, timing on the virtual clock (default).
+        #: "process": hydro steps and the far-field M2L fan out over real
+        #: worker processes (:mod:`repro.amt.parallel`), bit-identical.
+        self.backend = backend
+        self.nprocs = nprocs
         self.mesh = mesh
         self.eos = eos or IdealGasEOS()
         self.machine = machine
@@ -135,6 +144,8 @@ class OctoTigerSim:
                 order=gravity_order,
                 empty_mass_threshold=empty_mass_threshold,
                 m2l_split=m2l_split,
+                backend=backend,
+                nprocs=nprocs,
             )
             # Route the solver's per-phase timers (fmm.plan, fmm.p2m_m2m,
             # fmm.m2l, fmm.l2p, fmm.p2p) into this run's counter registry.
@@ -147,6 +158,8 @@ class OctoTigerSim:
         self.integrator = HydroIntegrator(
             mesh, self.eos, cfl=cfl, omega=omega, gravity=gravity_cb,
             batched=hydro_plan,
+            backend="process" if backend == "process" else "serial",
+            nprocs=nprocs,
         )
         # Route the integrator's per-phase timers (hydro.plan, hydro.ghost,
         # hydro.reconstruct, hydro.riemann, hydro.update) into this run's
@@ -157,6 +170,13 @@ class OctoTigerSim:
         self.records: List[StepRecord] = []
         self.last_phi: Optional[Dict[NodeKey, np.ndarray]] = None
 
+    def close(self) -> None:
+        """Shut down process-backend worker pools and shm arenas (no-op on
+        the DES backend)."""
+        self.integrator.close()
+        if self.gravity_solver is not None:
+            self.gravity_solver.close()
+
     # -- configuration --------------------------------------------------------
     @classmethod
     def from_config(
@@ -166,6 +186,8 @@ class OctoTigerSim:
         machine: MachineModel = FUGAKU,
         nodes: int = 1,
         omega: Optional[float] = None,
+        backend: str = "des",
+        nprocs: int = 2,
     ) -> "OctoTigerSim":
         """Build a driver from a validated :class:`repro.util.config.Config`.
 
@@ -195,6 +217,8 @@ class OctoTigerSim:
             nodes=nodes,
             config=run_config,
             m2l_split=config["gravity.m2l_split"],
+            backend=backend,
+            nprocs=nprocs,
         )
         if sim.gravity_solver is not None:
             sim.gravity_solver.theta = config["gravity.theta"]
@@ -370,6 +394,7 @@ class OctoTigerSim:
         gravity_cb = None
         if self.gravity_solver is not None:
             gravity_cb = self.gravity_solver.as_gravity_callback()
+        self.integrator.close()  # old worker pool aliases the pre-rollback mesh
         restored = HydroIntegrator(
             mesh,
             self.eos,
@@ -377,6 +402,8 @@ class OctoTigerSim:
             omega=meta["extra"].get("omega", self.integrator.omega),
             gravity=gravity_cb,
             batched=self.hydro_plan,
+            backend="process" if self.backend == "process" else "serial",
+            nprocs=self.nprocs,
         )
         restored.reconstruction = self.integrator.reconstruction
         restored.reflux = self.integrator.reflux

@@ -111,9 +111,13 @@ class FmmSolver:
         angmom_correction: bool = True,
         empty_mass_threshold: float = 0.0,
         m2l_split: int = 0,
+        backend: str = "des",
+        nprocs: int = 2,
     ) -> None:
         if not 0.0 < theta <= 1.0:
             raise ValueError("theta must be in (0, 1]")
+        if backend not in ("des", "process"):
+            raise ValueError(f"backend must be 'des' or 'process', got {backend!r}")
         self.order = order
         self.theta = theta
         self.g_newton = g_newton
@@ -132,6 +136,14 @@ class FmmSolver:
         self.last_stats: Optional[FmmStats] = None
         self.registry: Optional[CounterRegistry] = None
         self._plan: Optional[FmmPlan] = None
+        #: "process" fans the sharded far-field M2L batches out to a pool
+        #: of stateless worker processes (:mod:`repro.amt.parallel`); the
+        #: shard arrays ride the pipes and the partials are accumulated in
+        #: deterministic shard order — bit-identical to "des"/in-process
+        #: because shard target rows within a level are disjoint.
+        self.backend = backend
+        self.nprocs = nprocs
+        self._engine = None  # lazy ParallelEngine
 
     # -- plan cache -----------------------------------------------------------
     def plan_for(self, mesh: AmrMesh) -> FmmPlan:
@@ -148,6 +160,61 @@ class FmmSolver:
 
     def _registry(self) -> CounterRegistry:
         return self.registry if self.registry is not None else global_registry()
+
+    # -- process backend -------------------------------------------------------
+    def engine(self):
+        """Lazy worker pool for the process backend (stateless workers:
+        every shard's arrays ride the pipe, so no re-fork on regrid)."""
+        if self._engine is None:
+            from repro.amt.parallel import ParallelEngine
+
+            self._engine = ParallelEngine(self.nprocs)
+            self._engine.start(_m2l_worker_factory)
+        return self._engine
+
+    def close(self) -> None:
+        """Shut down the M2L worker pool (process backend)."""
+        if self._engine is not None:
+            self._engine.shutdown()
+            self._engine = None
+
+    def _m2l_fanout(self, plan, mom, locals_, reg):  # noqa: ANN001
+        """Far-field M2L sharded over the worker processes.
+
+        Shards are dealt round-robin and their partial locals accumulated
+        in deterministic shard order; within a level the shard target rows
+        are disjoint, so the result is bit-identical to the in-process
+        loop regardless of which worker computed what.
+        """
+        mom_m, mom_c, mom_q, mom_o = mom
+        l0, l1, l2, l3 = locals_
+        engine = self.engine()
+        split = self.m2l_split
+        if split == 0:
+            # Auto-shard: ~4 batches per worker so the round-robin deal
+            # stays balanced even when levels have uneven row counts.
+            total_rows = sum(len(fl.tgt_idx) for fl in plan.split(0))
+            split = max(1, -(-total_rows // (4 * engine.nprocs)))
+        shards = list(plan.split(split))
+        in_flight = []  # (shard_index, rank), send order == FIFO per pipe
+        for i, fl in enumerate(shards):
+            rank = i % engine.nprocs
+            centers = np.repeat(mom_c[fl.tgt_idx], np.diff(fl.indptr), axis=0)
+            engine.send(rank, (
+                "m2l",
+                mom_m[fl.src_idx], mom_c[fl.src_idx],
+                mom_q[fl.src_idx], mom_o[fl.src_idx],
+                centers, fl.indptr, self.order,
+            ))
+            in_flight.append((i, rank))
+        for i, rank in in_flight:
+            fl = shards[i]
+            s0, s1, s2, s3 = engine.gather([rank])[0]
+            l0[fl.tgt_idx] += s0
+            l1[fl.tgt_idx] += s1
+            l2[fl.tgt_idx] += s2
+            l3[fl.tgt_idx] += s3
+        engine.harvest_timers(reg)
 
     # -- leaf particle data ---------------------------------------------------
     @staticmethod
@@ -221,21 +288,28 @@ class FmmSolver:
             l1 = np.zeros((n_nodes, 3))
             l2 = np.zeros((n_nodes, 3, 3))
             l3 = np.zeros((n_nodes, 3, 3, 3))
-            for fl in plan.split(self.m2l_split):
-                centers = np.repeat(mom_c[fl.tgt_idx], np.diff(fl.indptr), axis=0)
-                s0, s1, s2, s3 = m2l_segmented(
-                    mom_m[fl.src_idx],
-                    mom_c[fl.src_idx],
-                    mom_q[fl.src_idx],
-                    mom_o[fl.src_idx],
-                    centers,
-                    fl.indptr,
-                    order=self.order,
+            if self.backend == "process":
+                self._m2l_fanout(
+                    plan, (mom_m, mom_c, mom_q, mom_o), (l0, l1, l2, l3), reg
                 )
-                l0[fl.tgt_idx] += s0
-                l1[fl.tgt_idx] += s1
-                l2[fl.tgt_idx] += s2
-                l3[fl.tgt_idx] += s3
+            else:
+                for fl in plan.split(self.m2l_split):
+                    centers = np.repeat(
+                        mom_c[fl.tgt_idx], np.diff(fl.indptr), axis=0
+                    )
+                    s0, s1, s2, s3 = m2l_segmented(
+                        mom_m[fl.src_idx],
+                        mom_c[fl.src_idx],
+                        mom_q[fl.src_idx],
+                        mom_o[fl.src_idx],
+                        centers,
+                        fl.indptr,
+                        order=self.order,
+                    )
+                    l0[fl.tgt_idx] += s0
+                    l1[fl.tgt_idx] += s1
+                    l2[fl.tgt_idx] += s2
+                    l3[fl.tgt_idx] += s3
 
             n_part = len(plan.part_slots)
             n_near_tgt = len(plan.near_tgt_slots)
@@ -579,3 +653,20 @@ class FmmSolver:
             return self.solve(mesh).accel
 
         return callback
+
+
+def _m2l_worker_factory(rank: int, registry):  # noqa: ANN001
+    """Handler for the process backend's M2L workers (stateless: every
+    command carries its shard arrays, so the pool survives regrids)."""
+
+    def handler(command):  # noqa: ANN001
+        op = command[0]
+        if op != "m2l":
+            raise ValueError(f"unknown command {op!r}")
+        mom_m, mom_c, mom_q, mom_o, centers, indptr, order = command[1:]
+        with registry.timer("fmm.m2l"):
+            return m2l_segmented(
+                mom_m, mom_c, mom_q, mom_o, centers, indptr, order=order
+            )
+
+    return handler

@@ -84,7 +84,14 @@ class HydroIntegrator:
         reflux: bool = True,
         reconstruction: str = "muscl",
         batched: bool = True,
+        backend: str = "serial",
+        nprocs: int = 2,
+        wire: str = "shm",
     ) -> None:
+        if backend not in ("serial", "process"):
+            raise ValueError(
+                f"backend must be 'serial' or 'process', got {backend!r}"
+            )
         self.mesh = mesh
         self.eos = eos or IdealGasEOS()
         self.cfl = cfl
@@ -98,6 +105,12 @@ class HydroIntegrator:
         self.reconstruction = reconstruction
         #: Route steps through the cached :class:`HydroPlan` (fast path).
         self.batched = batched
+        #: "serial" runs in-process; "process" fans the step out over a
+        #: :class:`repro.hydro.process_backend.ProcessHydroExecutor` pool.
+        self.backend = backend
+        self.nprocs = nprocs
+        self.wire = wire
+        self._executor = None  # lazy ProcessHydroExecutor
         self.registry: Optional[CounterRegistry] = None
         self.time = 0.0
         self.steps_taken = 0
@@ -199,9 +212,55 @@ class HydroIntegrator:
     # -- full step ------------------------------------------------------------
     def step(self, dt: Optional[float] = None) -> float:
         """Advance the mesh by one RK3 step; returns the dt used."""
+        if self.backend == "process":
+            return self._step_process(dt)
         if self.batched:
             return self._step_batched(dt)
         return self.step_reference(dt)
+
+    # -- process-parallel step ------------------------------------------------
+    def executor(self):
+        """The lazy process-backend executor (workers fork on first step)."""
+        if self._executor is None:
+            from repro.hydro.process_backend import ProcessHydroExecutor
+
+            self._executor = ProcessHydroExecutor(
+                self.mesh,
+                eos=self.eos,
+                nprocs=self.nprocs,
+                omega=self.omega,
+                reflux=self.reflux,
+                reconstruction=self.reconstruction,
+                wire=self.wire,
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool and release shm (process backend)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def _step_process(self, dt: Optional[float] = None) -> float:
+        """One RK3 step fanned out over the worker processes.
+
+        Same stacked kernels as :meth:`_step_batched`, partitioned over
+        disjoint leaf sets — bit-identical to both in-process paths (the
+        cross-check harness in :mod:`repro.core.crosscheck` asserts it).
+        """
+        ex = self.executor()
+        ex.registry = self._registry()
+        if dt is None:
+            dt = self.timestep()
+        signals = ex.step(
+            dt, gravity=self.gravity, gravity_every_stage=self.gravity_every_stage
+        )
+        self.faces_refluxed = ex.faces_refluxed
+        self.time += dt
+        self.steps_taken += 1
+        self.last_dt = dt
+        self._record_signals(signals)
+        return dt
 
     def step_reference(self, dt: Optional[float] = None) -> float:
         """One RK3 step via the per-leaf reference loops (numerics oracle)."""

@@ -1,0 +1,492 @@
+"""Process-parallel hydro execution: the RK3 step on real OS cores.
+
+:class:`ProcessHydroExecutor` runs the same batched SSP-RK3 step as
+:meth:`repro.hydro.integrator.HydroIntegrator._step_batched`, but with the
+leaves partitioned over the worker processes of a
+:class:`repro.amt.parallel.ParallelEngine`:
+
+* the plan adopts every leaf sub-grid into a **shared-memory arena**
+  (:func:`repro.comms.bundle.adopt_arena` with a
+  :class:`repro.amt.shm.ShmArena` view) *before* forking, so each worker's
+  inherited numpy views alias the same pages — writes to owned interiors
+  and ghost bands are visible everywhere without copies;
+* leaves are partitioned along the space-filling curve
+  (:func:`repro.octree.partition.sfc_partition`) and each worker runs the
+  stacked kernels over maximal contiguous same-level slot runs of its
+  leaves — the per-worker step is the batched step on a sub-arena;
+* ghost exchange reuses the traced :class:`~repro.comms.bundle.PairBundle`
+  plan.  In the default ``wire="shm"`` mode the *destination* worker
+  applies each of its bundles directly (pack reads donor interiors from
+  shm, unpack writes its own ghost bands — a shm write plus the round's
+  control message).  ``wire="pipe"`` serializes each remote bundle's flat
+  payload buffer as-is through the parent (source packs, parent relays,
+  destination unpacks) — the explicit wire format, kept for the
+  message-counting experiments;
+* each RK stage is two bulk-synchronous rounds (ghost+rhs, then update) —
+  three when flux corrections are active — so the schedule satisfies the
+  same dependence structure the DES driver wires through futures: fills
+  read only stage-``k-1`` interiors (every traced fill reads interiors
+  only), kernels read own interiors + ghosts, updates write own interiors.
+
+Every kernel is the bit-identical stacked implementation the batched
+integrator uses, partitioned over disjoint leaf sets, so the result is
+``np.array_equal`` with both the batched single-process step and the DES
+driver — the cross-check contract of ``repro.core.crosscheck``.
+
+Worker crashes (the ``FaultSpec`` crash fate, or a real SIGKILL) surface
+as :class:`~repro.amt.parallel.WorkerCrashError`; the shm segments are
+owned by the parent's lifecycle guard, so a crashed step never leaks
+``/dev/shm`` entries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.amt.parallel import ParallelEngine
+from repro.amt.shm import ShmArena
+from repro.comms.bundle import GhostBundlePlan, adopt_arena, build_bundle_plan
+from repro.hydro.eos import IdealGasEOS
+from repro.hydro.plan import (
+    ScratchArena,
+    stacked_resync_tau_kernel,
+    stacked_rhs_kernel,
+    stacked_signal_kernel,
+    stacked_source_kernel,
+    stacked_update_kernel,
+)
+from repro.hydro.reflux import apply_flux_corrections
+from repro.octree.fields import NFIELDS
+from repro.octree.mesh import AmrMesh
+from repro.octree.node import NodeKey
+from repro.octree.partition import sfc_partition
+from repro.profiling.apex import CounterRegistry
+
+#: Convex-combination coefficients, shared with the serial integrator.
+from repro.hydro.integrator import _RK3_STAGES  # noqa: E402  (cycle-free)
+
+
+class _WorkerState:
+    """Everything one worker precomputes after fork (child-side only)."""
+
+    def __init__(
+        self,
+        rank: int,
+        registry: CounterRegistry,
+        executor: "ProcessHydroExecutor",
+    ) -> None:
+        self.rank = rank
+        self.registry = registry
+        self.ex = executor
+        m = executor.m
+        n = executor.n
+        self.interior = slice(executor.ghost, executor.ghost + n)
+        stacked = executor.arena_view.reshape(-1, NFIELDS, m, m, m)
+        #: Maximal contiguous same-level slot runs owned by this rank.
+        self.runs: List[Tuple[int, int, float]] = executor.runs[rank]
+        self.u = [stacked[lo:hi] for lo, hi, _ in self.runs]
+        self.u_int = [u[:, :, self.interior, self.interior, self.interior]
+                      for u in self.u]
+        self.u0 = [np.empty_like(ui) for ui in self.u_int]
+        self.dudt = [np.empty_like(ui) for ui in self.u_int]
+        self.scratch = ScratchArena()
+        #: Per-run interior cell-centre coordinates (rotating frame).
+        self.x: List[np.ndarray] = []
+        self.y: List[np.ndarray] = []
+        mesh = executor.mesh
+        keys = executor.leaf_keys
+        for lo, hi, _ in self.runs:
+            bx = np.empty((hi - lo, n, n, n))
+            by = np.empty_like(bx)
+            for j, key in enumerate(keys[lo:hi]):
+                cx, cy, _ = mesh.nodes[key].cell_centers()
+                bx[j] = cx
+                by[j] = cy
+            self.x.append(bx)
+            self.y.append(by)
+        #: Bundles this rank applies (wire=shm: all with dst == rank;
+        #: wire=pipe: the local ones — remote payloads arrive by pipe).
+        plan = executor.bundle_plan
+        self.dst_pairs = sorted(
+            pair for pair in plan.bundles if pair[1] == rank
+        )
+        self.src_remote = sorted(
+            pair for pair in plan.bundles
+            if pair[0] == rank and pair[0] != pair[1]
+        )
+        self.accel_view = executor.accel_view
+        self.flux_view = executor.flux_view
+        #: Owned leaves for the reflux pass: key -> dudt interior view.
+        self.owned_rhs: Dict[NodeKey, np.ndarray] = {}
+        for run_index, (lo, hi, _) in enumerate(self.runs):
+            for j, key in enumerate(keys[lo:hi]):
+                self.owned_rhs[key] = self.dudt[run_index][j]
+
+    # -- phases (one method per command) --------------------------------------
+    def begin(self) -> None:
+        for u_int, u0 in zip(self.u_int, self.u0):
+            np.copyto(u0, u_int)
+
+    def ghost_shm(self) -> None:
+        arena = self.ex.arena_view
+        plan = self.ex.bundle_plan
+        with self.registry.timer("hydro.ghost"):
+            for pair in self.dst_pairs:
+                plan.bundles[pair].apply(arena)
+
+    def ghost_pack(self) -> Dict[Tuple[int, int], np.ndarray]:
+        """wire=pipe, phase 1: pack remote payloads for the parent relay."""
+        arena = self.ex.arena_view
+        plan = self.ex.bundle_plan
+        out = {}
+        with self.registry.timer("hydro.ghost"):
+            for pair in self.src_remote:
+                out[pair] = plan.bundles[pair].pack(arena).copy()
+        return out
+
+    def ghost_unpack(self, payloads: Dict[Tuple[int, int], np.ndarray]) -> None:
+        """wire=pipe, phase 2: local applies + scatter relayed payloads."""
+        arena = self.ex.arena_view
+        plan = self.ex.bundle_plan
+        with self.registry.timer("hydro.ghost"):
+            for pair in self.dst_pairs:
+                bundle = plan.bundles[pair]
+                if pair[0] == pair[1]:
+                    bundle.apply(arena)
+                else:
+                    np.copyto(bundle.payload, payloads[pair])
+                    bundle.unpack(arena)
+
+    def rhs(self, collect_fluxes: bool, use_accel: bool, omega: float) -> None:
+        ex = self.ex
+        for run_index, (lo, hi, dx) in enumerate(self.runs):
+            faces = None
+            if collect_fluxes:
+                faces = {
+                    (axis, side): self.flux_view[lo:hi, axis, side]
+                    for axis in range(3)
+                    for side in (0, 1)
+                }
+            stacked_rhs_kernel(
+                self.u[run_index], dx, ex.eos, self.dudt[run_index],
+                reconstruction=ex.reconstruction,
+                faces=faces,
+                registry=self.registry,
+                scratch=self.scratch,
+                tag=run_index,
+            )
+            if use_accel or omega != 0.0:
+                accel = self.accel_view[lo:hi] if use_accel else None
+                stacked_source_kernel(
+                    self.u_int[run_index], self.dudt[run_index],
+                    accel=accel, omega=omega,
+                    x=self.x[run_index], y=self.y[run_index],
+                )
+
+    def reflux(self) -> int:
+        """Flux corrections for owned leaves, reading all leaves' faces.
+
+        ``apply_flux_corrections`` skips leaves absent from the rhs map,
+        so each worker passes only its owned dudt views while the full shm
+        flux arena supplies every child face — corrections to a coarse
+        leaf are applied exactly once, by its owner.
+        """
+        flux_all = {
+            key: {
+                (axis, side): self.flux_view[slot, axis, side]
+                for axis in range(3)
+                for side in (0, 1)
+            }
+            for slot, key in enumerate(self.ex.leaf_keys)
+        }
+        with self.registry.timer("hydro.update"):
+            return apply_flux_corrections(self.ex.mesh, self.owned_rhs, flux_all)
+
+    def update(self, a0: float, a1: float, dt: float) -> None:
+        with self.registry.timer("hydro.update"):
+            for run_index in range(len(self.runs)):
+                stacked_update_kernel(
+                    self.u_int[run_index], self.u0[run_index],
+                    self.dudt[run_index], a0, a1, dt, self.ex.eos,
+                    scratch=self.scratch, tag=run_index,
+                )
+
+    def finish(self) -> Dict[NodeKey, float]:
+        """Tau resync + per-leaf CFL signals of the owned leaves."""
+        keys = self.ex.leaf_keys
+        signals: Dict[NodeKey, float] = {}
+        with self.registry.timer("hydro.update"):
+            for run_index, (lo, hi, _) in enumerate(self.runs):
+                u_int = self.u_int[run_index]
+                stacked_resync_tau_kernel(u_int, self.ex.eos)
+                out = self.scratch.get(("signal", run_index), (hi - lo,))
+                stacked_signal_kernel(u_int, self.ex.eos, out)
+                for j, key in enumerate(keys[lo:hi]):
+                    signals[key] = float(out[j])
+        return signals
+
+    def dispatch(self, command: Any) -> Any:
+        op = command[0]
+        if op == "begin":
+            return self.begin()
+        if op == "ghost":
+            return self.ghost_shm()
+        if op == "ghost_pack":
+            return self.ghost_pack()
+        if op == "ghost_unpack":
+            return self.ghost_unpack(command[1])
+        if op == "rhs":
+            return self.rhs(command[1], command[2], command[3])
+        if op == "reflux":
+            return self.reflux()
+        if op == "update":
+            return self.update(command[1], command[2], command[3])
+        if op == "finish":
+            return self.finish()
+        raise ValueError(f"unknown command {op!r}")
+
+
+def _make_handler(executor: "ProcessHydroExecutor"):
+    """The child-side handler factory (runs after fork; sees the parent's
+    mesh, plans and shm views by inheritance)."""
+
+    def factory(rank: int, registry: CounterRegistry):
+        state = _WorkerState(rank, registry, executor)
+        return state.dispatch
+
+    return factory
+
+
+class ProcessHydroExecutor:
+    """Owns the shm arenas and the worker pool for process-parallel steps.
+
+    Build once and call :meth:`step` repeatedly; :meth:`ensure` rebuilds
+    the arenas and **re-forks the workers** whenever the mesh topology
+    moved or leaf storage was rebound — re-forking *is* the plan
+    invalidation broadcast: the new children inherit the new plan, so no
+    stale index array can survive a regrid.
+    """
+
+    def __init__(
+        self,
+        mesh: AmrMesh,
+        eos: Optional[IdealGasEOS] = None,
+        nprocs: int = 2,
+        omega: float = 0.0,
+        reflux: bool = True,
+        reconstruction: str = "muscl",
+        wire: str = "shm",
+        timeout: float = 120.0,
+    ) -> None:
+        if wire not in ("shm", "pipe"):
+            raise ValueError(f"wire must be 'shm' or 'pipe', got {wire!r}")
+        self.mesh = mesh
+        self.eos = eos or IdealGasEOS()
+        self.omega = omega
+        self.reflux = reflux
+        self.reconstruction = reconstruction
+        self.wire = wire
+        self.engine = ParallelEngine(nprocs, timeout=timeout)
+        self.nprocs = self.engine.nprocs
+        self.registry: Optional[CounterRegistry] = None
+
+        self.n = mesh.n
+        self.ghost = mesh.ghost
+        self.m = self.n + 2 * self.ghost
+
+        self.arena: Optional[ShmArena] = None
+        self.accel_arena: Optional[ShmArena] = None
+        self.flux_arena: Optional[ShmArena] = None
+        self.arena_view: Optional[np.ndarray] = None
+        self.accel_view: Optional[np.ndarray] = None
+        self.flux_view: Optional[np.ndarray] = None
+        self.bundle_plan: Optional[GhostBundlePlan] = None
+        self.leaf_keys: List[NodeKey] = []
+        self.slot: Dict[NodeKey, int] = {}
+        self.runs: List[List[Tuple[int, int, float]]] = []
+        self._views: List[np.ndarray] = []
+        self._topology_version = -1
+        self.faces_refluxed = 0
+        #: Wire-format accounting (pipe mode): payload messages and bytes
+        #: relayed last step.
+        self.payload_messages = 0
+        self.payload_bytes = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    def matches(self) -> bool:
+        """Whether the current arenas/workers are valid for the mesh."""
+        if self._topology_version != self.mesh.topology_version:
+            return False
+        if not self.engine.started:
+            return False
+        nodes = self.mesh.nodes
+        return all(
+            nodes[key].subgrid.data is view
+            for key, view in zip(self.leaf_keys, self._views)
+        )
+
+    def ensure(self) -> None:
+        """(Re)build arenas, bundle plan and worker pool for the mesh."""
+        if self.matches():
+            return
+        self.close()
+        mesh = self.mesh
+        sfc_partition(mesh, self.nprocs)
+        leaves = sorted(mesh.leaves(), key=lambda nd: nd.key)
+        self.leaf_keys = [leaf.key for leaf in leaves]
+        self.slot = {k: i for i, k in enumerate(self.leaf_keys)}
+        n, m = self.n, self.m
+        chunk = NFIELDS * m**3
+
+        self.arena = ShmArena(len(leaves) * chunk * 8)
+        self.arena_view = self.arena.ndarray((len(leaves) * chunk,))
+        _, offsets = adopt_arena(mesh, out=self.arena_view)
+        self._views = [mesh.nodes[k].subgrid.data for k in self.leaf_keys]
+        self.bundle_plan = build_bundle_plan(mesh, offsets)
+
+        self.accel_arena = ShmArena(len(leaves) * 3 * n**3 * 8)
+        self.accel_view = self.accel_arena.ndarray((len(leaves), 3, n, n, n))
+        self.flux_arena = ShmArena(len(leaves) * 6 * NFIELDS * n**2 * 8)
+        self.flux_view = self.flux_arena.ndarray(
+            (len(leaves), 3, 2, NFIELDS, n, n)
+        )
+
+        # Contiguous same-level slot runs per rank: the unit of stacked
+        # kernel execution inside each worker.
+        self.runs = [[] for _ in range(self.nprocs)]
+        start = 0
+        while start < len(leaves):
+            rank = leaves[start].locality
+            level = leaves[start].level
+            stop = start
+            while (
+                stop < len(leaves)
+                and leaves[stop].locality == rank
+                and leaves[stop].level == level
+            ):
+                stop += 1
+            self.runs[rank].append((start, stop, leaves[start].dx))
+            start = stop
+
+        # Fork *after* every arena and plan exists: children inherit it all.
+        self.engine = ParallelEngine(self.engine.nprocs, timeout=self.engine.timeout)
+        self.engine.start(_make_handler(self))
+        self._topology_version = mesh.topology_version
+
+    def close(self) -> None:
+        """Stop the workers and release every shm segment.
+
+        Leaf storage still aliasing the arena is copied back to private
+        numpy arrays first — the mesh must stay readable (and steppable by
+        another backend) after its shm pages are gone.
+        """
+        if self.engine.started:
+            self.engine.shutdown()
+        nodes = self.mesh.nodes
+        for key, view in zip(self.leaf_keys, self._views):
+            node = nodes.get(key)
+            if node is not None and node.subgrid.data is view:
+                node.subgrid.data = view.copy()
+        self._views = []
+        self.leaf_keys = []
+        for arena in (self.arena, self.accel_arena, self.flux_arena):
+            if arena is not None:
+                arena.unlink()
+        self.arena = self.accel_arena = self.flux_arena = None
+        self.arena_view = self.accel_view = self.flux_view = None
+        self._topology_version = -1
+
+    def __enter__(self) -> "ProcessHydroExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:  # noqa: ANN002
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter teardown
+            pass
+
+    # -- gravity --------------------------------------------------------------
+    def _write_accel(self, accel_map: Dict[NodeKey, np.ndarray]) -> None:
+        """Stage the gravity callback's output into the shm accel arena."""
+        for slot, key in enumerate(self.leaf_keys):
+            a = accel_map.get(key)
+            if a is None:
+                self.accel_view[slot] = 0.0
+            else:
+                self.accel_view[slot] = a
+
+    # -- ghost exchange -------------------------------------------------------
+    def _ghost_round(self) -> None:
+        if self.wire == "shm":
+            self.engine.round(("ghost",))
+            return
+        # Pipe wire: source ranks pack, the parent relays each bundle's
+        # flat payload (serialized as-is — the wire format), destination
+        # ranks unpack.  The parent-side relay collects every pack before
+        # dispatching unpacks, so no pair of workers can deadlock on a
+        # full pipe while sitting in the same barrier.
+        packed = self.engine.round(("ghost_pack",))
+        by_dst: List[Dict[Tuple[int, int], np.ndarray]] = [
+            {} for _ in range(self.nprocs)
+        ]
+        for payloads in packed:
+            for pair, payload in payloads.items():
+                by_dst[pair[1]][pair] = payload
+                self.payload_messages += 1
+                self.payload_bytes += payload.size * 8
+        for rank in range(self.nprocs):
+            self.engine.send(rank, ("ghost_unpack", by_dst[rank]))
+        self.engine.gather()
+        self.engine.rounds += 1
+
+    # -- the step -------------------------------------------------------------
+    def step(
+        self,
+        dt: float,
+        gravity=None,  # noqa: ANN001 - GravityCallback
+        gravity_every_stage: bool = False,
+    ) -> Dict[NodeKey, float]:
+        """One RK3 step across the worker pool; returns per-leaf signals.
+
+        The parent solves gravity (when given) and restricts at the end —
+        both read/write the shm arena directly, so the workers never see a
+        stale field.
+        """
+        self.ensure()
+        engine = self.engine
+        self.payload_messages = 0
+        self.payload_bytes = 0
+
+        use_accel = gravity is not None
+        if use_accel:
+            self._write_accel(gravity(self.mesh))
+        collect_fluxes = (
+            self.reflux and self.bundle_plan is not None
+            and any(b.fine_dst.size for b in self.bundle_plan.bundles.values())
+        )
+
+        engine.round(("begin",))
+        for stage_index, (a0, a1) in enumerate(_RK3_STAGES):
+            self._ghost_round()
+            if use_accel and gravity_every_stage and stage_index:
+                # Workers are between rounds (idle at the barrier), so the
+                # parent may rewrite the accel arena they read next round.
+                self._write_accel(gravity(self.mesh))
+            engine.round(("rhs", collect_fluxes, use_accel, self.omega))
+            if collect_fluxes:
+                self.faces_refluxed += sum(engine.round(("reflux",)))
+            engine.round(("update", a0, a1, dt))
+
+        signal_maps = engine.round(("finish",))
+        if self.registry is not None:
+            engine.harvest_timers(self.registry)
+        self.mesh.restrict_all()
+        signals: Dict[NodeKey, float] = {}
+        for per_worker in signal_maps:
+            signals.update(per_worker)
+        return signals

@@ -1,0 +1,398 @@
+"""The process backend: real OS parallelism with the DES engine as oracle.
+
+Covers the ISSUE-6 satellite contracts:
+
+* typed construction validation on :class:`ParallelEngine` (the
+  ``Engine.post`` NaN-guard posture applied to timeouts and nprocs);
+* the shm lifecycle guard — a worker crash (the ``FaultSpec`` crash fate
+  made real) leaves no ``/dev/shm`` segment behind;
+* backend equivalence — blast and DWD smoke runs parametrized over
+  backends with bit-identical conserved sums and final fields, plus a
+  hypothesis refine/derefine sweep proving plan invalidation propagates
+  to the worker pool;
+* per-worker ``hydro.*``/``fmm.*`` timers aggregated (max + mean) into
+  the driver's counter registry.
+"""
+
+import math
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.amt.parallel import (
+    ParallelEngine,
+    WorkerCrashError,
+    WorkerError,
+)
+from repro.amt.shm import ShmArena, live_segments
+from repro.core.crosscheck import (
+    clone_mesh,
+    conserved_sums,
+    crosscheck_hydro,
+)
+from repro.hydro import HydroIntegrator
+from repro.hydro.process_backend import ProcessHydroExecutor
+from repro.profiling.apex import CounterRegistry
+from tests.test_hydro_plan import (
+    _apply_mutation,
+    _mutation_sequences,
+    assert_meshes_identical,
+    fake_gravity,
+    make_state_mesh,
+)
+
+pytestmark = pytest.mark.timeout(300)
+
+
+def _echo_factory(rank, registry):
+    def handler(command):
+        if command == "boom":
+            raise RuntimeError("boom from worker")
+        if command == "rank":
+            return rank
+        if command == "time":
+            with registry.timer("worker.phase"):
+                pass
+            return None
+        return command
+
+    return handler
+
+
+class TestEngineValidation:
+    """Satellite 1: typed rejection, mirroring Engine.post's NaN guard."""
+
+    def test_non_integral_nprocs_typeerror(self):
+        with pytest.raises(TypeError, match="nprocs"):
+            ParallelEngine(2.0)
+        with pytest.raises(TypeError, match="nprocs"):
+            ParallelEngine(True)
+
+    def test_negative_nprocs_valueerror(self):
+        with pytest.raises(ValueError, match="nprocs"):
+            ParallelEngine(-1)
+        with pytest.raises(ValueError, match="nprocs"):
+            ParallelEngine(0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_non_finite_timeout_valueerror(self, bad):
+        with pytest.raises(ValueError, match="non-finite timeout"):
+            ParallelEngine(1, timeout=bad)
+
+    def test_non_positive_timeout_valueerror(self):
+        with pytest.raises(ValueError, match="timeout"):
+            ParallelEngine(1, timeout=0.0)
+
+    def test_non_real_timeout_typeerror(self):
+        with pytest.raises(TypeError, match="timeout"):
+            ParallelEngine(1, timeout="soon")
+
+
+class TestEngineRounds:
+    def test_round_trip_and_worker_identity(self):
+        with ParallelEngine(3) as engine:
+            engine.start(_echo_factory)
+            assert engine.round("rank") == [0, 1, 2]
+            assert engine.round({"x": 1}) == [{"x": 1}] * 3
+
+    def test_worker_exception_carries_remote_traceback(self):
+        with ParallelEngine(2) as engine:
+            engine.start(_echo_factory)
+            with pytest.raises(WorkerError, match="boom from worker") as exc:
+                engine.round("boom")
+            assert "RuntimeError" in exc.value.remote_traceback
+            # The pool survives a handler exception.
+            assert engine.round("rank") == [0, 1]
+
+    def test_crash_fate_raises_typed_crash_error(self):
+        from repro.resilience.protocol import UnrecoverableFault
+
+        with ParallelEngine(2) as engine:
+            engine.start(_echo_factory)
+            engine.crash(1)
+            with pytest.raises(WorkerCrashError) as exc:
+                engine.round("rank")
+            assert exc.value.ranks == (1,)
+            assert isinstance(exc.value, UnrecoverableFault)
+
+    def test_harvest_timers_max_and_mean(self):
+        registry = CounterRegistry()
+        with ParallelEngine(2) as engine:
+            engine.start(_echo_factory)
+            engine.round("time")
+            maxima = engine.harvest_timers(registry)
+        assert "worker.phase" in maxima
+        assert registry.count("worker.phase") == 1
+        assert registry.count("worker.phase.workers_mean") == 1
+        mean = registry.get("worker.phase.workers_mean").total
+        assert mean <= maxima["worker.phase"]
+
+
+class TestShmLifecycle:
+    """Satellite 2: /dev/shm segments cannot leak."""
+
+    def test_context_manager_unlinks(self):
+        with ShmArena(1024) as arena:
+            name = arena.name
+            assert name in live_segments()
+            view = arena.ndarray((128,))
+            view[:] = 7.0
+            assert view.sum() == 7.0 * 128
+        assert name not in live_segments()
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_unlink_idempotent(self):
+        arena = ShmArena(64)
+        assert arena.unlink() is True
+        assert arena.unlink() is False
+
+    def test_bad_nbytes_typed_errors(self):
+        with pytest.raises(TypeError):
+            ShmArena(12.5)
+        with pytest.raises(TypeError):
+            ShmArena(True)
+        with pytest.raises(ValueError):
+            ShmArena(0)
+
+    def test_worker_crash_leaves_no_segments(self):
+        """The FaultSpec crash fate made real: kill a worker mid-run, let
+        the typed error propagate, and verify every segment is gone."""
+        before = set(os.listdir("/dev/shm"))
+        mesh, eos = make_state_mesh(levels=1, refine_keys=(0,))
+        ex = ProcessHydroExecutor(mesh, eos=eos, nprocs=2)
+        ex.ensure()
+        assert live_segments()  # arenas exist while the pool runs
+        ex.engine.crash(0)
+        with pytest.raises(WorkerCrashError):
+            ex.step(1e-4)
+        ex.close()
+        assert live_segments() == ()
+        assert set(os.listdir("/dev/shm")) <= before
+
+    def test_driver_crash_fault_cleans_up(self):
+        from repro.core.distributed import DistributedHydroDriver
+        from repro.resilience.faults import FaultSpec
+
+        mesh, eos = make_state_mesh(levels=1)
+        driver = DistributedHydroDriver(
+            mesh, eos=eos, backend="process", nprocs=2,
+            faults=FaultSpec(crash_locality=1, crash_step=0),
+        )
+        with pytest.raises(WorkerCrashError):
+            driver.step(1e-4)
+        assert live_segments() == ()
+
+
+def _integrator_pair(backend, mesh_kw, nprocs=2, wire="shm", **kw):
+    mesh_a, eos = make_state_mesh(**mesh_kw)
+    mesh_b, _ = make_state_mesh(**mesh_kw)
+    a = HydroIntegrator(mesh_a, eos, **kw)
+    b = HydroIntegrator(
+        mesh_b, eos, backend=backend, nprocs=nprocs, wire=wire, **kw
+    )
+    return a, b, mesh_a, mesh_b
+
+
+class TestBackendEquivalence:
+    """Satellite 3: blast + DWD smoke over backend=["des", "process"]."""
+
+    @pytest.mark.parametrize("backend", ["des", "process"])
+    def test_blast_smoke_conserved_sums_and_fields(self, backend):
+        from repro.scenarios.blast import sedov_blast
+
+        ref = sedov_blast(levels=1)
+        run = sedov_blast(levels=1)
+        serial = HydroIntegrator(ref.mesh, ref.eos)
+        if backend == "des":
+            other = HydroIntegrator(run.mesh, run.eos)
+        else:
+            other = HydroIntegrator(
+                run.mesh, run.eos, backend="process", nprocs=2
+            )
+        try:
+            for _ in range(2):
+                dt = serial.timestep()
+                serial.step(dt)
+                other.step(dt)
+        finally:
+            other.close()
+        assert np.array_equal(conserved_sums(ref.mesh), conserved_sums(run.mesh))
+        assert_meshes_identical(ref.mesh, run.mesh)
+
+    @pytest.mark.parametrize("backend", ["des", "process"])
+    def test_dwd_smoke_with_gravity(self, backend):
+        from repro.gravity.fmm import FmmSolver
+        from repro.scenarios.dwd import dwd_scenario
+
+        ref = dwd_scenario(level=1, scf_grid=24)
+        run = dwd_scenario(level=1, scf_grid=24)
+        serial = HydroIntegrator(
+            ref.mesh, ref.eos, omega=ref.omega,
+            gravity=FmmSolver(empty_mass_threshold=1e-12).as_gravity_callback(),
+        )
+        gravity_cb = FmmSolver(
+            empty_mass_threshold=1e-12,
+        ).as_gravity_callback()
+        if backend == "des":
+            other = HydroIntegrator(
+                run.mesh, run.eos, omega=run.omega, gravity=gravity_cb
+            )
+        else:
+            other = HydroIntegrator(
+                run.mesh, run.eos, omega=run.omega, gravity=gravity_cb,
+                backend="process", nprocs=2,
+            )
+        try:
+            for _ in range(2):
+                dt = serial.timestep()
+                serial.step(dt)
+                other.step(dt)
+        finally:
+            other.close()
+        assert np.array_equal(conserved_sums(ref.mesh), conserved_sums(run.mesh))
+        assert_meshes_identical(ref.mesh, run.mesh)
+
+    def test_pipe_wire_equivalent(self):
+        a, b, mesh_a, mesh_b = _integrator_pair(
+            "process", dict(levels=1, refine_keys=(0, 3)), nprocs=3, wire="pipe"
+        )
+        try:
+            for _ in range(2):
+                dt = a.timestep()
+                a.step(dt)
+                b.step(dt)
+            messages = b._executor.payload_messages
+            payload_bytes = b._executor.payload_bytes
+        finally:
+            b.close()
+        assert_meshes_identical(mesh_a, mesh_b)
+        # The pipe wire actually moved payload bytes through the parent.
+        assert messages > 0
+        assert payload_bytes > 0
+
+    def test_fmm_process_backend_bit_identical(self):
+        from repro.gravity.fmm import FmmSolver
+
+        mesh, _ = make_state_mesh(levels=1, refine_keys=(2,))
+        des = FmmSolver(empty_mass_threshold=1e-12)
+        par = FmmSolver(
+            empty_mass_threshold=1e-12, backend="process", nprocs=2
+        )
+        try:
+            r_des = des.solve(mesh)
+            r_par = par.solve(mesh)
+        finally:
+            par.close()
+        for key in r_des.accel:
+            assert np.array_equal(r_des.accel[key], r_par.accel[key])
+            assert np.array_equal(r_des.phi[key], r_par.phi[key])
+
+    def test_timers_aggregated_into_registry(self):
+        mesh, eos = make_state_mesh(levels=1)
+        integ = HydroIntegrator(mesh, eos, backend="process", nprocs=2)
+        integ.registry = CounterRegistry()
+        try:
+            integ.step(1e-4)
+        finally:
+            integ.close()
+        for name in ("hydro.ghost", "hydro.riemann", "hydro.update"):
+            assert integ.registry.count(name) >= 1, name
+            assert integ.registry.count(f"{name}.workers_mean") >= 1, name
+            peak = integ.registry.get(name).maximum
+            mean = integ.registry.get(f"{name}.workers_mean").maximum
+            assert mean <= peak
+
+
+class TestRegridPropagation:
+    """Satellite 3 (hypothesis): plan invalidation reaches the workers."""
+
+    @given(ops=_mutation_sequences(), nprocs=st.sampled_from([2, 3]))
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_process_backend_tracks_topology_changes(self, ops, nprocs):
+        mesh_a, eos = make_state_mesh(levels=1, n=4)
+        mesh_b, _ = make_state_mesh(levels=1, n=4)
+        a = HydroIntegrator(mesh_a, eos)
+        b = HydroIntegrator(mesh_b, eos, backend="process", nprocs=nprocs)
+        try:
+            dt = a.timestep()
+            a.step(dt)
+            b.step(dt)
+            for op, pick in ops:
+                changed = _apply_mutation(mesh_a, op, pick)
+                assert _apply_mutation(mesh_b, op, pick) == changed
+                dt = a.timestep()
+                a.step(dt)
+                b.step(dt)
+                assert_meshes_identical(mesh_a, mesh_b)
+        finally:
+            b.close()
+        assert live_segments() == ()
+
+
+class TestCrosscheckHarness:
+    def test_crosscheck_passes_with_sources(self):
+        mesh, eos = make_state_mesh(levels=1, refine_keys=(1,))
+        result = crosscheck_hydro(
+            mesh, steps=2, nprocs=2, eos=eos, omega=0.3,
+            gravity=lambda: fake_gravity,
+        )
+        assert result.ok
+        assert result.leaves > 0
+
+    def test_crosscheck_detects_divergence(self):
+        from repro.core.crosscheck import BackendMismatch, assert_identical
+
+        mesh_a, _ = make_state_mesh(levels=1)
+        mesh_b = clone_mesh(mesh_a)
+        leaf = mesh_b.leaves()[0]
+        leaf.subgrid.data[0] += 1e-9
+        with pytest.raises(BackendMismatch):
+            assert_identical(mesh_a, mesh_b)
+
+    def test_clone_mesh_is_private_storage(self):
+        mesh, _ = make_state_mesh(levels=1, refine_keys=(0,))
+        clone = clone_mesh(mesh)
+        assert_meshes_identical(mesh, clone)
+        clone.leaves()[0].subgrid.data[0] += 1.0
+        with pytest.raises(AssertionError):
+            assert_meshes_identical(mesh, clone)
+
+
+class TestDistributedDriverBackend:
+    def test_process_step_matches_des_fields(self):
+        from repro.core.distributed import DistributedHydroDriver
+
+        mesh_a, eos = make_state_mesh(levels=1, refine_keys=(0,))
+        mesh_b, _ = make_state_mesh(levels=1, refine_keys=(0,))
+        des = DistributedHydroDriver(mesh_a, eos=eos, omega=0.2)
+        par = DistributedHydroDriver(
+            mesh_b, eos=eos, omega=0.2, backend="process", nprocs=2
+        )
+        try:
+            r_des = des.step(1e-4)
+            r_par = par.step(1e-4)
+        finally:
+            par.close()
+        assert_meshes_identical(mesh_a, mesh_b)
+        # The process result reports measured wall-clock, not virtual time.
+        assert r_par.makespan_s > 0.0
+        assert r_par.control_messages > 0
+
+    def test_invalid_backend_rejected(self):
+        from repro.core.distributed import DistributedHydroDriver
+        from repro.gravity.fmm import FmmSolver
+
+        mesh, eos = make_state_mesh(levels=0)
+        with pytest.raises(ValueError, match="backend"):
+            DistributedHydroDriver(mesh, eos=eos, backend="threads")
+        with pytest.raises(ValueError, match="backend"):
+            HydroIntegrator(mesh, eos, backend="threads")
+        with pytest.raises(ValueError, match="backend"):
+            FmmSolver(backend="threads")

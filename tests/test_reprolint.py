@@ -185,6 +185,51 @@ class TestUncoalescedSend:
         assert rules(lint_source(src)) == ["R005"]
 
 
+class TestProcessSpawn:
+    def test_import_from_flagged(self):
+        src = "from multiprocessing import Process\n"
+        assert rules(lint_source(src, "src/repro/core/x.py")) == ["R006"]
+        src = "from multiprocessing.context import Pool\n"
+        assert rules(lint_source(src, "src/repro/core/x.py")) == ["R006"]
+
+    def test_attribute_spawn_flagged(self):
+        src = (
+            "import multiprocessing\n"
+            "p = multiprocessing.Process(target=print)\n"
+        )
+        assert rules(lint_source(src, "src/repro/x.py")) == ["R006"]
+        src = "import multiprocessing as mp\npool = mp.Pool(4)\n"
+        assert rules(lint_source(src, "src/repro/x.py")) == ["R006"]
+
+    def test_get_context_spawn_flagged(self):
+        src = (
+            "import multiprocessing as mp\n"
+            "p = mp.get_context('fork').Process(target=print)\n"
+        )
+        assert rules(lint_source(src, "src/repro/x.py")) == ["R006"]
+
+    def test_context_variable_spawn_flagged(self):
+        src = (
+            "import multiprocessing as mp\n"
+            "ctx = mp.get_context('fork')\n"
+            "p = ctx.Process(target=print)\n"
+        )
+        assert rules(lint_source(src, "src/repro/x.py")) == ["R006"]
+
+    def test_parallel_module_exempt(self):
+        src = (
+            "import multiprocessing as mp\n"
+            "p = mp.Process(target=print)\n"
+        )
+        assert lint_source(src, "src/repro/amt/parallel.py") == []
+
+    def test_unrelated_process_attribute_ok(self):
+        src = "import psutil\np = psutil.Process()\n"
+        assert lint_source(src, "src/repro/x.py") == []
+        src = "from multiprocessing import shared_memory\n"
+        assert lint_source(src, "src/repro/x.py") == []
+
+
 class TestDriver:
     def test_src_tree_is_clean(self):
         assert lint_paths([str(REPO / "src")]) == []

@@ -38,6 +38,14 @@ R005 no-uncoalesced-send
     messages) carry a ``# reprolint: sanctioned-bundle`` comment on the
     send line or on the loop header.
 
+R006 process-spawn-via-amt
+    No direct ``multiprocessing.Process`` / ``multiprocessing.Pool`` use
+    (including via ``get_context(...)``) outside ``repro/amt/parallel.py``.
+    All process spawning goes through the AMT API
+    (``repro.amt.parallel.ParallelEngine``), which owns worker lifecycle,
+    typed crash/timeout semantics, and the shm cleanup guard; a raw
+    Process escapes all three.
+
 Exit status is 1 when any finding is reported, 0 on a clean pass.
 """
 
@@ -61,6 +69,10 @@ _VIEW_EXEMPT = ("repro/kokkos/view.py",)
 _RANDOM_ALLOWED = {"default_rng", "Generator", "SeedSequence"}
 _SANCTION_TAG = "# reprolint: sanctioned-bundle"
 _SEND_OWNERS = ("network", "transport")
+#: repro/amt/parallel.py IS the AMT process-spawning API R006 funnels
+#: everything through.
+_MP_EXEMPT = ("repro/amt/parallel.py",)
+_MP_SPAWN_NAMES = {"Process", "Pool"}
 
 
 @dataclass(frozen=True)
@@ -271,6 +283,79 @@ def _check_uncoalesced_send(
     return findings
 
 
+def _multiprocessing_aliases(tree: ast.Module) -> Set[str]:
+    """Names bound to the multiprocessing package (``mp``, ...)."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "multiprocessing":
+                    aliases.add((alias.asname or alias.name).split(".")[0])
+    return aliases
+
+
+def _is_get_context_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    fn = node.func
+    return (isinstance(fn, ast.Name) and fn.id == "get_context") or (
+        isinstance(fn, ast.Attribute) and fn.attr == "get_context"
+    )
+
+
+def _context_names(tree: ast.Module) -> Set[str]:
+    """Variables assigned from a ``get_context(...)`` call — spawn contexts
+    whose ``.Process``/``.Pool`` attributes R006 also covers."""
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_get_context_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    names.add(target.attr)
+    return names
+
+
+def _check_process_spawn(tree: ast.Module, path: str) -> List[Finding]:
+    if _path_matches(path, _MP_EXEMPT):
+        return []
+    findings = []
+    mp_aliases = _multiprocessing_aliases(tree)
+    ctx_names = _context_names(tree)
+    message = (
+        "spawn worker processes through repro.amt.parallel.ParallelEngine, "
+        "not raw multiprocessing {name} (the AMT API owns worker lifecycle, "
+        "typed crash semantics, and shm cleanup)"
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.split(".")[0] == "multiprocessing":
+                for alias in node.names:
+                    if alias.name in _MP_SPAWN_NAMES:
+                        findings.append(Finding(
+                            path, node.lineno, "R006",
+                            message.format(name=alias.name),
+                        ))
+        elif isinstance(node, ast.Attribute) and node.attr in _MP_SPAWN_NAMES:
+            base = node.value
+            direct = isinstance(base, ast.Name) and base.id in (
+                mp_aliases | ctx_names
+            )
+            dotted = (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id in mp_aliases
+            )
+            via_context = _is_get_context_call(base)
+            if direct or dotted or via_context:
+                findings.append(Finding(
+                    path, node.lineno, "R006", message.format(name=node.attr),
+                ))
+    return findings
+
+
 def _sanctioned_lines(source: str) -> Set[int]:
     return {
         i
@@ -289,6 +374,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     findings += _check_raw_view_copy(tree, path, aliases)
     findings += _check_bare_random(tree, path, aliases)
     findings += _check_uncoalesced_send(tree, path, _sanctioned_lines(source))
+    findings += _check_process_spawn(tree, path)
     return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
 
 
