@@ -118,6 +118,7 @@ def bench_case(levels: int, nprocs_list, reps: int, trials: int,
     mesh, eos = build_mesh(levels)
     n_leaves = len(mesh.leaves())
     dt = 1e-4
+    cores = len(os.sched_getaffinity(0))
 
     # Equivalence first: every benchmarked mesh goes through the
     # DES-vs-process cross-check (np.array_equal per field per step).
@@ -151,6 +152,10 @@ def bench_case(levels: int, nprocs_list, reps: int, trials: int,
             "speedup_vs_serial": serial_s / warm_s,
             "speedup_vs_1proc": None,  # filled below
             "crosscheck_ok": checks[nprocs],
+            # More workers than schedulable cores: sub-1.0 speedups here
+            # are a property of the container, not a regression — drift
+            # tooling must not alert on oversubscribed points.
+            "oversubscribed": nprocs > cores,
         }
     base_warm = points[nprocs_list[0]]["warm_ms"]
     for nprocs in nprocs_list:
@@ -160,6 +165,7 @@ def bench_case(levels: int, nprocs_list, reps: int, trials: int,
         "levels": levels,
         "leaves": n_leaves,
         "cells": int(mesh.n_cells()),
+        "cores_online": cores,
         "serial_warm_ms": serial_s * 1e3,
         "points": {str(k): v for k, v in points.items()},
         "predicted_speedup": {
@@ -195,18 +201,21 @@ def main(argv=None) -> int:
     for c in cases:
         for nprocs, p in c["points"].items():
             pred = c["predicted_speedup"][nprocs]
+            mark = " (oversubscribed)" if p["oversubscribed"] else ""
             lines.append(
                 f"level {c['levels']:<4} {nprocs:>6} {p['cold_ms']:>8.1f} "
                 f"{p['warm_ms']:>9.1f} {p['speedup_vs_serial']:>9.2f}x "
                 f"{p['speedup_vs_1proc']:>8.2f}x {pred:>9.2f}x "
-                f"{'ok' if p['crosscheck_ok'] else 'FAIL':>6}"
+                f"{'ok' if p['crosscheck_ok'] else 'FAIL':>6}{mark}"
             )
 
     gate_applies = cores >= GATE_NPROCS and not args.smoke
     gate_ok = True
     if gate_applies:
         level2 = next(c for c in cases if c["levels"] == 2)
-        measured = level2["points"][str(GATE_NPROCS)]["speedup_vs_1proc"]
+        gate_point = level2["points"][str(GATE_NPROCS)]
+        assert not gate_point["oversubscribed"]  # implied by cores check
+        measured = gate_point["speedup_vs_1proc"]
         gate_ok = measured >= SPEEDUP_GATE
         lines.append(
             f"gate: level-2 warm speedup at {GATE_NPROCS} procs = "

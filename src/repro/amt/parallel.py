@@ -203,6 +203,11 @@ class ParallelEngine:
         self.localities: List[ParallelLocality] = []
         self.rounds = 0
         self.control_messages = 0
+        #: Invoked after every completed barrier, while all workers are
+        #: parked waiting for the next command — the safe window for the
+        #: shm race detector (:mod:`repro.analysis.shmrace`) to drain and
+        #: reset the shared event log.
+        self.round_observer: Optional[Callable[[], None]] = None
         self._ctx = multiprocessing.get_context("fork")
 
     # -- lifecycle ------------------------------------------------------------
@@ -315,10 +320,18 @@ class ParallelEngine:
         return results
 
     def round(self, command: Any) -> List[Any]:
-        """One BSP round: broadcast, then barrier on all replies."""
+        """One BSP round: broadcast, then barrier on all replies.
+
+        When a :attr:`round_observer` is set it runs after the barrier —
+        every worker has replied and is blocked on its next ``recv``, so
+        the observer sees a quiescent shared-memory state.
+        """
         self.broadcast(command)
         self.rounds += 1
-        return self.gather()
+        results = self.gather()
+        if self.round_observer is not None:
+            self.round_observer()
+        return results
 
     # -- timers ---------------------------------------------------------------
     def harvest_timers(self, registry: CounterRegistry) -> Dict[str, float]:

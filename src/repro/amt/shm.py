@@ -77,7 +77,9 @@ class ShmArena:
         # segment is gone here, even if the body raised
     """
 
-    def __init__(self, nbytes: int, name: Optional[str] = None) -> None:
+    def __init__(
+        self, nbytes: int, name: Optional[str] = None, label: str = ""
+    ) -> None:
         if not isinstance(nbytes, int) or isinstance(nbytes, bool):
             raise TypeError(f"nbytes must be an int, got {type(nbytes).__name__}")
         if nbytes <= 0:
@@ -85,6 +87,9 @@ class ShmArena:
         self._shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
         self.name = self._shm.name
         self.nbytes = nbytes
+        #: Free-form role tag ("fields", "flux", "shm-race-log", ...) used by
+        #: diagnostics — the shm race detector names segments by label.
+        self.label = label
         self._owner_pid = os.getpid()
         self._closed = False
         _LIVE[self.name] = self

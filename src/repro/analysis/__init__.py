@@ -9,6 +9,12 @@ memory spaces through ``deep_copy``.  This package proves both:
   footprints over ``(subgrid, field, space)`` resources,
 * :mod:`repro.analysis.race` — the dynamic vector-clock race detector
   (hooks the AMT scheduler) and the static task-graph checker,
+* :mod:`repro.analysis.shmrace` — the same contract for the *process*
+  backend: per-rank shm access-event logs replayed against the BSP
+  barrier structure after every round,
+* :mod:`repro.analysis.planverify` — static pre-launch verification that
+  the parallel plans' index arrays are disjoint covers (bundle scatter
+  targets, rank partitions, FMM split shards),
 * :mod:`repro.analysis.spacesan` — the memory-space sanitizer mode that
   :class:`repro.kokkos.view.View` consults on every access.
 
@@ -34,6 +40,22 @@ from repro.analysis.race import (
     check_graph,
     check_space_discipline,
 )
+from repro.analysis.planverify import (
+    PlanVerificationError,
+    PlanViolation,
+    require_verified,
+    verify_bundle_plan,
+    verify_fmm_split,
+    verify_mesh_plans,
+    verify_partition,
+    verify_process_plan,
+)
+from repro.analysis.shmrace import (
+    ShmEventLog,
+    ShmEventWriter,
+    ShmRaceDetector,
+    ShmRaceError,
+)
 from repro.analysis.spacesan import (
     MemorySpaceViolation,
     SpaceFinding,
@@ -42,6 +64,18 @@ from repro.analysis.spacesan import (
 )
 
 __all__ = [
+    "PlanVerificationError",
+    "PlanViolation",
+    "require_verified",
+    "verify_bundle_plan",
+    "verify_fmm_split",
+    "verify_mesh_plans",
+    "verify_partition",
+    "verify_process_plan",
+    "ShmEventLog",
+    "ShmEventWriter",
+    "ShmRaceDetector",
+    "ShmRaceError",
     "ANY",
     "EMPTY_EFFECTS",
     "EffectRegistry",

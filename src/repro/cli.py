@@ -74,6 +74,16 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(identical bits, see docs/parallel.md)")
     run.add_argument("--nprocs", type=int, default=2, metavar="N",
                      help="worker processes for --backend process")
+    run.add_argument("--verify-plans", default=True,
+                     action=argparse.BooleanOptionalAction,
+                     help="statically verify the parallel plans (disjoint "
+                          "rank write sets, one donor per ghost target, "
+                          "disjoint M2L shards) before launch; "
+                          "--no-verify-plans runs unverified plans")
+    run.add_argument("--detect-races", action="store_true",
+                     help="process backend: log every worker's shm accesses "
+                          "and replay them against the barrier structure "
+                          "after each round, raising on unordered conflicts")
 
     check = sub.add_parser(
         "crosscheck",
@@ -85,6 +95,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="ghost-exchange wire format for the process "
                             "backend: shm writes (default) or serialized "
                             "payload buffers over pipes")
+
+    verify = sub.add_parser(
+        "verify-plans",
+        help="statically verify the parallel execution plans of every "
+             "scenario: rank partitions, ghost bundle scatter sets and "
+             "FMM M2L split shards (no workers are forked)")
+    verify.add_argument("--nprocs", type=int, default=2, metavar="N")
+    verify.add_argument("--levels", type=int, nargs="+", default=[1, 2])
+    verify.add_argument("--scenarios", nargs="+",
+                        default=["blast", "rotating_star", "dwd", "v1309"],
+                        choices=["blast", "rotating_star", "dwd", "v1309"])
+    verify.add_argument("--m2l-split", type=int, nargs="+",
+                        default=[64, 256], metavar="ROWS",
+                        help="M2L shard sizes to verify (rows per shard)")
 
     scale = sub.add_parser("scale", help="evaluate the distributed model")
     scale.add_argument("--scenario", default="rotating_star",
@@ -142,6 +166,8 @@ def _command_run(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         backend=args.backend,
         nprocs=args.nprocs,
+        verify_plans=args.verify_plans,
+        detect_races=args.detect_races,
     )
     before = diagnostics(scenario.mesh)
     print(f"{args.scenario} level {args.level}: {scenario.mesh.n_cells()} cells "
@@ -198,10 +224,51 @@ def _command_crosscheck(args: argparse.Namespace) -> int:
     except BackendMismatch as exc:
         print(f"CROSSCHECK FAILED: {exc}", file=sys.stderr)
         return 1
+    findings = 0
     for name, r in zip(("blast", "dwd"), results):
+        findings += r.race_findings
         print(f"{name}: {r.steps} steps x {r.leaves} leaves, "
               f"nprocs={r.nprocs}, serial {r.serial_s:.2f}s / "
-              f"process {r.process_s:.2f}s — bit-identical")
+              f"process {r.process_s:.2f}s — bit-identical, "
+              f"{r.race_findings} race finding(s) over {r.race_events} "
+              f"shm access events")
+    return 1 if findings else 0
+
+
+def _command_verify_plans(args: argparse.Namespace) -> int:
+    from repro.analysis.planverify import verify_fmm_split, verify_mesh_plans
+    from repro.gravity.plan import build_plan
+    from repro.scenarios import dwd_scenario, rotating_star, v1309_scenario
+    from repro.scenarios.blast import sedov_blast
+
+    def build(name: str, level: int):  # noqa: ANN202
+        if name == "blast":
+            return sedov_blast(levels=level).mesh
+        if name == "rotating_star":
+            return rotating_star(level=level).mesh
+        if name == "dwd":
+            return dwd_scenario(level=level, scf_grid=24).mesh
+        return v1309_scenario(level=level, scf_grid=24).mesh
+
+    total = 0
+    for name in args.scenarios:
+        for level in args.levels:
+            mesh = build(name, level)
+            violations = verify_mesh_plans(mesh, args.nprocs)
+            plan = build_plan(mesh, theta=0.5)
+            for split in args.m2l_split:
+                violations.extend(verify_fmm_split(plan, split))
+            status = "OK" if not violations else "FAIL"
+            shards = sum(len(plan.split(s)) for s in args.m2l_split)
+            print(f"{name:<14} level {level} nprocs {args.nprocs}: "
+                  f"{len(mesh.leaves())} leaves, {shards} M2L shard(s) "
+                  f"verified — {status}")
+            for v in violations:
+                print(f"  {v}", file=sys.stderr)
+            total += len(violations)
+    if total:
+        print(f"{total} plan violation(s)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -252,6 +319,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "crosscheck":
         return _command_crosscheck(args)
+    if args.command == "verify-plans":
+        return _command_verify_plans(args)
     if args.command == "scale":
         return _command_scale(args)
     if args.command == "machines":

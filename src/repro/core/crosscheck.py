@@ -50,10 +50,15 @@ class CrosscheckResult:
     #: is not a benchmark, but the ratio is a useful smoke signal).
     serial_s: float
     process_s: float
+    #: Checker evidence from the process side: shm race findings (the
+    #: dynamic detector runs at every barrier during the cross-check and
+    #: must stay at zero) and access events it replayed.
+    race_findings: int = 0
+    race_events: int = 0
 
     @property
     def ok(self) -> bool:  # mismatches raise, so reaching a result is success
-        return True
+        return self.race_findings == 0
 
 
 def clone_mesh(mesh: AmrMesh) -> AmrMesh:
@@ -109,6 +114,7 @@ def crosscheck_hydro(
     wire: str = "shm",
     dt: Optional[float] = None,
     mutate: Optional[Callable[[AmrMesh, int], None]] = None,
+    detect_races: bool = True,
 ) -> CrosscheckResult:
     """Run ``steps`` RK3 steps on both backends; raise on any divergence.
 
@@ -117,6 +123,12 @@ def crosscheck_hydro(
     other's mesh).  ``mutate(mesh, step_index)`` is applied to **both**
     meshes before each step — the regrid-propagation hook the hypothesis
     sweep drives.
+
+    The process side runs with static plan verification *and* (by
+    default) the dynamic shm race detector enabled, so every cross-check
+    doubles as a zero-findings assertion for the checker stack: a
+    detected race raises ``ShmRaceError`` exactly like a bit mismatch
+    raises :class:`BackendMismatch`.
     """
     import time as _time
 
@@ -132,6 +144,7 @@ def crosscheck_hydro(
         gravity=gravity() if gravity else None,
         gravity_every_stage=gravity_every_stage, reflux=reflux,
         backend="process", nprocs=nprocs, wire=wire,
+        detect_races=detect_races,
     )
     serial_s = process_s = 0.0
     try:
@@ -153,6 +166,12 @@ def crosscheck_hydro(
                 conserved_sums(mesh_serial), conserved_sums(mesh_process)
             ):
                 raise BackendMismatch(step, (0, 0), float("nan"))
+        detector = (
+            process._executor.race_detector
+            if process._executor is not None else None
+        )
+        race_findings = len(detector.findings) if detector else 0
+        race_events = detector.events_seen if detector else 0
     finally:
         process.close()
     return CrosscheckResult(
@@ -162,6 +181,8 @@ def crosscheck_hydro(
         dt=serial.last_dt,
         serial_s=serial_s,
         process_s=process_s,
+        race_findings=race_findings,
+        race_events=race_events,
     )
 
 

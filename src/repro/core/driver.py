@@ -95,6 +95,8 @@ class OctoTigerSim:
         max_rollbacks: int = 8,
         backend: str = "des",
         nprocs: int = 2,
+        verify_plans: bool = True,
+        detect_races: bool = False,
     ) -> None:
         if backend not in ("des", "process"):
             raise ValueError(f"backend must be 'des' or 'process', got {backend!r}")
@@ -103,6 +105,11 @@ class OctoTigerSim:
         #: worker processes (:mod:`repro.amt.parallel`), bit-identical.
         self.backend = backend
         self.nprocs = nprocs
+        #: Checker wiring for the process backend: refuse statically
+        #: unverified plans (default) and optionally log/replay shm access
+        #: events at every barrier (``detect_races``).  No effect on "des".
+        self.verify_plans = verify_plans
+        self.detect_races = detect_races
         self.mesh = mesh
         self.eos = eos or IdealGasEOS()
         self.machine = machine
@@ -146,6 +153,7 @@ class OctoTigerSim:
                 m2l_split=m2l_split,
                 backend=backend,
                 nprocs=nprocs,
+                verify_plans=verify_plans,
             )
             # Route the solver's per-phase timers (fmm.plan, fmm.p2m_m2m,
             # fmm.m2l, fmm.l2p, fmm.p2p) into this run's counter registry.
@@ -160,6 +168,8 @@ class OctoTigerSim:
             batched=hydro_plan,
             backend="process" if backend == "process" else "serial",
             nprocs=nprocs,
+            verify_plans=verify_plans,
+            detect_races=detect_races,
         )
         # Route the integrator's per-phase timers (hydro.plan, hydro.ghost,
         # hydro.reconstruct, hydro.riemann, hydro.update) into this run's
@@ -404,6 +414,8 @@ class OctoTigerSim:
             batched=self.hydro_plan,
             backend="process" if self.backend == "process" else "serial",
             nprocs=self.nprocs,
+            verify_plans=self.verify_plans,
+            detect_races=self.detect_races,
         )
         restored.reconstruction = self.integrator.reconstruction
         restored.reflux = self.integrator.reflux

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.planverify import require_verified, verify_fmm_split
 from repro.gravity.conservation import project_angular_momentum, project_momentum
 from repro.gravity.kernels import m2l_batch, m2l_segmented
 from repro.gravity.multipole import (
@@ -113,6 +114,7 @@ class FmmSolver:
         m2l_split: int = 0,
         backend: str = "des",
         nprocs: int = 2,
+        verify_plans: bool = True,
     ) -> None:
         if not 0.0 < theta <= 1.0:
             raise ValueError("theta must be in (0, 1]")
@@ -143,6 +145,12 @@ class FmmSolver:
         #: because shard target rows within a level are disjoint.
         self.backend = backend
         self.nprocs = nprocs
+        #: Statically verify every sharded M2L batch decomposition before
+        #: executing it (:func:`repro.analysis.planverify.verify_fmm_split`):
+        #: shard target sets must be disjoint and reproduce the unsplit
+        #: order, or the solve refuses to run.  Memoised per (plan, split).
+        self.verify_plans = verify_plans
+        self._verified_splits = set()
         self._engine = None  # lazy ParallelEngine
 
     # -- plan cache -----------------------------------------------------------
@@ -178,6 +186,15 @@ class FmmSolver:
             self._engine.shutdown()
             self._engine = None
 
+    def _check_split(self, plan, split):  # noqa: ANN001
+        """Refuse unverified shard decompositions (once per plan+split)."""
+        if not self.verify_plans:
+            return
+        key = (id(plan), split)
+        if key not in self._verified_splits:
+            require_verified(verify_fmm_split(plan, split))
+            self._verified_splits.add(key)
+
     def _m2l_fanout(self, plan, mom, locals_, reg):  # noqa: ANN001
         """Far-field M2L sharded over the worker processes.
 
@@ -195,6 +212,7 @@ class FmmSolver:
             # stays balanced even when levels have uneven row counts.
             total_rows = sum(len(fl.tgt_idx) for fl in plan.split(0))
             split = max(1, -(-total_rows // (4 * engine.nprocs)))
+        self._check_split(plan, split)
         shards = list(plan.split(split))
         in_flight = []  # (shard_index, rank), send order == FIFO per pipe
         for i, fl in enumerate(shards):
@@ -293,6 +311,7 @@ class FmmSolver:
                     plan, (mom_m, mom_c, mom_q, mom_o), (l0, l1, l2, l3), reg
                 )
             else:
+                self._check_split(plan, self.m2l_split)
                 for fl in plan.split(self.m2l_split):
                     centers = np.repeat(
                         mom_c[fl.tgt_idx], np.diff(fl.indptr), axis=0

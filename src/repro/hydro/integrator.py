@@ -87,6 +87,8 @@ class HydroIntegrator:
         backend: str = "serial",
         nprocs: int = 2,
         wire: str = "shm",
+        verify_plans: bool = True,
+        detect_races: bool = False,
     ) -> None:
         if backend not in ("serial", "process"):
             raise ValueError(
@@ -110,6 +112,11 @@ class HydroIntegrator:
         self.backend = backend
         self.nprocs = nprocs
         self.wire = wire
+        #: Process backend only: static plan verification before forking
+        #: and dynamic shm race detection at every barrier (see
+        #: :mod:`repro.analysis.planverify` / :mod:`repro.analysis.shmrace`).
+        self.verify_plans = verify_plans
+        self.detect_races = detect_races
         self._executor = None  # lazy ProcessHydroExecutor
         self.registry: Optional[CounterRegistry] = None
         self.time = 0.0
@@ -232,6 +239,8 @@ class HydroIntegrator:
                 reflux=self.reflux,
                 reconstruction=self.reconstruction,
                 wire=self.wire,
+                verify_plans=self.verify_plans,
+                detect_races=self.detect_races,
             )
         return self._executor
 

@@ -47,6 +47,20 @@ import numpy as np
 
 from repro.amt.parallel import ParallelEngine
 from repro.amt.shm import ShmArena
+from repro.analysis.effects import ANY, declare_effects
+from repro.analysis.planverify import require_verified, verify_process_plan
+from repro.analysis.shmrace import (
+    MODE_READ,
+    MODE_WRITE,
+    REGION_ALL,
+    REGION_INTERIOR,
+    SEG_ACCEL,
+    SEG_FIELDS,
+    SEG_FLUX,
+    ShmEventLog,
+    ShmRaceDetector,
+    field_access_rows,
+)
 from repro.comms.bundle import GhostBundlePlan, adopt_arena, build_bundle_plan
 from repro.hydro.eos import IdealGasEOS
 from repro.hydro.plan import (
@@ -123,6 +137,87 @@ class _WorkerState:
         for run_index, (lo, hi, _) in enumerate(self.runs):
             for j, key in enumerate(keys[lo:hi]):
                 self.owned_rhs[key] = self.dudt[run_index][j]
+        #: BSP epoch: one per dispatched command, advanced identically on
+        #: every rank (rounds broadcast the same command sequence).
+        self.epoch = 0
+        self.events = None
+        if executor.event_log is not None:
+            self.events = executor.event_log.writer(rank)
+            self._build_event_rows(len(executor.leaf_keys))
+
+    def _build_event_rows(self, n_slots: int) -> None:
+        """Precompute per-phase shm access descriptors from the *live*
+        plan arrays — whatever indices the phases will actually use
+        (including anything injected into the bundle plan) is what gets
+        logged, so the dynamic detector needs no trust in the planner."""
+        ex = self.ex
+        n, g, nfields = ex.n, ex.ghost, NFIELDS
+        plan = ex.bundle_plan
+
+        def runs_rows(mode: int, seg: int, region: int) -> np.ndarray:
+            return np.array(
+                [[mode, seg, lo, hi, region] for lo, hi, _ in self.runs],
+                dtype=np.int64,
+            ).reshape(-1, 5)
+
+        def bundle_rows(pairs, srcs: bool, dsts: bool) -> List[np.ndarray]:
+            rows = []
+            for pair in pairs:
+                b = plan.bundles[pair]
+                if srcs:
+                    rows.append(field_access_rows(
+                        [b.copy_src, b.fine_src], MODE_READ, n, g, nfields))
+                if dsts:
+                    rows.append(field_access_rows(
+                        [b.copy_dst, b.fine_dst], MODE_WRITE, n, g, nfields))
+            return rows
+
+        own_int_read = runs_rows(MODE_READ, SEG_FIELDS, REGION_INTERIOR)
+        own_int_write = runs_rows(MODE_WRITE, SEG_FIELDS, REGION_INTERIOR)
+        local_pairs = [p for p in self.dst_pairs if p[0] == p[1]]
+        ev: Dict[Any, np.ndarray] = {
+            "begin": own_int_read,
+            "ghost": np.vstack(
+                bundle_rows(self.dst_pairs, srcs=True, dsts=True)
+                or [np.empty((0, 5), dtype=np.int64)]
+            ),
+            "ghost_pack": np.vstack(
+                bundle_rows(self.src_remote, srcs=True, dsts=False)
+                or [np.empty((0, 5), dtype=np.int64)]
+            ),
+            "ghost_unpack": np.vstack(
+                bundle_rows(local_pairs, srcs=True, dsts=False)
+                + bundle_rows(self.dst_pairs, srcs=False, dsts=True)
+                or [np.empty((0, 5), dtype=np.int64)]
+            ),
+            "reflux": np.array(
+                [[MODE_READ, SEG_FLUX, 0, n_slots, REGION_ALL]],
+                dtype=np.int64,
+            ),
+            "update": own_int_write,
+            "finish": own_int_write,
+        }
+        rhs_base = runs_rows(MODE_READ, SEG_FIELDS, REGION_ALL)
+        rhs_flux = runs_rows(MODE_WRITE, SEG_FLUX, REGION_ALL)
+        rhs_accel = runs_rows(MODE_READ, SEG_ACCEL, REGION_ALL)
+        for fluxes in (False, True):
+            for accel in (False, True):
+                parts = [rhs_base]
+                if fluxes:
+                    parts.append(rhs_flux)
+                if accel:
+                    parts.append(rhs_accel)
+                ev[("rhs", fluxes, accel)] = np.vstack(parts)
+        self._event_rows = ev
+
+    def _log_phase(self, command: Any) -> None:
+        op = command[0]
+        if op == "rhs":
+            rows = self._event_rows[("rhs", bool(command[1]), bool(command[2]))]
+        else:
+            rows = self._event_rows.get(op)
+        if rows is not None:
+            self.events.log(self.epoch, rows)
 
     # -- phases (one method per command) --------------------------------------
     def begin(self) -> None:
@@ -229,6 +324,9 @@ class _WorkerState:
 
     def dispatch(self, command: Any) -> Any:
         op = command[0]
+        self.epoch += 1
+        if self.events is not None:
+            self._log_phase(command)
         if op == "begin":
             return self.begin()
         if op == "ghost":
@@ -279,6 +377,8 @@ class ProcessHydroExecutor:
         reconstruction: str = "muscl",
         wire: str = "shm",
         timeout: float = 120.0,
+        verify_plans: bool = True,
+        detect_races: bool = False,
     ) -> None:
         if wire not in ("shm", "pipe"):
             raise ValueError(f"wire must be 'shm' or 'pipe', got {wire!r}")
@@ -291,6 +391,18 @@ class ProcessHydroExecutor:
         self.engine = ParallelEngine(nprocs, timeout=timeout)
         self.nprocs = self.engine.nprocs
         self.registry: Optional[CounterRegistry] = None
+        #: Static verification (:func:`verify_process_plan`) of every
+        #: (re)built plan; a violated invariant raises before forking.
+        self.verify_plans = verify_plans
+        #: Dynamic shm race detection: workers log access events, the
+        #: parent scans at every barrier (``engine.round_observer``).
+        self.detect_races = detect_races
+        self.event_log: Optional[ShmEventLog] = None
+        self.race_detector: Optional[ShmRaceDetector] = None
+        #: Test/diagnostic hook run on each freshly built bundle plan
+        #: *before* verification and forking — the seeded-race tests
+        #: inject overlapping scatter indices here.
+        self.bundle_plan_hook = None
 
         self.n = mesh.n
         self.ghost = mesh.ghost
@@ -370,8 +482,18 @@ class ProcessHydroExecutor:
             self.runs[rank].append((start, stop, leaves[start].dx))
             start = stop
 
+        if self.bundle_plan_hook is not None:
+            self.bundle_plan_hook(self.bundle_plan)
+        if self.verify_plans:
+            require_verified(verify_process_plan(self))
+        if self.detect_races:
+            self.event_log = ShmEventLog(self.nprocs)
+            self.race_detector = ShmRaceDetector(self.event_log)
+
         # Fork *after* every arena and plan exists: children inherit it all.
         self.engine = ParallelEngine(self.engine.nprocs, timeout=self.engine.timeout)
+        if self.race_detector is not None:
+            self.engine.round_observer = self.race_detector.scan
         self.engine.start(_make_handler(self))
         self._topology_version = mesh.topology_version
 
@@ -394,6 +516,10 @@ class ProcessHydroExecutor:
         for arena in (self.arena, self.accel_arena, self.flux_arena):
             if arena is not None:
                 arena.unlink()
+        if self.event_log is not None:
+            self.event_log.unlink()
+        self.event_log = None
+        self.race_detector = None
         self.arena = self.accel_arena = self.flux_arena = None
         self.arena_view = self.accel_view = self.flux_view = None
         self._topology_version = -1
@@ -411,8 +537,14 @@ class ProcessHydroExecutor:
             pass
 
     # -- gravity --------------------------------------------------------------
+    @declare_effects(writes=[("accel", ANY, "shm")])
     def _write_accel(self, accel_map: Dict[NodeKey, np.ndarray]) -> None:
-        """Stage the gravity callback's output into the shm accel arena."""
+        """Stage the gravity callback's output into the shm accel arena.
+
+        Parent-side, between barriers: every worker is parked when this
+        runs, so the write is ordered against both the previous and the
+        next round — the declared effect documents the footprint for the
+        shm discipline lint (R007)."""
         for slot, key in enumerate(self.leaf_keys):
             a = accel_map.get(key)
             if a is None:
@@ -443,6 +575,10 @@ class ProcessHydroExecutor:
             self.engine.send(rank, ("ghost_unpack", by_dst[rank]))
         self.engine.gather()
         self.engine.rounds += 1
+        # The manual send/gather above bypasses round(); fire the barrier
+        # observer by hand so unpack-epoch events are scanned too.
+        if self.engine.round_observer is not None:
+            self.engine.round_observer()
 
     # -- the step -------------------------------------------------------------
     def step(

@@ -149,6 +149,43 @@ class TestShmLifecycle:
         assert arena.unlink() is True
         assert arena.unlink() is False
 
+    def test_double_close_idempotent(self):
+        """close() unmaps once and is a no-op afterwards; the segment
+        itself survives until unlink."""
+        arena = ShmArena(256)
+        view = arena.ndarray((4,))
+        view[:] = 1.0
+        del view
+        arena.close()
+        arena.close()  # second close must not raise or re-close
+        assert arena.name in live_segments()  # still owned, not unlinked
+        with pytest.raises(ValueError):
+            arena.ndarray((4,))
+        assert arena.unlink() is True
+        assert not os.path.exists(f"/dev/shm/{arena.name}")
+
+    def test_sigterm_worker_leaves_no_segments(self):
+        """A SIGTERM'd worker dies through the OS, not through Python
+        cleanup — it must neither unlink the parent's segments on the way
+        out nor leave any of its own behind after the parent closes."""
+        import signal
+
+        before = set(os.listdir("/dev/shm"))
+        mesh, eos = make_state_mesh(levels=1, refine_keys=(0,))
+        ex = ProcessHydroExecutor(mesh, eos=eos, nprocs=2)
+        ex.ensure()
+        victim = ex.engine.localities[1].process
+        os.kill(victim.pid, signal.SIGTERM)
+        victim.join(timeout=10)
+        assert not victim.is_alive()
+        # The parent's arenas survive the worker's death untouched.
+        assert live_segments()
+        with pytest.raises(WorkerCrashError):
+            ex.step(1e-4)
+        ex.close()
+        assert live_segments() == ()
+        assert set(os.listdir("/dev/shm")) <= before
+
     def test_bad_nbytes_typed_errors(self):
         with pytest.raises(TypeError):
             ShmArena(12.5)

@@ -1,0 +1,247 @@
+"""Static plan verification (repro.analysis.planverify).
+
+Closed-form disjointness proofs over the live plan index arrays, and the
+acceptance case mirroring ``tests/test_shmrace.py``: the same seeded
+scatter-overlap race is caught *statically* by ``verify_process_plan``
+before a single worker forks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.planverify import (
+    PlanVerificationError,
+    PlanViolation,
+    require_verified,
+    verify_bundle_plan,
+    verify_fmm_split,
+    verify_mesh_plans,
+    verify_partition,
+    verify_process_plan,
+)
+from repro.comms.bundle import build_bundle_plan
+from repro.gravity.fmm import FmmSolver
+from repro.gravity.plan import build_plan
+from repro.hydro.process_backend import ProcessHydroExecutor
+from repro.octree.fields import NFIELDS
+from repro.octree.partition import sfc_partition
+from tests.conftest import fill_gaussian, make_uniform_mesh
+from tests.test_hydro_plan import make_state_mesh
+from tests.test_shmrace import inject_scatter_overlap
+
+pytestmark = pytest.mark.timeout(300)
+
+
+def checks(violations):
+    return sorted({v.check for v in violations})
+
+
+class TestVerifyPartition:
+    LOC = [0, 0, 1, 1]
+
+    def test_clean_partition(self):
+        runs = [[(0, 2, 0.5)], [(2, 4, 0.25)]]
+        assert verify_partition(runs, 4, self.LOC) == []
+
+    def test_overlap_flagged(self):
+        runs = [[(0, 3, 0.5)], [(2, 4, 0.25)]]
+        assert "partition-overlap" in checks(
+            verify_partition(runs, 4, self.LOC)
+        )
+
+    def test_hole_flagged(self):
+        runs = [[(0, 1, 0.5)], [(2, 4, 0.25)]]
+        assert "partition-hole" in checks(
+            verify_partition(runs, 4, self.LOC)
+        )
+
+    def test_bounds_flagged(self):
+        runs = [[(0, 2, 0.5)], [(2, 5, 0.25)]]
+        found = checks(verify_partition(runs, 4, self.LOC))
+        assert "partition-bounds" in found
+        assert "partition-hole" in found  # the bad run covers nothing
+
+    def test_locality_mismatch_flagged(self):
+        runs = [[(0, 3, 0.5)], [(3, 4, 0.25)]]
+        assert "partition-locality" in checks(
+            verify_partition(runs, 4, self.LOC)
+        )
+
+
+def _partitioned_mesh_and_plan(nprocs=2):
+    mesh, _ = make_state_mesh(levels=1, refine_keys=(0,))
+    sfc_partition(mesh, nprocs)
+    leaves = sorted(mesh.leaves(), key=lambda nd: nd.key)
+    m = mesh.n + 2 * mesh.ghost
+    chunk = NFIELDS * m**3
+    offsets = {leaf.key: i * chunk for i, leaf in enumerate(leaves)}
+    return mesh, build_bundle_plan(mesh, offsets)
+
+
+class TestVerifyBundlePlan:
+    def test_real_plan_is_clean(self):
+        mesh, plan = _partitioned_mesh_and_plan()
+        assert verify_bundle_plan(mesh, plan) == []
+
+    def test_injected_overlap_flagged(self):
+        mesh, plan = _partitioned_mesh_and_plan()
+        inject_scatter_overlap(plan)
+        found = checks(verify_bundle_plan(mesh, plan))
+        assert "bundle-dst-overlap" in found
+        assert "bundle-dst-coverage" in found  # retargeted band lost its donor
+        assert "bundle-dst-ownership" in found
+
+    def test_interior_scatter_flagged(self):
+        mesh, plan = _partitioned_mesh_and_plan()
+        m = mesh.n + 2 * mesh.ghost
+        g = mesh.ghost
+        bundle = next(b for _, b in sorted(plan.bundles.items())
+                      if b.copy_dst.size)
+        # Retarget one scatter element into its own slot's interior.
+        slot = int(bundle.copy_dst[0]) // (NFIELDS * m**3)
+        interior = slot * NFIELDS * m**3 + ((g * m) + g) * m + g
+        bundle.copy_dst[0] = interior
+        found = checks(verify_bundle_plan(mesh, plan))
+        assert "bundle-dst-interior" in found
+        assert "bundle-dst-coverage" in found
+
+    def test_out_of_bounds_flagged(self):
+        mesh, plan = _partitioned_mesh_and_plan()
+        bundle = next(b for _, b in sorted(plan.bundles.items())
+                      if b.copy_dst.size)
+        bundle.copy_dst[0] = 10**9
+        found = checks(verify_bundle_plan(mesh, plan))
+        assert "bundle-bounds" in found
+
+    def test_foreign_source_flagged(self):
+        mesh, plan = _partitioned_mesh_and_plan()
+        m = mesh.n + 2 * mesh.ghost
+        chunk = NFIELDS * m**3
+        leaves = sorted(mesh.leaves(), key=lambda nd: nd.key)
+        bundle = next(b for _, b in sorted(plan.bundles.items())
+                      if b.copy_src.size)
+        # Point one gather read at a slot the src rank does not own.
+        foreign = next(i for i, leaf in enumerate(leaves)
+                       if leaf.locality != bundle.src_locality)
+        bundle.copy_src[0] = foreign * chunk + (bundle.copy_src[0] % chunk)
+        assert "bundle-src-ownership" in checks(
+            verify_bundle_plan(mesh, plan)
+        )
+
+
+class _FakeLevel:
+    def __init__(self, tgt, src, indptr):
+        self.tgt_idx = np.asarray(tgt, dtype=np.intp)
+        self.src_idx = np.asarray(src, dtype=np.intp)
+        self.indptr = np.asarray(indptr, dtype=np.intp)
+
+
+class _FakePlan:
+    def __init__(self, levels, shards):
+        self.far_levels = levels
+        self._shards = shards
+
+    def split(self, max_rows):
+        return list(self._shards)
+
+
+class TestVerifyFmmSplit:
+    def test_real_plan_shards_clean(self):
+        mesh = make_uniform_mesh(2)
+        fill_gaussian(mesh)
+        plan = build_plan(mesh, 0.5)
+        for split in (16, 64, 256):
+            assert verify_fmm_split(plan, split) == []
+
+    def test_shard_target_overlap_flagged(self):
+        level = _FakeLevel([0, 1], [5, 6], [0, 1, 2])
+        shards = [
+            _FakeLevel([0], [5], [0, 1]),
+            _FakeLevel([0], [6], [0, 1]),  # steals target 0
+        ]
+        found = checks(verify_fmm_split(_FakePlan([level], shards), 8))
+        assert "fmm-shard-overlap" in found
+        assert "fmm-shard-targets" in found
+
+    def test_csr_inconsistency_flagged(self):
+        level = _FakeLevel([0, 1], [5, 6], [0, 1, 2])
+        shards = [_FakeLevel([0, 1], [5, 6], [0, 2])]  # indptr too short
+        assert "fmm-shard-csr" in checks(
+            verify_fmm_split(_FakePlan([level], shards), 8)
+        )
+
+    def test_dropped_source_rows_flagged(self):
+        level = _FakeLevel([0, 1], [5, 6], [0, 1, 2])
+        shards = [_FakeLevel([0, 1], [5], [0, 1, 1])]
+        found = checks(verify_fmm_split(_FakePlan([level], shards), 8))
+        assert "fmm-shard-sources" in found
+
+    def test_solver_refuses_bad_split(self):
+        """FmmSolver checks each shard decomposition before using it."""
+        mesh = make_uniform_mesh(2)
+        fill_gaussian(mesh)
+        solver = FmmSolver(m2l_split=64)
+        solver.solve(mesh)  # clean plan verifies and solves
+        assert solver.verify_plans
+
+
+class TestExecutorGate:
+    def test_static_catch_of_seeded_race(self):
+        """verify_plans=True refuses the injected plan before forking —
+        the static half of the acceptance criterion."""
+        mesh, eos = make_state_mesh(levels=1, refine_keys=(0,))
+        ex = ProcessHydroExecutor(mesh, eos=eos, nprocs=2)
+        ex.bundle_plan_hook = inject_scatter_overlap
+        try:
+            with pytest.raises(PlanVerificationError) as err:
+                ex.ensure()
+            found = {v.check for v in err.value.violations}
+            assert "bundle-dst-overlap" in found
+        finally:
+            ex.close()
+
+    def test_verified_executor_plan_clean(self):
+        mesh, eos = make_state_mesh(levels=1, refine_keys=(0,))
+        ex = ProcessHydroExecutor(mesh, eos=eos, nprocs=2)
+        try:
+            ex.ensure()
+            assert verify_process_plan(ex) == []
+        finally:
+            ex.close()
+
+    def test_no_verify_escape_hatch(self):
+        """--no-verify-plans must still fork and run the injected plan
+        (the dynamic detector is then the only line of defence)."""
+        mesh, eos = make_state_mesh(levels=1, refine_keys=(0,))
+        ex = ProcessHydroExecutor(
+            mesh, eos=eos, nprocs=2, verify_plans=False
+        )
+        ex.bundle_plan_hook = inject_scatter_overlap
+        try:
+            ex.ensure()  # no PlanVerificationError
+            assert ex.engine.started
+        finally:
+            ex.close()
+
+
+class TestScenarioPass:
+    @pytest.mark.parametrize("nprocs", [2, 3])
+    def test_mesh_plans_clean(self, nprocs):
+        mesh, _ = make_state_mesh(levels=1, refine_keys=(0,))
+        assert verify_mesh_plans(mesh, nprocs) == []
+
+
+class TestRequireVerified:
+    def test_empty_is_noop(self):
+        require_verified([])
+
+    def test_raises_with_all_violations(self):
+        violations = [
+            PlanViolation("partition-hole", "slot 3 unowned"),
+            PlanViolation("bundle-dst-overlap", "element 7 double-written"),
+        ]
+        with pytest.raises(PlanVerificationError) as err:
+            require_verified(violations)
+        assert err.value.violations == tuple(violations)
+        assert "partition-hole" in str(err.value)
+        assert "bundle-dst-overlap" in str(err.value)

@@ -1,5 +1,6 @@
 """reprolint rules against fixture snippets, plus a clean pass on src/."""
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -230,9 +231,112 @@ class TestProcessSpawn:
         assert lint_source(src, "src/repro/x.py") == []
 
 
+_SHM_PRELUDE = (
+    "import numpy as np\n"
+    "from repro.amt.shm import ShmArena\n"
+    "arena = ShmArena(64)\n"
+    "view = arena.ndarray((8,), dtype=np.float64)\n"
+)
+
+
+class TestShmWriteDiscipline:
+    def test_bare_write_flagged(self):
+        src = _SHM_PRELUDE + "def f(x):\n    view[0] = x\n"
+        assert rules(lint_source(src, "src/repro/x.py")) == ["R007"]
+
+    def test_augassign_and_copyto_flagged(self):
+        src = _SHM_PRELUDE + (
+            "def f(x):\n"
+            "    view[1:] += x\n"
+            "    np.copyto(view, x)\n"
+        )
+        findings = lint_source(src, "src/repro/x.py")
+        assert [f.rule for f in findings] == ["R007", "R007"]
+
+    def test_dispatch_class_method_ok(self):
+        src = _SHM_PRELUDE + (
+            "class Worker:\n"
+            "    def dispatch(self, cmd):\n"
+            "        self.apply(cmd)\n"
+            "    def apply(self, cmd):\n"
+            "        view[0] = cmd\n"
+        )
+        assert lint_source(src, "src/repro/x.py") == []
+
+    def test_declare_effects_ok(self):
+        src = _SHM_PRELUDE + (
+            "from repro.analysis.effects import declare_effects\n"
+            "@declare_effects(writes=[('accel', None, 'shm')])\n"
+            "def f(x):\n"
+            "    view[0] = x\n"
+        )
+        assert lint_source(src, "src/repro/x.py") == []
+
+    def test_sanction_comment_ok(self):
+        src = _SHM_PRELUDE + (
+            "def f(x):\n"
+            "    view[0] = x  # reprolint: sanctioned-shm\n"
+        )
+        assert lint_source(src, "src/repro/x.py") == []
+
+    def test_gated_on_shm_import(self):
+        src = (
+            "import numpy as np\n"
+            "view = np.zeros(8)\n"
+            "def f(x):\n"
+            "    view[0] = x\n"
+        )
+        assert lint_source(src, "src/repro/x.py") == []
+
+    def test_shm_module_itself_exempt(self):
+        src = _SHM_PRELUDE + "def f(x):\n    view[0] = x\n"
+        assert lint_source(src, "src/repro/amt/shm.py") == []
+
+
+class TestFlatWirePayloads:
+    def test_mesh_payload_flagged(self):
+        src = "def f(engine, mesh):\n    engine.send(0, ('adopt', mesh))\n"
+        assert rules(lint_source(src, "src/repro/x.py")) == ["R008"]
+
+    def test_subgrid_and_data_views_flagged(self):
+        src = (
+            "def f(conn, node):\n"
+            "    conn.send(node.subgrid)\n"
+            "    conn.send(node.data)\n"
+        )
+        findings = lint_source(src, "src/repro/x.py")
+        assert [f.rule for f in findings] == ["R008", "R008"]
+
+    def test_lambda_over_wire_flagged(self):
+        src = "def f(engine):\n    engine.round(('cb', lambda x: x))\n"
+        assert rules(lint_source(src, "src/repro/x.py")) == ["R008"]
+
+    def test_flat_payload_ok(self):
+        src = (
+            "def f(engine, buf):\n"
+            "    engine.send(0, ('ghost_unpack', buf, 1.5))\n"
+            "    engine.broadcast(('update', 0.1, True))\n"
+        )
+        assert lint_source(src, "src/repro/x.py") == []
+
+    def test_non_wire_owner_ok(self):
+        src = "def f(sock, mesh):\n    sock.send(mesh)\n"
+        assert lint_source(src, "src/repro/x.py") == []
+
+    def test_sanction_comment_ok(self):
+        src = (
+            "def f(conn, mesh):\n"
+            "    conn.send(mesh)  # reprolint: sanctioned-wire\n"
+        )
+        assert lint_source(src, "src/repro/x.py") == []
+
+
 class TestDriver:
     def test_src_tree_is_clean(self):
         assert lint_paths([str(REPO / "src")]) == []
+
+    def test_tools_and_benchmarks_are_clean(self):
+        assert lint_paths([str(REPO / "tools"), str(REPO / "benchmarks")]) == []
 
     def test_syntax_error_reported_not_raised(self, tmp_path):
         bad = tmp_path / "broken.py"
@@ -257,3 +361,47 @@ class TestDriver:
         )
         assert proc.returncode == 1
         assert "R004" in proc.stdout
+
+    def test_usage_exit_code(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint"],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        assert proc.returncode == 2
+
+    def test_unparseable_exit_code(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", str(tmp_path)],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        assert proc.returncode == 3
+        assert "R000" in proc.stdout
+
+    def test_json_output_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "--json",
+             "tools/"],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+        assert payload["files_checked"] > 0
+
+    def test_json_output_findings(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nnp.random.seed(1)\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "--json", str(bad)],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["clean"] is False
+        [finding] = payload["findings"]
+        assert finding["rule"] == "R004"
+        assert finding["line"] == 2
+        assert finding["path"].endswith("bad.py")

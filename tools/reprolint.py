@@ -46,12 +46,37 @@ R006 process-spawn-via-amt
     typed crash/timeout semantics, and the shm cleanup guard; a raw
     Process escapes all three.
 
-Exit status is 1 when any finding is reported, 0 on a clean pass.
+R007 shm-write-discipline
+    In modules that map ``repro.amt.shm`` arenas, writes into an
+    shm-backed view (``view[...] = ...``, augmented assigns,
+    ``np.copyto(view, ...)``) may appear only inside barrier-delimited
+    worker phase classes (classes defining a ``dispatch`` method, driven
+    one command per BSP round) or in functions carrying
+    ``@declare_effects`` — anything else is a cross-process write with no
+    barrier ordering and no declared footprint, invisible to both the
+    static plan verifier and the dynamic shm race detector.  Deliberate
+    exceptions carry ``# reprolint: sanctioned-shm`` on the write line.
+    (``repro/amt/shm.py`` and ``repro/analysis/shmrace.py`` are exempt:
+    they implement the arena and its instrumentation.)
+
+R008 flat-wire-payloads
+    Arguments of control-plane sends (``conn``/``engine``/``locality``
+    ``.send``/``.broadcast``/``.round``) must be flat buffers and
+    primitives: no ``mesh``/``subgrid``/``nodes`` object graphs, no raw
+    ``.data`` views, no lambdas.  Pickling a live shm view silently
+    copies the pages and rebinds them as private memory on the far side —
+    the exact aliasing bug the shm data plane exists to avoid.
+    Deliberate exceptions carry ``# reprolint: sanctioned-wire``.
+
+Exit status: 0 clean, 1 findings reported, 2 usage error, 3 unreadable
+or unparseable input (R000).  ``--json`` emits the findings as a machine
+readable object for CI annotation.
 """
 
 from __future__ import annotations
 
 import ast
+import json
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -64,7 +89,13 @@ _ALLOC_FNS = {
 #: repro/comms/bundle.py is the coalescing layer itself: it traces the
 #: reference fill functions over index proxies (never live field data), so
 #: its ghost_slices reads are how the exchange protocol gets built.
-_GHOST_EXEMPT = ("repro/octree/ghost.py", "repro/comms/bundle.py")
+_GHOST_EXEMPT = (
+    "repro/octree/ghost.py",
+    "repro/comms/bundle.py",
+    # The static plan verifier independently rebuilds the expected
+    # ghost-band target set from the geometry to check the exchange.
+    "repro/analysis/planverify.py",
+)
 _VIEW_EXEMPT = ("repro/kokkos/view.py",)
 _RANDOM_ALLOWED = {"default_rng", "Generator", "SeedSequence"}
 _SANCTION_TAG = "# reprolint: sanctioned-bundle"
@@ -73,6 +104,16 @@ _SEND_OWNERS = ("network", "transport")
 #: everything through.
 _MP_EXEMPT = ("repro/amt/parallel.py",)
 _MP_SPAWN_NAMES = {"Process", "Pool"}
+_SHM_SANCTION_TAG = "# reprolint: sanctioned-shm"
+_WIRE_SANCTION_TAG = "# reprolint: sanctioned-wire"
+#: The arena implementation and its event-log instrumentation are the
+#: infrastructure R007 funnels everything through.
+_SHM_EXEMPT = ("repro/amt/shm.py", "repro/analysis/shmrace.py")
+#: Wire-owner receiver names: pipes and engine/locality control planes.
+_WIRE_OWNERS = {"conn", "engine", "loc", "pipe", "locality"}
+_WIRE_METHODS = {"send", "broadcast", "round"}
+#: Attribute/name markers of non-flat payloads (object graphs, views).
+_RICH_ATTRS = {"mesh", "subgrid", "nodes", "data"}
 
 
 @dataclass(frozen=True)
@@ -356,12 +397,188 @@ def _check_process_spawn(tree: ast.Module, path: str) -> List[Finding]:
     return findings
 
 
-def _sanctioned_lines(source: str) -> Set[int]:
+def _sanctioned_lines(source: str, tag: str = _SANCTION_TAG) -> Set[int]:
     return {
         i
         for i, line in enumerate(source.splitlines(), start=1)
-        if _SANCTION_TAG in line
+        if tag in line
     }
+
+
+def _imports_module(tree: ast.Module, dotted: str) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(a.name.startswith(dotted) for a in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if (node.module or "").startswith(dotted):
+                return True
+    return False
+
+
+def _has_declare_effects(fn: ast.AST) -> bool:
+    for dec in getattr(fn, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else ""
+        )
+        if name == "declare_effects":
+            return True
+    return False
+
+
+def _shm_view_names(tree: ast.Module) -> Set[str]:
+    """Targets ever bound from an ``<arena>.ndarray(...)`` call — the
+    names R007 treats as shm-backed views (attribute or local)."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        # x = arena.ndarray(...) and x = arena.ndarray(...).reshape(...)
+        calls = [n for n in ast.walk(value)
+                 if isinstance(n, ast.Call)
+                 and isinstance(n.func, ast.Attribute)
+                 and n.func.attr == "ndarray"]
+        if not calls:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                names.add(target.attr)
+    return names
+
+
+def _base_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _check_shm_write_discipline(
+    tree: ast.Module, path: str, sanctioned: Set[int]
+) -> List[Finding]:
+    if _path_matches(path, _SHM_EXEMPT) or not _imports_module(
+        tree, "repro.amt.shm"
+    ):
+        return []
+    views = _shm_view_names(tree)
+    if not views:
+        return []
+
+    # Functions allowed to write shm: methods of barrier-driven phase
+    # classes (a class defining ``dispatch`` executes one command per BSP
+    # round) and functions with declared effects.
+    allowed: Set[ast.AST] = set()
+    for cls in ast.walk(tree):
+        if isinstance(cls, ast.ClassDef) and any(
+            isinstance(c, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and c.name == "dispatch"
+            for c in cls.body
+        ):
+            allowed.update(
+                n for n in ast.walk(cls)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            )
+    for fn in ast.walk(tree):
+        if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+            _has_declare_effects(fn)
+        ):
+            allowed.add(fn)
+
+    def enclosing_ok(stack: List[ast.AST]) -> bool:
+        return any(f in allowed for f in stack)
+
+    findings: List[Finding] = []
+
+    def is_view_store(target: ast.AST) -> bool:
+        return isinstance(target, ast.Subscript) and (
+            _base_name(target.value) in views
+        )
+
+    def visit(node: ast.AST, stack: List[ast.AST]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack = stack + [node]
+        for child in ast.iter_child_nodes(node):
+            visit(child, stack)
+        if enclosing_ok(stack) or getattr(node, "lineno", 0) in sanctioned:
+            return
+        hit = None
+        if isinstance(node, ast.Assign) and any(
+            is_view_store(t) for t in node.targets
+        ):
+            hit = _base_name(node.targets[0].value) or "view"
+        elif isinstance(node, ast.AugAssign) and is_view_store(node.target):
+            hit = _base_name(node.target.value) or "view"
+        elif (
+            isinstance(node, ast.Call)
+            and _is_numpy_attr_call(node, _numpy_aliases(tree), {"copyto"})
+            and node.args
+            and _base_name(node.args[0]) in views
+        ):
+            hit = _base_name(node.args[0])
+        if hit:
+            findings.append(Finding(
+                path, node.lineno, "R007",
+                f"write to shm view {hit!r} outside a barrier-delimited "
+                "dispatch phase and without @declare_effects; the race "
+                "checkers cannot order it — move it into a phase, declare "
+                f"its footprint, or mark it {_SHM_SANCTION_TAG!r}",
+            ))
+
+    visit(tree, [])
+    return findings
+
+
+def _contains_rich_payload(node: ast.AST) -> str:
+    """A marker string when the expression tree smuggles a non-flat
+    object across the wire, else ``""``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in _RICH_ATTRS:
+            return f".{sub.attr}"
+        if isinstance(sub, ast.Name) and (
+            sub.id == "mesh" or sub.id.endswith("mesh")
+        ):
+            return sub.id
+        if isinstance(sub, ast.Lambda):
+            return "lambda"
+    return ""
+
+
+def _check_flat_wire_payloads(
+    tree: ast.Module, path: str, sanctioned: Set[int]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _WIRE_METHODS
+        ):
+            continue
+        owner = _base_name(node.func.value).lower()
+        if owner not in _WIRE_OWNERS and not owner.endswith(
+            ("conn", "engine", "pipe")
+        ):
+            continue
+        if node.lineno in sanctioned:
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            marker = _contains_rich_payload(arg)
+            if marker:
+                findings.append(Finding(
+                    path, node.lineno, "R008",
+                    f"non-flat payload ({marker}) in "
+                    f"{_base_name(node.func.value)}.{node.func.attr}: only "
+                    "flat buffers/primitives may cross the wire (pickling "
+                    "views or object graphs silently copies shm pages); "
+                    f"mark a deliberate path {_WIRE_SANCTION_TAG!r}",
+                ))
+                break
+    return findings
 
 
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
@@ -375,6 +592,12 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     findings += _check_bare_random(tree, path, aliases)
     findings += _check_uncoalesced_send(tree, path, _sanctioned_lines(source))
     findings += _check_process_spawn(tree, path)
+    findings += _check_shm_write_discipline(
+        tree, path, _sanctioned_lines(source, _SHM_SANCTION_TAG)
+    )
+    findings += _check_flat_wire_payloads(
+        tree, path, _sanctioned_lines(source, _WIRE_SANCTION_TAG)
+    )
     return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
 
 
@@ -404,17 +627,46 @@ def lint_paths(paths: Iterable[str]) -> List[Finding]:
     return findings
 
 
+#: Stable exit codes (CI contracts on these).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_UNPARSEABLE = 3
+
+
 def main(argv: List[str]) -> int:
-    if not argv or argv[0] in ("-h", "--help"):
+    json_mode = "--json" in argv
+    paths = [a for a in argv if a != "--json"]
+    if not paths or paths[0] in ("-h", "--help"):
         print(__doc__)
-        return 0 if argv else 2
-    findings = lint_paths(argv)
-    for finding in findings:
-        print(finding)
-    n_files = len(iter_python_files(argv))
-    status = f"{len(findings)} finding(s)" if findings else "clean"
-    print(f"reprolint: {n_files} file(s) checked, {status}")
-    return 1 if findings else 0
+        return EXIT_CLEAN if paths else EXIT_USAGE
+    findings = lint_paths(paths)
+    n_files = len(iter_python_files(paths))
+    if json_mode:
+        print(json.dumps(
+            {
+                "files_checked": n_files,
+                "clean": not findings,
+                "findings": [
+                    {
+                        "path": f.path,
+                        "line": f.line,
+                        "rule": f.rule,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+            },
+            indent=2,
+        ))
+    else:
+        for finding in findings:
+            print(finding)
+        status = f"{len(findings)} finding(s)" if findings else "clean"
+        print(f"reprolint: {n_files} file(s) checked, {status}")
+    if any(f.rule == "R000" for f in findings):
+        return EXIT_UNPARSEABLE
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
 
 
 if __name__ == "__main__":
