@@ -84,6 +84,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="process backend: log every worker's shm accesses "
                           "and replay them against the barrier structure "
                           "after each round, raising on unordered conflicts")
+    run.add_argument("--array-backend", default="numpy", metavar="NAME",
+                     help="array backend for the hot kernels "
+                          "(repro.kokkos.backend registry): numpy "
+                          "(default, bit-identical), pyjit, numba, cupy, "
+                          "jax — optional backends must be installed")
 
     check = sub.add_parser(
         "crosscheck",
@@ -95,6 +100,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="ghost-exchange wire format for the process "
                             "backend: shm writes (default) or serialized "
                             "payload buffers over pipes")
+    check.add_argument("--tier", default=None,
+                       choices=["exact", "tolerance"],
+                       help="array-backend equivalence tier instead of the "
+                            "process check: 'exact' pins seed vs "
+                            "numpy-dispatch to identical bits, 'tolerance' "
+                            "bounds seed vs the preferred JIT backend by "
+                            "the declared per-field budgets")
 
     verify = sub.add_parser(
         "verify-plans",
@@ -168,6 +180,7 @@ def _command_run(args: argparse.Namespace) -> int:
         nprocs=args.nprocs,
         verify_plans=args.verify_plans,
         detect_races=args.detect_races,
+        array_backend=args.array_backend,
     )
     before = diagnostics(scenario.mesh)
     print(f"{args.scenario} level {args.level}: {scenario.mesh.n_cells()} cells "
@@ -215,23 +228,35 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_crosscheck(args: argparse.Namespace) -> int:
-    from repro.core.crosscheck import BackendMismatch, crosscheck_scenarios
+    from repro.core.crosscheck import (
+        BackendMismatch,
+        ToleranceExceeded,
+        crosscheck_scenarios,
+    )
 
     try:
         results = crosscheck_scenarios(
-            nprocs=args.nprocs, steps=args.steps, wire=args.wire
+            nprocs=args.nprocs, steps=args.steps, wire=args.wire,
+            tier=args.tier,
         )
-    except BackendMismatch as exc:
+    except (BackendMismatch, ToleranceExceeded) as exc:
         print(f"CROSSCHECK FAILED: {exc}", file=sys.stderr)
         return 1
     findings = 0
     for name, r in zip(("blast", "dwd"), results):
         findings += r.race_findings
-        print(f"{name}: {r.steps} steps x {r.leaves} leaves, "
-              f"nprocs={r.nprocs}, serial {r.serial_s:.2f}s / "
-              f"process {r.process_s:.2f}s — bit-identical, "
-              f"{r.race_findings} race finding(s) over {r.race_events} "
-              f"shm access events")
+        if args.tier is None:
+            print(f"{name}: {r.steps} steps x {r.leaves} leaves, "
+                  f"nprocs={r.nprocs}, serial {r.serial_s:.2f}s / "
+                  f"process {r.process_s:.2f}s — bit-identical, "
+                  f"{r.race_findings} race finding(s) over {r.race_events} "
+                  f"shm access events")
+        else:
+            verdict = ("bit-identical" if r.tier == "exact"
+                       else f"max rel err {r.max_rel_err:.2e} within budgets")
+            print(f"{name}: {r.steps} steps x {r.leaves} leaves, "
+                  f"seed {r.serial_s:.2f}s / {r.backend_name} "
+                  f"{r.process_s:.2f}s — {verdict}")
     return 1 if findings else 0
 
 

@@ -97,9 +97,14 @@ class OctoTigerSim:
         nprocs: int = 2,
         verify_plans: bool = True,
         detect_races: bool = False,
+        array_backend: Optional[str] = None,
     ) -> None:
         if backend not in ("des", "process"):
             raise ValueError(f"backend must be 'des' or 'process', got {backend!r}")
+        #: Array backend for the hot kernels (:mod:`repro.kokkos.backend`):
+        #: None keeps the seed path, "numpy" dispatches bit-identically,
+        #: JIT backends ("numba"/"pyjit") swap in the compiled kernel set.
+        self.array_backend = array_backend
         #: "des": physics in-process, timing on the virtual clock (default).
         #: "process": hydro steps and the far-field M2L fan out over real
         #: worker processes (:mod:`repro.amt.parallel`), bit-identical.
@@ -154,6 +159,7 @@ class OctoTigerSim:
                 backend=backend,
                 nprocs=nprocs,
                 verify_plans=verify_plans,
+                array_backend=array_backend,
             )
             # Route the solver's per-phase timers (fmm.plan, fmm.p2m_m2m,
             # fmm.m2l, fmm.l2p, fmm.p2p) into this run's counter registry.
@@ -170,6 +176,7 @@ class OctoTigerSim:
             nprocs=nprocs,
             verify_plans=verify_plans,
             detect_races=detect_races,
+            array_backend=array_backend,
         )
         # Route the integrator's per-phase timers (hydro.plan, hydro.ghost,
         # hydro.reconstruct, hydro.riemann, hydro.update) into this run's
@@ -216,6 +223,9 @@ class OctoTigerSim:
             coalesce=config["comm.coalesce"],
             tasks_per_multipole_kernel=config["runtime.tasks_per_kernel"],
         )
+        # "numpy" is the config default and dispatches bit-identically to
+        # the seed path (the exact-tier cross-check pins this), so it is
+        # always safe to thread through.
         sim = cls(
             mesh,
             eos=eos,
@@ -229,6 +239,7 @@ class OctoTigerSim:
             m2l_split=config["gravity.m2l_split"],
             backend=backend,
             nprocs=nprocs,
+            array_backend=config["kokkos.backend"],
         )
         if sim.gravity_solver is not None:
             sim.gravity_solver.theta = config["gravity.theta"]
@@ -416,6 +427,7 @@ class OctoTigerSim:
             nprocs=self.nprocs,
             verify_plans=self.verify_plans,
             detect_races=self.detect_races,
+            array_backend=self.array_backend,
         )
         restored.reconstruction = self.integrator.reconstruction
         restored.reflux = self.integrator.reflux

@@ -115,6 +115,7 @@ class FmmSolver:
         backend: str = "des",
         nprocs: int = 2,
         verify_plans: bool = True,
+        array_backend: Optional[str] = None,
     ) -> None:
         if not 0.0 < theta <= 1.0:
             raise ValueError("theta must be in (0, 1]")
@@ -152,6 +153,24 @@ class FmmSolver:
         self.verify_plans = verify_plans
         self._verified_splits = set()
         self._engine = None  # lazy ParallelEngine
+        #: Array backend for the batched M2L / P2P GEMM kernels
+        #: (:mod:`repro.kokkos.backend`).  ``None`` keeps the seed host
+        #: path.  Host-storage backends (``numpy``/``pyjit``/``numba``)
+        #: run in place and are bit-identical; device backends
+        #: boundary-convert per batch (see :meth:`_m2l_dispatch`).
+        self.array_backend = array_backend
+        if array_backend is not None:
+            from repro.kokkos.backend import get_backend
+
+            self._abackend = get_backend(array_backend)
+            if backend == "process" and self._abackend.module is not np:
+                raise ValueError(
+                    "the process backend ships M2L shards over pipes as "
+                    "host ndarrays; it cannot be combined with array "
+                    f"backend {array_backend!r}"
+                )
+        else:
+            self._abackend = None
 
     # -- plan cache -----------------------------------------------------------
     def plan_for(self, mesh: AmrMesh) -> FmmPlan:
@@ -168,6 +187,55 @@ class FmmSolver:
 
     def _registry(self) -> CounterRegistry:
         return self.registry if self.registry is not None else global_registry()
+
+    # -- array-backend dispatch ------------------------------------------------
+    def _m2l_dispatch(self, mass, com, quad, octu, centers, indptr):
+        """Route one segmented M2L batch through the selected array backend.
+
+        Host-storage backends (module is NumPy) run in place — bit-identical
+        to the seed path.  Device backends boundary-convert the batch in and
+        the four local tensors back out; this is solver-internal staging of
+        raw batch arrays, not a View crossing, so it does not go through
+        ``deep_copy``.
+        """
+        b = self._abackend
+        if b is None or b.module is np:
+            return m2l_segmented(
+                mass, com, quad, octu, centers, indptr, order=self.order
+            )
+        out = m2l_segmented(
+            b.from_numpy(mass),
+            b.from_numpy(com),
+            b.from_numpy(quad),
+            b.from_numpy(octu),
+            b.from_numpy(centers),
+            indptr,
+            order=self.order,
+            xp=b.module,
+        )
+        return tuple(b.to_numpy(t) for t in out)
+
+    def _p2p_dispatch(
+        self, t1, t3, tgt, pos_t, mass_s, pos_s, inv_dx, phi_out, acc_out
+    ):
+        """Route one P2P geometry class through the selected array backend."""
+        b = self._abackend
+        if b is None or b.module is np:
+            p2p_apply_class(
+                t1, t3, tgt, pos_t, mass_s, pos_s, inv_dx,
+                self.g_newton, phi_out, acc_out,
+            )
+            return
+        nc = phi_out.shape[1]
+        dphi = b.zeros(phi_out.shape)
+        dacc = b.zeros(acc_out.shape)
+        p2p_apply_class(
+            b.from_numpy(t1), b.from_numpy(t3), tgt,
+            b.from_numpy(pos_t), b.from_numpy(mass_s), b.from_numpy(pos_s),
+            b.from_numpy(inv_dx), self.g_newton, dphi, dacc, xp=b.module,
+        )
+        phi_out += b.to_numpy(dphi).reshape(-1, nc)
+        acc_out += b.to_numpy(dacc).reshape(-1, nc, 3)
 
     # -- process backend -------------------------------------------------------
     def engine(self):
@@ -316,14 +384,13 @@ class FmmSolver:
                     centers = np.repeat(
                         mom_c[fl.tgt_idx], np.diff(fl.indptr), axis=0
                     )
-                    s0, s1, s2, s3 = m2l_segmented(
+                    s0, s1, s2, s3 = self._m2l_dispatch(
                         mom_m[fl.src_idx],
                         mom_c[fl.src_idx],
                         mom_q[fl.src_idx],
                         mom_o[fl.src_idx],
                         centers,
                         fl.indptr,
-                        order=self.order,
                     )
                     l0[fl.tgt_idx] += s0
                     l1[fl.tgt_idx] += s1
@@ -346,9 +413,9 @@ class FmmSolver:
                 centers = np.repeat(
                     oc[plan.near_center_rows], np.diff(plan.near_indptr), axis=0
                 )
-                q0, q1, q2, q3 = m2l_segmented(
+                q0, q1, q2, q3 = self._m2l_dispatch(
                     om[rows], oc[rows], oq[rows], oo[rows],
-                    centers, plan.near_indptr, order=self.order,
+                    centers, plan.near_indptr,
                 )
 
         # Phase 3: top-down L2L, then far-field evaluation (L2P).
@@ -401,10 +468,10 @@ class FmmSolver:
                     if not keep.all():
                         tgt, src, inv_dx = tgt[keep], src[keep], inv_dx[keep]
                 t1, t3 = cls.templates()
-                p2p_apply_class(
+                self._p2p_dispatch(
                     t1, t3, tgt,
                     plan.leaf_pos[tgt], mass[src], plan.leaf_pos[src],
-                    inv_dx, self.g_newton, phi_flat, acc_flat,
+                    inv_dx, phi_flat, acc_flat,
                 )
 
         phi: Dict[NodeKey, np.ndarray] = {}

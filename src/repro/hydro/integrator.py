@@ -36,13 +36,11 @@ from repro.hydro.eos import IdealGasEOS
 from repro.hydro.plan import (
     NFIELDS,
     HydroPlan,
+    StackedKernels,
     build_hydro_plan,
-    stacked_resync_tau_kernel,
-    stacked_rhs_kernel,
-    stacked_signal_kernel,
-    stacked_source_kernel,
-    stacked_update_kernel,
+    resolve_stacked_kernels,
 )
+from repro.kokkos.backend import get_backend
 from repro.hydro.reflux import apply_flux_corrections
 from repro.hydro.solver import dudt_subgrid
 from repro.hydro.sources import gravity_source, rotating_frame_source
@@ -89,11 +87,28 @@ class HydroIntegrator:
         wire: str = "shm",
         verify_plans: bool = True,
         detect_races: bool = False,
+        array_backend: Optional[str] = None,
     ) -> None:
         if backend not in ("serial", "process"):
             raise ValueError(
                 f"backend must be 'serial' or 'process', got {backend!r}"
             )
+        #: Array backend the batched kernels dispatch through (see
+        #: :mod:`repro.kokkos.backend`).  ``None`` is the inline seed path;
+        #: "numpy" routes the same kernels through the dispatch table
+        #: (bit-identical); "numba"/"pyjit" swap in the JIT kernel set
+        #: (tolerance-tier equivalent).  Unknown or unavailable names
+        #: raise here, not mid-step.
+        self.array_backend = array_backend
+        abackend = get_backend(array_backend) if array_backend else None
+        if backend == "process" and abackend is not None and abackend.jit:
+            raise ValueError(
+                "array_backend {!r} is not supported by the process "
+                "backend (workers run the seed kernel path)".format(
+                    array_backend
+                )
+            )
+        self._kernels: StackedKernels = resolve_stacked_kernels(abackend)
         self.mesh = mesh
         self.eos = eos or IdealGasEOS()
         self.cfl = cfl
@@ -356,6 +371,7 @@ class HydroIntegrator:
             plan = self.plan_for()
         if dt is None:
             dt = self.timestep()
+        kernels = self._kernels
         eos = self.eos
         s = plan.interior
         scratch = plan.scratch
@@ -395,7 +411,7 @@ class HydroIntegrator:
                         for axis in range(3)
                         for side in (0, 1)
                     }
-                stacked_rhs_kernel(
+                kernels.rhs(
                     blk.u, blk.dx, eos, dudt,
                     reconstruction=self.reconstruction,
                     faces=faces,
@@ -404,7 +420,7 @@ class HydroIntegrator:
                     tag=b,
                 )
                 if accel_blocks[b] is not None or self.omega != 0.0:
-                    stacked_source_kernel(
+                    kernels.source(
                         blk.u[:, :, s, s, s], dudt,
                         accel=accel_blocks[b], omega=self.omega, x=blk.x, y=blk.y,
                     )
@@ -421,14 +437,14 @@ class HydroIntegrator:
                 )
             with reg.timer("hydro.update"):
                 for b, blk in enumerate(blocks):
-                    stacked_update_kernel(
+                    kernels.update(
                         blk.u[:, :, s, s, s], u0[b], dudts[b], a0, a1, dt, eos,
                         scratch=scratch, tag=b,
                     )
 
         with reg.timer("hydro.update"):
             for blk in blocks:
-                stacked_resync_tau_kernel(blk.u[:, :, s, s, s], eos)
+                kernels.resync_tau(blk.u[:, :, s, s, s], eos)
         self.mesh.restrict_all()
         self.time += dt
         self.steps_taken += 1
@@ -436,7 +452,7 @@ class HydroIntegrator:
         signals: Dict[NodeKey, float] = {}
         for b, blk in enumerate(blocks):
             out = scratch.get(("signal", b), (blk.n_leaves,))
-            stacked_signal_kernel(blk.u[:, :, s, s, s], eos, out)
+            kernels.signal(blk.u[:, :, s, s, s], eos, out)
             for j, key in enumerate(blk.keys):
                 signals[key] = float(out[j])
         self._record_signals(signals)

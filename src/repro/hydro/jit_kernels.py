@@ -1,0 +1,252 @@
+"""JIT-compilable hydro kernels (the numba / pyjit backend implementations).
+
+These are the top three hydro kernels — the stacked RHS (primitives +
+MUSCL reconstruction + HLL Riemann solve + flux divergence), the RK3
+update with floors, and the end-of-step tau resync — written once in the
+NumPy subset that ``numba.njit`` lowers directly: basic slicing,
+elementwise ufuncs, small constant-trip loops over the field axis, and no
+fancy indexing, ``transpose``, ``newaxis`` or axis-keyword reductions.
+
+The same source serves two backends (see :mod:`repro.kokkos.backend`):
+
+* ``numba`` compiles it with ``njit`` (the A64FX-style answer to the
+  memory-bandwidth wall the stacked NumPy path hits: one fused pass
+  instead of a ufunc-per-expression sweep);
+* ``pyjit`` runs it uncompiled, so the kernel *logic* is exercised and
+  tolerance-tier cross-checked even where numba is not installed.
+
+Deliberately **no numba import** appears here (reprolint R009): backends
+receive these functions through :func:`build_kernels` and lower them with
+their own ``compile_fn``.  The math follows the per-leaf reference
+(:mod:`repro.hydro.solver`, :mod:`repro.hydro.reconstruct`,
+:mod:`repro.hydro.riemann`) expression by expression, but uses plain
+``np.where`` instead of the seed path's bit-pattern selects — a JIT cannot
+promise bit-identity anyway, so equivalence is bounded by the tolerance
+tier of :mod:`repro.core.crosscheck`, not asserted bitwise.
+
+Kernel contract: arrays and scalars only (njit-friendly signatures); the
+caller (:func:`repro.hydro.plan.resolve_stacked_kernels`) adapts the
+stacked-kernel signatures, scratch buffers and EOS parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _hll_faces(wl, wr, srow, gamma, rho_floor):
+    """HLL flux over one face array pair.
+
+    ``wl`` / ``wr`` are ``(B, K, F0, F1, F2)`` primitive face states
+    (K = NFIELDS; rows 5+ passive), ``srow`` the velocity/momentum row of
+    the sweep axis (1, 2 or 3).  Elementwise throughout, so one body
+    serves all three axes.  Mirrors :func:`repro.hydro.riemann.hll_flux`.
+    """
+    nk = wl.shape[1]
+    rl = np.maximum(wl[:, 0], rho_floor)
+    rr = np.maximum(wr[:, 0], rho_floor)
+    pl = np.maximum(wl[:, 4], 0.0)
+    pr = np.maximum(wr[:, 4], 0.0)
+    kl = 0.5 * rl * (wl[:, 1] ** 2 + wl[:, 2] ** 2 + wl[:, 3] ** 2)
+    kr = 0.5 * rr * (wr[:, 1] ** 2 + wr[:, 2] ** 2 + wr[:, 3] ** 2)
+
+    ul = np.empty_like(wl)
+    ur = np.empty_like(wr)
+    ul[:, 0] = rl
+    ur[:, 0] = rr
+    ul[:, 1] = rl * wl[:, 1]
+    ul[:, 2] = rl * wl[:, 2]
+    ul[:, 3] = rl * wl[:, 3]
+    ur[:, 1] = rr * wr[:, 1]
+    ur[:, 2] = rr * wr[:, 2]
+    ur[:, 3] = rr * wr[:, 3]
+    ul[:, 4] = kl + pl / (gamma - 1.0)
+    ur[:, 4] = kr + pr / (gamma - 1.0)
+    # Passive rows: conserved == primitive, so the jump terms below read
+    # the primitive difference exactly like the reference.
+    for k in range(5, nk):
+        ul[:, k] = wl[:, k]
+        ur[:, k] = wr[:, k]
+
+    vl = wl[:, srow]
+    vr = wr[:, srow]
+    fl = np.empty_like(wl)
+    fr = np.empty_like(wr)
+    for k in range(nk):
+        fl[:, k] = ul[:, k] * vl
+        fr[:, k] = ur[:, k] * vr
+    fl[:, srow] = fl[:, srow] + pl
+    fr[:, srow] = fr[:, srow] + pr
+    fl[:, 4] = fl[:, 4] + pl * vl
+    fr[:, 4] = fr[:, 4] + pr * vr
+
+    cl = np.sqrt(gamma * pl / rl)
+    cr = np.sqrt(gamma * pr / rr)
+    s_left = np.minimum(vl - cl, vr - cr)
+    s_right = np.maximum(vl + cl, vr + cr)
+    denom = s_right - s_left
+    one = denom * 0.0 + 1.0
+    safe = np.where(np.abs(denom) > 1e-300, denom, one)
+    slsr = s_left * s_right
+    upwind_l = s_left >= 0.0
+    upwind_r = s_right <= 0.0
+
+    out = np.empty_like(wl)
+    for k in range(nk):
+        f_star = (
+            s_right * fl[:, k] - s_left * fr[:, k] + slsr * (ur[:, k] - ul[:, k])
+        ) / safe
+        out[:, k] = np.where(
+            upwind_l, fl[:, k], np.where(upwind_r, fr[:, k], f_star)
+        )
+    return out
+
+
+def _block_primitives(u, gamma, dual_eta, rho_floor, eint_floor):
+    """Primitive state of one ``(B, K, M, M, M)`` block (dual-energy EOS).
+
+    Mirrors :func:`repro.hydro.solver.primitives_from_conserved`; passive
+    rows are copied so the sweep slices one array.
+    """
+    w = np.empty_like(u)
+    rho = np.maximum(u[:, 0], rho_floor)
+    w[:, 0] = rho
+    w[:, 1] = u[:, 1] / rho
+    w[:, 2] = u[:, 2] / rho
+    w[:, 3] = u[:, 3] / rho
+    kin = 0.5 * rho * (w[:, 1] ** 2 + w[:, 2] ** 2 + w[:, 3] ** 2)
+    egas = u[:, 4]
+    ediff = egas - kin
+    tau_branch = np.maximum(u[:, 5], 0.0) ** gamma
+    base = np.maximum(ediff, eint_floor)
+    eint = np.where(ediff < dual_eta * egas, tau_branch, base)
+    w[:, 4] = (gamma - 1.0) * np.maximum(eint, eint_floor)
+    for k in range(5, u.shape[1]):
+        w[:, k] = u[:, k]
+    return w
+
+
+def _make_rhs(hll, primitives):
+    """Build the RHS kernel body over compiled helpers (closure capture is
+    the njit-friendly way to call one compiled function from another)."""
+
+    def rhs(u, dudt, faces, rdx, gamma, dual_eta, rho_floor, eint_floor,
+            muscl, collect):
+        """Flux divergence of one stacked block into ``dudt``.
+
+        ``u`` is ``(B, K, M, M, M)`` with filled ghosts, ``dudt``
+        ``(B, K, n, n, n)`` (overwritten), ``faces`` ``(6, B, K, n, n)``
+        boundary fluxes written when ``collect`` is nonzero (slot order
+        ``2 * axis + side``).  ``muscl`` selects 2nd-order reconstruction
+        (1) or first-order Godunov (0).
+        """
+        nk = u.shape[1]
+        n = dudt.shape[2]
+        g = (u.shape[2] - n) // 2
+        w = primitives(u, gamma, dual_eta, rho_floor, eint_floor)
+
+        # -- x sweep: faces between cells g-1..g+n along axis 2 ----------
+        wc = w[:, :, g - 2 : g + n + 2, g : g + n, g : g + n]
+        if muscl == 1:
+            d = wc[:, :, 1:] - wc[:, :, : n + 3]
+            dm = d[:, :, : n + 2]
+            dp = d[:, :, 1:]
+            lim = np.copysign(np.minimum(np.abs(dm), np.abs(dp)), dm)
+            slope = 0.5 * lim * (dm * dp > 0.0)
+            center = wc[:, :, 1 : n + 3]
+            wl = center[:, :, : n + 1] + slope[:, :, : n + 1]
+            wr = center[:, :, 1 : n + 2] - slope[:, :, 1 : n + 2]
+        else:
+            wl = wc[:, :, 1 : n + 2]
+            wr = wc[:, :, 2 : n + 3]
+        flux = hll(wl, wr, 1, gamma, rho_floor)
+        acc = (flux[:, :, 1 : n + 1] - flux[:, :, :n]) * rdx
+        for k in range(nk):
+            dudt[:, k] = -acc[:, k]
+        if collect == 1:
+            faces[0] = flux[:, :, 0]
+            faces[1] = flux[:, :, n]
+
+        # -- y sweep: axis 3 ---------------------------------------------
+        wc = w[:, :, g : g + n, g - 2 : g + n + 2, g : g + n]
+        if muscl == 1:
+            d = wc[:, :, :, 1:] - wc[:, :, :, : n + 3]
+            dm = d[:, :, :, : n + 2]
+            dp = d[:, :, :, 1:]
+            lim = np.copysign(np.minimum(np.abs(dm), np.abs(dp)), dm)
+            slope = 0.5 * lim * (dm * dp > 0.0)
+            center = wc[:, :, :, 1 : n + 3]
+            wl = center[:, :, :, : n + 1] + slope[:, :, :, : n + 1]
+            wr = center[:, :, :, 1 : n + 2] - slope[:, :, :, 1 : n + 2]
+        else:
+            wl = wc[:, :, :, 1 : n + 2]
+            wr = wc[:, :, :, 2 : n + 3]
+        flux = hll(wl, wr, 2, gamma, rho_floor)
+        acc = (flux[:, :, :, 1 : n + 1] - flux[:, :, :, :n]) * rdx
+        for k in range(nk):
+            dudt[:, k] = dudt[:, k] - acc[:, k]
+        if collect == 1:
+            faces[2] = flux[:, :, :, 0]
+            faces[3] = flux[:, :, :, n]
+
+        # -- z sweep: axis 4 ---------------------------------------------
+        wc = w[:, :, g : g + n, g : g + n, g - 2 : g + n + 2]
+        if muscl == 1:
+            d = wc[:, :, :, :, 1:] - wc[:, :, :, :, : n + 3]
+            dm = d[:, :, :, :, : n + 2]
+            dp = d[:, :, :, :, 1:]
+            lim = np.copysign(np.minimum(np.abs(dm), np.abs(dp)), dm)
+            slope = 0.5 * lim * (dm * dp > 0.0)
+            center = wc[:, :, :, :, 1 : n + 3]
+            wl = center[:, :, :, :, : n + 1] + slope[:, :, :, :, : n + 1]
+            wr = center[:, :, :, :, 1 : n + 2] - slope[:, :, :, :, 1 : n + 2]
+        else:
+            wl = wc[:, :, :, :, 1 : n + 2]
+            wr = wc[:, :, :, :, 2 : n + 3]
+        flux = hll(wl, wr, 3, gamma, rho_floor)
+        acc = (flux[:, :, :, :, 1 : n + 1] - flux[:, :, :, :, :n]) * rdx
+        for k in range(nk):
+            dudt[:, k] = dudt[:, k] - acc[:, k]
+        if collect == 1:
+            faces[4] = flux[:, :, :, :, 0]
+            faces[5] = flux[:, :, :, :, n]
+
+    return rhs
+
+
+def update(u_int, u0, dudt, a0, a1, dt, rho_floor):
+    """RK3 convex combination + positivity floors over one level block."""
+    nk = u_int.shape[1]
+    for k in range(nk):
+        u_int[:, k] = a0 * u0[:, k] + a1 * (u_int[:, k] + dt * dudt[:, k])
+    u_int[:, 0] = np.maximum(u_int[:, 0], rho_floor)
+    u_int[:, 5] = np.maximum(u_int[:, 5], 0.0)
+    u_int[:, 6] = np.maximum(u_int[:, 6], 0.0)
+    u_int[:, 7] = np.maximum(u_int[:, 7], 0.0)
+
+
+def resync_tau(u_int, gamma, dual_eta, rho_floor, eint_floor):
+    """End-of-step tau resync where the energy difference is trustworthy."""
+    rho = np.maximum(u_int[:, 0], rho_floor)
+    kin = 0.5 * (u_int[:, 1] ** 2 + u_int[:, 2] ** 2 + u_int[:, 3] ** 2) / rho
+    diff = u_int[:, 4] - kin
+    healthy = diff > dual_eta * u_int[:, 4]
+    fresh = np.maximum(diff, eint_floor) ** (1.0 / gamma)
+    u_int[:, 5] = np.where(healthy, fresh, u_int[:, 5])
+
+
+def build_kernels(compile_fn):
+    """Lower the kernel set with ``compile_fn`` (``njit`` or identity).
+
+    Returns ``{"rhs", "update", "resync_tau"}``.  Helpers are compiled
+    first and captured as closure freevars so the compiled RHS can call
+    them (a numba Dispatcher is callable from jitted code when captured
+    this way; under pyjit they are plain functions).
+    """
+    hll = compile_fn(_hll_faces)
+    prims = compile_fn(_block_primitives)
+    return {
+        "rhs": compile_fn(_make_rhs(hll, prims)),
+        "update": compile_fn(update),
+        "resync_tau": compile_fn(resync_tau),
+    }

@@ -40,7 +40,7 @@ import math
 import weakref
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -757,3 +757,123 @@ def stacked_signal_kernel(
     c = eos.sound_speed(w["rho"], w["p"])
     speed = np.abs(w["vx"]) + np.abs(w["vy"]) + np.abs(w["vz"]) + 3.0 * c
     np.max(speed, axis=(1, 2, 3), out=out)
+
+
+# -- array-backend dispatch -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StackedKernels:
+    """The kernel set one batched RK3 step dispatches through.
+
+    Every entry has the corresponding ``stacked_*_kernel`` signature; the
+    integrator calls the table, not the module functions, so swapping the
+    table swaps the implementation without touching the step schedule —
+    the functor-contract analog of pointing one Kokkos kernel at another
+    execution space.
+    """
+
+    backend_name: str
+    rhs: Callable
+    source: Callable
+    update: Callable
+    resync_tau: Callable
+    signal: Callable
+
+
+#: The inline seed table: exactly the module-level stacked kernels.
+_SEED_KERNELS = None  # built lazily (the functions are defined above)
+
+
+def _seed_kernels() -> StackedKernels:
+    global _SEED_KERNELS
+    if _SEED_KERNELS is None:
+        _SEED_KERNELS = StackedKernels(
+            backend_name="seed",
+            rhs=stacked_rhs_kernel,
+            source=stacked_source_kernel,
+            update=stacked_update_kernel,
+            resync_tau=stacked_resync_tau_kernel,
+            signal=stacked_signal_kernel,
+        )
+    return _SEED_KERNELS
+
+
+def _jit_kernels(backend) -> StackedKernels:
+    """Table with the top kernels swapped for the backend-compiled
+    implementations from :mod:`repro.hydro.jit_kernels`.
+
+    The compiled set is cached on the *backend* (shape-generic, so one
+    compilation serves every topology); all per-topology state — the
+    scratch buffers the wrappers use — lives in the plan's
+    :class:`ScratchArena` and is therefore rebuilt with the plan whenever
+    a regrid bumps ``topology_version``.
+    """
+    from repro.hydro.jit_kernels import build_kernels
+
+    kset = backend.kernel_table("hydro.stacked", build_kernels)
+    k_rhs, k_update, k_resync = kset["rhs"], kset["update"], kset["resync_tau"]
+
+    def rhs(u, dx, eos, dudt, reconstruction="muscl", faces=None,
+            registry=None, scratch=None, tag=0):
+        if reconstruction not in ("muscl", "constant"):
+            raise ValueError(f"unknown reconstruction {reconstruction!r}")
+        if scratch is None:
+            scratch = ScratchArena()
+        n = dudt.shape[2]
+        face_buf = scratch.get(
+            ("jit.faces", tag), (6, dudt.shape[0], NFIELDS, n, n)
+        )
+        with _timer(registry, "hydro.riemann"):
+            k_rhs(
+                u, dudt, face_buf, 1.0 / dx,
+                eos.gamma, eos.dual_eta, eos.rho_floor, eos.eint_floor,
+                1 if reconstruction == "muscl" else 0,
+                1 if faces is not None else 0,
+            )
+        if faces is not None:
+            for axis in range(3):
+                for side in (0, 1):
+                    faces[(axis, side)][...] = face_buf[2 * axis + side]
+
+    def update(u_int, u0, dudt, a0, a1, dt, eos, scratch=None, tag=0):
+        k_update(u_int, u0, dudt, a0, a1, dt, eos.rho_floor)
+
+    def resync(u_int, eos):
+        k_resync(u_int, eos.gamma, eos.dual_eta, eos.rho_floor, eos.eint_floor)
+
+    return StackedKernels(
+        backend_name=backend.name,
+        rhs=rhs,
+        source=stacked_source_kernel,
+        update=update,
+        resync_tau=resync,
+        signal=stacked_signal_kernel,
+    )
+
+
+def resolve_stacked_kernels(backend=None) -> StackedKernels:
+    """The stacked-kernel dispatch table for an array backend.
+
+    ``None`` returns the inline seed table (no indirection beyond the
+    table itself).  A non-JIT backend (``numpy``) routes the *same*
+    functions through the backend's kernel cache — the exact tier of the
+    equivalence harness proves that plumbing moves no bits.  A JIT
+    backend (``numba`` / ``pyjit``) swaps in the compiled RHS / update /
+    resync implementations, bounded by the tolerance tier.
+    """
+    if backend is None:
+        return _seed_kernels()
+    if backend.jit:
+        return _jit_kernels(backend)
+    seed = _seed_kernels()
+    return StackedKernels(
+        backend_name=backend.name,
+        rhs=backend.specialize("hydro.rhs", lambda: stacked_rhs_kernel),
+        source=backend.specialize("hydro.source", lambda: stacked_source_kernel),
+        update=backend.specialize("hydro.update", lambda: stacked_update_kernel),
+        resync_tau=backend.specialize(
+            "hydro.resync_tau", lambda: stacked_resync_tau_kernel
+        ),
+        signal=backend.specialize("hydro.signal", lambda: stacked_signal_kernel),
+    )

@@ -16,12 +16,25 @@ HPX-Kokkos integration that lets kernels participate in HPX dependency
 graphs.
 """
 
+from repro.kokkos.backend import (
+    ArrayBackend,
+    BackendUnavailable,
+    available_backends,
+    backend_for_space,
+    get_backend,
+    jit_backend_name,
+    register_backend,
+    registered_backends,
+    set_space_backend,
+    space_backend_map,
+)
 from repro.kokkos.view import (
     View,
     deep_copy,
     HostSpace,
     DeviceSpaceTag,
     reset_transfer_counter,
+    sanctioned_crossing,
     transfer_counter,
 )
 from repro.kokkos.policies import RangePolicy, MDRangePolicy, TeamPolicy
@@ -41,6 +54,17 @@ from repro.kokkos.parallel import (
 )
 
 __all__ = [
+    "ArrayBackend",
+    "BackendUnavailable",
+    "available_backends",
+    "backend_for_space",
+    "get_backend",
+    "jit_backend_name",
+    "register_backend",
+    "registered_backends",
+    "sanctioned_crossing",
+    "set_space_backend",
+    "space_backend_map",
     "View",
     "deep_copy",
     "HostSpace",

@@ -21,7 +21,9 @@ from typing import Any, Callable, Dict, List
 
 from repro.amt.future import Future, make_ready_future, when_all
 from repro.amt.locality import Locality
+from repro.kokkos.backend import ArrayBackend, backend_for_space
 from repro.kokkos.policies import RangePolicy
+from repro.kokkos.view import DeviceSpaceTag, HostSpace, sanctioned_crossing
 from repro.simd.abi import get_abi
 
 
@@ -45,9 +47,17 @@ class ExecutionSpace:
     """Base class: cost model + dispatch interface."""
 
     name = "abstract"
+    #: The memory space this execution space natively addresses: Views a
+    #: functor touches should live here (the sanitizer polices the rest).
+    memory_space = HostSpace
 
     def __init__(self) -> None:
         self.stats = KernelStats()
+
+    @property
+    def array_backend(self) -> ArrayBackend:
+        """The array backend owning this space's native View storage."""
+        return backend_for_space(self.memory_space)
 
     # -- cost model --------------------------------------------------------
     def item_cost(self, policy: RangePolicy) -> float:
@@ -166,6 +176,7 @@ class DeviceSpace(ExecutionSpace):
     """
 
     name = "device"
+    memory_space = DeviceSpaceTag
 
     def __init__(
         self,
@@ -226,10 +237,17 @@ class DeviceSpace(ExecutionSpace):
         self.stats.record(len(batch), items, total)
 
         def complete() -> None:
-            for l in batch:
-                result = (
-                    l.functor(l.policy.begin, l.policy.end) if l.policy.size else None
-                )
-                l.future_slot._set_value([result])  # noqa: SLF001
+            # The functor executes *in* the device space: touching
+            # device-backend storage here is legal, so the host-ufunc guard
+            # is suspended for the launch (the analog of device code
+            # dereferencing device pointers).
+            with sanctioned_crossing():
+                for l in batch:
+                    result = (
+                        l.functor(l.policy.begin, l.policy.end)
+                        if l.policy.size
+                        else None
+                    )
+                    l.future_slot._set_value([result])  # noqa: SLF001
 
         engine.post_at(finish, complete)

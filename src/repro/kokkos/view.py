@@ -1,25 +1,33 @@
 """Views: labelled, memory-space-tagged multidimensional arrays.
 
 A ``Kokkos::View`` couples storage with a memory space so kernels can only
-touch data where they execute.  Here a view wraps a NumPy array plus a space
-tag; :func:`deep_copy` is the only sanctioned way to move data between
-spaces, and it counts the bytes moved (feeding the GPU-offload cost model).
+touch data where they execute.  Here a view wraps *backend-owned* storage
+(see :mod:`repro.kokkos.backend`: the memory space selects the array
+module) plus a space tag; :func:`deep_copy` is the only sanctioned way to
+move data between spaces — and between backends — and it counts the bytes
+moved (feeding the GPU-offload cost model).
 
 Under :func:`repro.analysis.spacesan.sanitizer_mode` every element access
 and every raw ``.data`` grab of a *device*-tagged view from host code is a
 reported :class:`~repro.analysis.spacesan.MemorySpaceViolation` — exactly
-the segfault class a real CUDA build turns into undefined behaviour.
-Outside sanitizer mode the checks reduce to one falsy test.
+the segfault class a real CUDA build turns into undefined behaviour.  On
+simulated-device storage the guard goes further: the backing array is a
+:class:`_DeviceArray`, so a host NumPy *ufunc* applied directly to device
+storage (the genuine module-mismatch bug) is reported too, even when the
+array leaked out through an earlier unsanctioned grab.  Outside sanitizer
+mode the checks reduce to one falsy test.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 
 from repro.analysis.spacesan import report_violation, space_checks_enabled
+from repro.kokkos.backend import ArrayBackend, backend_for_space
 
 
 @dataclass(frozen=True)
@@ -41,10 +49,76 @@ def reset_transfer_counter() -> None:
         transfer_counter[key] = 0
 
 
-class View:
-    """A labelled array in a memory space."""
+#: Depth of sanctioned-crossing scopes (deep_copy, kernel launches): device
+#: storage may be touched from host numpy inside one without a finding.
+_sanction = {"depth": 0}
 
-    __slots__ = ("label", "space", "_data")
+
+@contextmanager
+def sanctioned_crossing() -> Iterator[None]:
+    """Suspend the device-storage ufunc guard within the block.
+
+    ``deep_copy`` wraps its transfer in this scope — it is the legal
+    host-side crossing, like ``Kokkos::deep_copy`` — and execution spaces
+    may use it when simulating device-side kernel execution.
+    """
+    _sanction["depth"] += 1
+    try:
+        yield
+    finally:
+        _sanction["depth"] -= 1
+
+
+class _DeviceArray(np.ndarray):
+    """Simulated device-resident storage.
+
+    A plain ndarray subclass carrying its View's label; applying a host
+    NumPy ufunc to it under sanitizer mode — outside a sanctioned crossing
+    — reports the module mismatch that would be an illegal dereference on
+    a real device pointer.  Outside sanitizer mode it behaves exactly like
+    its base array.
+    """
+
+    _view_label: str = "?"
+
+    def __array_finalize__(self, obj) -> None:
+        if obj is not None:
+            self._view_label = getattr(obj, "_view_label", "?")
+
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        if space_checks_enabled() and _sanction["depth"] == 0:
+            report_violation(
+                self._view_label, "Device", "ufunc",
+                f"host numpy ufunc {ufunc.__name__!r} applied to "
+                "device-backend storage; move data with deep_copy",
+            )
+        # Demote to base ndarrays so the result does not inherit the guard.
+        cast = tuple(
+            i.view(np.ndarray) if isinstance(i, _DeviceArray) else i
+            for i in inputs
+        )
+        out = kwargs.get("out")
+        if out is not None:
+            kwargs["out"] = tuple(
+                o.view(np.ndarray) if isinstance(o, _DeviceArray) else o
+                for o in out
+            )
+        return getattr(ufunc, method)(*cast, **kwargs)
+
+
+def _tag_device(array: np.ndarray, label: str) -> np.ndarray:
+    """Wrap simulated-device ndarray storage in the ufunc guard."""
+    if isinstance(array, np.ndarray):
+        guarded = array.view(_DeviceArray)
+        guarded._view_label = label
+        return guarded
+    return array  # real device storage (e.g. cupy) needs no simulation
+
+
+class View:
+    """A labelled array in a memory space, stored by an array backend."""
+
+    __slots__ = ("label", "space", "backend", "_base_label", "_data")
 
     def __init__(
         self,
@@ -52,10 +126,16 @@ class View:
         shape: Tuple[int, ...],
         space: MemorySpaceTag = HostSpace,
         dtype: np.dtype = np.float64,
+        backend: ArrayBackend = None,
     ) -> None:
         self.label = label
         self.space = space
-        self._data = np.zeros(shape, dtype=dtype)
+        self.backend = backend if backend is not None else backend_for_space(space)
+        self._base_label = label
+        data = self.backend.zeros(shape, dtype=dtype)
+        if space.is_device:
+            data = _tag_device(data, label)
+        self._data = data
 
     @classmethod
     def from_array(
@@ -64,7 +144,9 @@ class View:
         view = cls.__new__(cls)
         view.label = label
         view.space = space
-        view._data = array
+        view.backend = backend_for_space(space)
+        view._base_label = label
+        view._data = _tag_device(array, label) if space.is_device else array
         return view
 
     # -- storage access ----------------------------------------------------
@@ -74,6 +156,11 @@ class View:
                 self.label, self.space.name, op,
                 "host code touched device memory; move data with deep_copy",
             )
+
+    @property
+    def xp(self):
+        """The backend's array namespace (write kernels against this)."""
+        return self.backend.module
 
     @property
     def data(self) -> np.ndarray:
@@ -89,11 +176,17 @@ class View:
     @data.setter
     def data(self, array: np.ndarray) -> None:
         self._check_host_access("raw-data")
-        self._data = array
+        self._data = (
+            _tag_device(array, self.label) if self.space.is_device else array
+        )
 
     @property
     def shape(self) -> Tuple[int, ...]:
         return self._data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
 
     @property
     def size(self) -> int:
@@ -103,10 +196,25 @@ class View:
     def nbytes(self) -> int:
         return self._data.nbytes
 
-    def mirror(self, space: MemorySpaceTag) -> "View":
-        """An uninitialised view of the same shape in another space
-        (``create_mirror_view``)."""
-        out = View(self.label + "_mirror", self._data.shape, space=space, dtype=self._data.dtype)
+    def mirror(self, space: MemorySpaceTag, copy: bool = False) -> "View":
+        """A view of the same shape and dtype in another space
+        (``create_mirror_view``).
+
+        ``copy=False`` (default) zero-fills, like a fresh allocation;
+        ``copy=True`` deep-copies this view's contents into the mirror
+        (``create_mirror_view_and_copy``), counted as transfer traffic.
+        Mirror labels derive from the *base* label, so a mirror of a
+        mirror is ``"x_mirror"``, not ``"x_mirror_mirror"``.
+        """
+        out = View(
+            self._base_label + "_mirror",
+            self._data.shape,
+            space=space,
+            dtype=self._data.dtype,
+        )
+        out._base_label = self._base_label
+        if copy:
+            deep_copy(out, self)
         return out
 
     def __getitem__(self, idx):  # noqa: ANN001, ANN204 - array passthrough
@@ -118,21 +226,39 @@ class View:
         self._data[idx] = value
 
     def __repr__(self) -> str:
-        return f"<View {self.label!r} {self._data.shape} @{self.space.name}>"
+        return (
+            f"<View {self.label!r} {self._data.shape} "
+            f"@{self.space.name}/{self.backend.name}>"
+        )
 
 
 def deep_copy(dst: View, src: View) -> None:
     """Copy between views, accounting host<->device traffic.
 
-    This is the sanctioned space crossing: it bypasses the sanitizer's
-    host-access check by construction (mirroring ``Kokkos::deep_copy``,
-    which is legal from host code for any space pair).
+    This is the sanctioned space *and backend* crossing: it bypasses the
+    sanitizer's host-access check by construction (mirroring
+    ``Kokkos::deep_copy``, which is legal from host code for any space
+    pair), converts storage between array modules, and is the only place
+    allowed to do so.  Shape and dtype must match exactly — ``np.copyto``
+    would silently cast a float64 source into a float32 destination, losing
+    precision without any sanitizer finding.
     """
     if dst._data.shape != src._data.shape:
         raise ValueError(
             f"deep_copy shape mismatch: {dst._data.shape} vs {src._data.shape}"
         )
-    np.copyto(dst._data, src._data)
+    if dst._data.dtype != src._data.dtype:
+        raise ValueError(
+            f"deep_copy dtype mismatch: {dst._data.dtype} vs {src._data.dtype} "
+            "(an implicit cast would silently lose precision)"
+        )
+    with sanctioned_crossing():
+        if dst.backend is src.backend and isinstance(src._data, np.ndarray):
+            np.copyto(
+                np.asarray(dst._data), np.asarray(src._data)
+            )
+        else:
+            dst.backend.copy_into(dst._data, src.backend.to_numpy(src._data))
     transfer_counter["copies"] += 1
     if src.space.is_device and not dst.space.is_device:
         transfer_counter["d2h_bytes"] += src.nbytes

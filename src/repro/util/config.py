@@ -55,6 +55,9 @@ class Config:
         "comm.coalesce": True,  # bundle ghost messages per locality pair
         # Gravity work-splitting: max M2L rows per far batch (0 = unsplit)
         "gravity.m2l_split": 0,
+        # Array backend for hot kernels (repro.kokkos.backend registry):
+        # numpy (default, bit-identical) | pyjit | numba | cupy | jax
+        "kokkos.backend": "numpy",
     }
 
     def __init__(self, overrides: Optional[Mapping[str, Any]] = None) -> None:
@@ -83,6 +86,12 @@ class Config:
             raise ConfigError("gravity.m2l_split must be >= 0")
         if self["runtime.workers"] < 1:
             raise ConfigError("runtime.workers must be >= 1")
+        from repro.kokkos.backend import registered_backends
+
+        if self["kokkos.backend"] not in registered_backends():
+            raise ConfigError(
+                f"kokkos.backend must be one of {registered_backends()}"
+            )
 
     def __getitem__(self, key: str) -> Any:
         try:

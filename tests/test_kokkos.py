@@ -277,3 +277,209 @@ class TestDeviceSpace:
 
         rt.run_until_ready(parallel_for_async(dev, RangePolicy(0, 16), body))
         assert (data == 2.0).all()
+
+
+# -- array backends ----------------------------------------------------------
+
+from repro.analysis.spacesan import sanitizer_mode  # noqa: E402
+from repro.kokkos import (  # noqa: E402
+    BackendUnavailable,
+    available_backends,
+    backend_for_space,
+    get_backend,
+    jit_backend_name,
+    registered_backends,
+    sanctioned_crossing,
+    set_space_backend,
+    space_backend_map,
+)
+
+#: Every registered backend; the optional ones skip when not installed.
+ALL_BACKENDS = [
+    pytest.param(
+        name,
+        marks=pytest.mark.skipif(
+            name not in available_backends(),
+            reason=f"array backend {name} not installed",
+        ),
+    )
+    for name in registered_backends()
+]
+
+
+class TestBackendRegistry:
+    def test_registered_names(self):
+        assert {"numpy", "pyjit", "numba", "cupy", "jax"} <= set(
+            registered_backends()
+        )
+
+    def test_always_available(self):
+        assert {"numpy", "pyjit"} <= set(available_backends())
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError):
+            get_backend("fortran")
+
+    def test_unavailable_backend_raises(self):
+        missing = sorted(set(registered_backends()) - set(available_backends()))
+        if not missing:
+            pytest.skip("every registered backend is installed here")
+        with pytest.raises(BackendUnavailable):
+            get_backend(missing[0])
+
+    def test_jit_backend_name_prefers_numba(self):
+        expected = "numba" if "numba" in available_backends() else "pyjit"
+        assert jit_backend_name() == expected
+
+    def test_specialize_compiles_once(self):
+        b = get_backend("pyjit")
+        b.cache_clear()
+        before = b.compile_count
+        k1 = b.specialize("t.key", lambda: (lambda x: x + 1))
+        k2 = b.specialize("t.key", lambda: (lambda x: x + 2))
+        assert k1 is k2  # cache hit: second factory never compiled
+        assert b.compile_count == before + 1
+        b.cache_clear()
+        k3 = b.specialize("t.key", lambda: (lambda x: x + 3))
+        assert k3(1) == 4
+        assert b.compile_count == before + 2
+
+    def test_kernel_table_builds_once(self):
+        b = get_backend("pyjit")
+        b.cache_clear()
+        built = []
+
+        def builder(compile_fn):
+            built.append(1)
+            return {"f": compile_fn(lambda x: 2 * x)}
+
+        t1 = b.kernel_table("t.table", builder)
+        t2 = b.kernel_table("t.table", builder)
+        assert t1 is t2 and built == [1]
+        assert t1["f"](3) == 6
+
+    def test_space_backend_routing(self):
+        assert space_backend_map()["Host"] == "numpy"
+        assert backend_for_space(HostSpace).name == "numpy"
+        with pytest.raises(KeyError):
+            set_space_backend("Device", "no-such-backend")
+        set_space_backend("Device", "pyjit")
+        try:
+            assert backend_for_space(DeviceSpaceTag).name == "pyjit"
+            assert View("d", (2,), space=DeviceSpaceTag).backend.name == "pyjit"
+        finally:
+            set_space_backend("Device", "numpy")
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+class TestBackendStorage:
+    def test_zeros_roundtrip(self, name):
+        b = get_backend(name)
+        arr = b.zeros((3, 2))
+        host = b.to_numpy(arr)
+        assert host.shape == (3, 2) and (host == 0).all()
+
+    def test_from_numpy_roundtrip(self, name):
+        b = get_backend(name)
+        src = np.arange(6.0).reshape(2, 3)
+        np.testing.assert_array_equal(b.to_numpy(b.from_numpy(src)), src)
+
+    def test_view_owns_backend_storage(self, name):
+        v = View("x", (4,), backend=get_backend(name))
+        assert v.backend.name == name
+        assert v.xp is get_backend(name).module
+
+    def test_deep_copy_from_numpy_view(self, name):
+        reset_transfer_counter()
+        src = View("src", (5,))
+        src.data[:] = 7.0
+        dst = View("dst", (5,), backend=get_backend(name))
+        deep_copy(dst, src)
+        assert (get_backend(name).to_numpy(dst._data) == 7.0).all()
+        assert transfer_counter["copies"] == 1
+
+    def test_deep_copy_to_numpy_view(self, name):
+        b = get_backend(name)
+        src = View("src", (4,), backend=b)
+        with sanctioned_crossing():
+            b.copy_into(src._data, np.full(4, 2.5))
+        dst = View("dst", (4,))
+        deep_copy(dst, src)
+        assert (dst.data == 2.5).all()
+
+
+class TestMirror:
+    def test_mirror_label_does_not_accumulate(self):
+        v = View("x", (2, 2), space=DeviceSpaceTag)
+        m1 = v.mirror(HostSpace)
+        m2 = m1.mirror(DeviceSpaceTag)
+        assert m1.label == "x_mirror"
+        assert m2.label == "x_mirror"  # not "x_mirror_mirror"
+
+    def test_mirror_preserves_dtype(self):
+        v = View("x", (3,), dtype=np.float32)
+        m = v.mirror(DeviceSpaceTag)
+        assert m.dtype == np.float32
+
+    def test_mirror_zero_fills_by_default(self):
+        v = View("x", (4,))
+        v.data[:] = 9.0
+        assert (v.mirror(DeviceSpaceTag)._data == 0.0).all()
+
+    def test_mirror_copy_transfers(self):
+        reset_transfer_counter()
+        v = View("x", (4,))
+        v.data[:] = 9.0
+        m = v.mirror(DeviceSpaceTag, copy=True)
+        assert (np.asarray(m._data) == 9.0).all()
+        assert transfer_counter["h2d_bytes"] == 32
+
+
+class TestDeepCopyDtype:
+    def test_dtype_mismatch_raises(self):
+        dst = View("a", (4,), dtype=np.float32)
+        src = View("b", (4,), dtype=np.float64)
+        with pytest.raises(ValueError, match="dtype mismatch"):
+            deep_copy(dst, src)
+
+    def test_same_dtype_passes(self):
+        dst = View("a", (4,), dtype=np.float32)
+        src = View("b", (4,), dtype=np.float32)
+        deep_copy(dst, src)  # no raise
+
+
+class TestSpaceSanitizer:
+    def test_raw_data_grab_reported(self):
+        v = View("dev", (4,), space=DeviceSpaceTag)
+        with sanitizer_mode(collect=True) as findings:
+            _ = v.data
+        assert any(f.op == "raw-data" for f in findings)
+
+    def test_cross_backend_ufunc_reported(self):
+        v = View("dev", (4,), space=DeviceSpaceTag)
+        leaked = v._data  # smuggled storage, no .data report
+        with sanitizer_mode(collect=True) as findings:
+            np.sqrt(leaked)
+        assert any(
+            f.op == "ufunc" and f.label == "dev" for f in findings
+        )
+
+    def test_grab_then_ufunc_reports_both(self):
+        v = View("dev", (4,), space=DeviceSpaceTag)
+        with sanitizer_mode(collect=True) as findings:
+            np.abs(v.data)
+        assert {f.op for f in findings} >= {"raw-data", "ufunc"}
+
+    def test_sanctioned_crossing_suppresses_ufunc(self):
+        v = View("dev", (4,), space=DeviceSpaceTag)
+        leaked = v._data
+        with sanitizer_mode(collect=True) as findings:
+            with sanctioned_crossing():
+                np.sqrt(leaked)
+        assert not [f for f in findings if f.op == "ufunc"]
+
+    def test_host_view_never_reports(self):
+        v = View("host", (4,))
+        with sanitizer_mode(collect=True) as findings:
+            np.sqrt(v.data)
+        assert findings == []

@@ -405,3 +405,42 @@ class TestDriver:
         assert finding["rule"] == "R004"
         assert finding["line"] == 2
         assert finding["path"].endswith("bad.py")
+
+
+class TestBackendImports:
+    def test_direct_numba_import_flagged(self):
+        assert rules(lint_source(
+            "import numba\n", "src/repro/hydro/fast.py"
+        )) == ["R009"]
+
+    def test_from_import_flagged(self):
+        assert rules(lint_source(
+            "from cupy import asarray\n", "src/repro/gravity/gpu.py"
+        )) == ["R009"]
+
+    def test_submodule_import_flagged(self):
+        assert rules(lint_source(
+            "import jax.numpy as jnp\n", "src/repro/hydro/fast.py"
+        )) == ["R009"]
+
+    def test_importlib_sidedoor_flagged(self):
+        src = (
+            "import importlib\n"
+            "numba = importlib.import_module('numba')\n"
+        )
+        assert rules(lint_source(src, "src/repro/hydro/fast.py")) == ["R009"]
+
+    def test_registry_module_exempt(self):
+        src = "import importlib\nimport numba\nimport cupy\nimport jax\n"
+        assert lint_source(src, "src/repro/kokkos/backend.py") == []
+
+    def test_relative_import_not_confused(self):
+        # `from .numba import x` is a package-local module, not the JIT.
+        src = "from .numba import helper\n"
+        assert lint_source(src, "src/repro/hydro/fast.py") == []
+
+    def test_unrelated_imports_ok(self):
+        assert lint_source(
+            "import numpy as np\nimport importlib\n",
+            "src/repro/hydro/fast.py",
+        ) == []

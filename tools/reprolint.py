@@ -68,6 +68,14 @@ R008 flat-wire-payloads
     the exact aliasing bug the shm data plane exists to avoid.
     Deliberate exceptions carry ``# reprolint: sanctioned-wire``.
 
+R009 array-backends-via-registry
+    ``numba``, ``cupy`` and ``jax`` may only be imported by
+    ``repro/kokkos/backend.py`` — the array-backend registry.  Anywhere
+    else a direct import turns a missing *optional* dependency into a
+    hard ImportError; kernels reach the accelerator module through
+    ``View.xp`` / ``ArrayBackend.module`` so unavailable backends degrade
+    to a skip instead.
+
 Exit status: 0 clean, 1 findings reported, 2 usage error, 3 unreadable
 or unparseable input (R000).  ``--json`` emits the findings as a machine
 readable object for CI annotation.
@@ -114,6 +122,10 @@ _WIRE_OWNERS = {"conn", "engine", "loc", "pipe", "locality"}
 _WIRE_METHODS = {"send", "broadcast", "round"}
 #: Attribute/name markers of non-flat payloads (object graphs, views).
 _RICH_ATTRS = {"mesh", "subgrid", "nodes", "data"}
+#: Optional array modules that must stay behind the backend registry.
+_BACKEND_MODULES = {"numba", "cupy", "jax"}
+#: The registry itself is the one sanctioned importer (R009).
+_BACKEND_EXEMPT = ("repro/kokkos/backend.py",)
 
 
 @dataclass(frozen=True)
@@ -581,6 +593,46 @@ def _check_flat_wire_payloads(
     return findings
 
 
+def _check_backend_imports(tree: ast.Module, path: str) -> List[Finding]:
+    """R009: numba/cupy/jax imports only inside the backend registry."""
+    if _path_matches(path, _BACKEND_EXEMPT):
+        return []
+    findings: List[Finding] = []
+    message = (
+        "direct import of optional array module {name!r}: go through the "
+        "backend registry (repro.kokkos.backend / View.xp) so a missing "
+        "install degrades to an unavailable backend, not an ImportError"
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".", 1)[0]
+                if root in _BACKEND_MODULES:
+                    findings.append(Finding(
+                        path, node.lineno, "R009", message.format(name=root)
+                    ))
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            root = node.module.split(".", 1)[0]
+            if root in _BACKEND_MODULES:
+                findings.append(Finding(
+                    path, node.lineno, "R009", message.format(name=root)
+                ))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "import_module"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+            and node.args[0].value.split(".", 1)[0] in _BACKEND_MODULES
+        ):
+            findings.append(Finding(
+                path, node.lineno, "R009",
+                message.format(name=node.args[0].value.split(".", 1)[0]),
+            ))
+    return findings
+
+
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one module's source text; the unit of testing."""
     tree = ast.parse(source, filename=path)
@@ -598,6 +650,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     findings += _check_flat_wire_payloads(
         tree, path, _sanctioned_lines(source, _WIRE_SANCTION_TAG)
     )
+    findings += _check_backend_imports(tree, path)
     return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
 
 
