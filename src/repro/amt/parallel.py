@@ -337,19 +337,31 @@ class ParallelEngine:
     def harvest_timers(self, registry: CounterRegistry) -> Dict[str, float]:
         """Pull per-worker timer snapshots and aggregate into ``registry``.
 
-        Every worker-side counter ``name`` lands twice: ``name`` records
+        Every worker-side timer ``name`` lands twice: ``name`` records
         the **max** total across workers (the critical-path time a profile
         should compare against the single-process backend) and
-        ``name.workers_mean`` the mean (the balance check).  Returns the
+        ``name.workers_mean`` the mean (the balance check).  Plan
+        construction counters (``plan.*``) are **event counts**, not
+        critical-path timers: collapsing them to one max-sample per
+        harvest used to drop both the build count and the per-worker sum,
+        so they are instead merged losslessly
+        (:meth:`~repro.profiling.apex.CounterRegistry.absorb`) — the
+        driver registry's ``count()``/``total()`` keep exact build-event
+        semantics alongside ``hydro.*``/``fmm.*``.  Returns the
         max-per-name map.
         """
         snapshots = self.round(_TIMERS)
         names = sorted({name for snap in snapshots for name in snap})
         maxima: Dict[str, float] = {}
         for name in names:
-            totals = [snap.get(name, (0, 0.0, 0.0))[1] for snap in snapshots]
+            stats = [snap.get(name, (0, 0.0, 0.0)) for snap in snapshots]
+            totals = [s[1] for s in stats]
             peak = max(totals)
             maxima[name] = peak
-            registry.sample(name, peak)
-            registry.sample(f"{name}.workers_mean", sum(totals) / len(totals))
+            if name.startswith("plan."):
+                for count, total, max_sample in stats:
+                    registry.absorb(name, count, total, max_sample)
+            else:
+                registry.sample(name, peak)
+                registry.sample(f"{name}.workers_mean", sum(totals) / len(totals))
         return maxima

@@ -89,6 +89,15 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(repro.kokkos.backend registry): numpy "
                           "(default, bit-identical), pyjit, numba, cupy, "
                           "jax — optional backends must be installed")
+    run.add_argument("--plan-cache", default=None, metavar="DIR",
+                     nargs="?", const="auto",
+                     help="persist execution plans to a content-addressed "
+                          "on-disk store keyed by topology fingerprint "
+                          "(docs/plan_lifecycle.md): reruns over seen "
+                          "topologies skip cold plan construction with "
+                          "identical bits.  DIR selects the store root; "
+                          "bare --plan-cache uses the user cache dir "
+                          "(~/.cache/repro/plans)")
 
     check = sub.add_parser(
         "crosscheck",
@@ -107,6 +116,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "numpy-dispatch to identical bits, 'tolerance' "
                             "bounds seed vs the preferred JIT backend by "
                             "the declared per-field budgets")
+    check.add_argument("--plan-cache", default=None, metavar="DIR",
+                       help="route both backends' plan construction through "
+                            "one on-disk plan cache at DIR: whichever side "
+                            "builds a topology cold serves the other a "
+                            "cache hit, so the bit-identity assertion also "
+                            "covers the cache-hit plan path")
 
     verify = sub.add_parser(
         "verify-plans",
@@ -162,6 +177,12 @@ def _command_run(args: argparse.Namespace) -> int:
         return 2
     machine = MACHINES[args.machine]
     faults = FaultSpec.parse(args.faults) if args.faults else None
+    plan_cache = None
+    if args.plan_cache is not None:
+        from repro.core.plancache import PlanCache, default_cache_dir
+
+        root = default_cache_dir() if args.plan_cache == "auto" else args.plan_cache
+        plan_cache = PlanCache(root)
     sim = OctoTigerSim(
         scenario.mesh, eos=scenario.eos,
         omega=getattr(scenario, "omega", 0.0),
@@ -181,6 +202,7 @@ def _command_run(args: argparse.Namespace) -> int:
         verify_plans=args.verify_plans,
         detect_races=args.detect_races,
         array_backend=args.array_backend,
+        plan_cache=plan_cache,
     )
     before = diagnostics(scenario.mesh)
     print(f"{args.scenario} level {args.level}: {scenario.mesh.n_cells()} cells "
@@ -199,6 +221,10 @@ def _command_run(args: argparse.Namespace) -> int:
         return 5
     after = diagnostics(sim.mesh)
     print(f"mass drift {after.mass - before.mass:+.3e}")
+    if plan_cache is not None:
+        s = plan_cache.stats
+        print(f"plan cache: {s.hits} hit(s), {s.misses} miss(es), "
+              f"{s.stores} store(s), {s.errors} error(s)")
     if faults is not None:
         totals = {
             name.split(".", 1)[1]: int(sim.counters.total(name))
@@ -237,7 +263,7 @@ def _command_crosscheck(args: argparse.Namespace) -> int:
     try:
         results = crosscheck_scenarios(
             nprocs=args.nprocs, steps=args.steps, wire=args.wire,
-            tier=args.tier,
+            tier=args.tier, plan_cache=args.plan_cache,
         )
     except (BackendMismatch, ToleranceExceeded) as exc:
         print(f"CROSSCHECK FAILED: {exc}", file=sys.stderr)
@@ -280,7 +306,9 @@ def _command_verify_plans(args: argparse.Namespace) -> int:
         for level in args.levels:
             mesh = build(name, level)
             violations = verify_mesh_plans(mesh, args.nprocs)
-            plan = build_plan(mesh, theta=0.5)
+            # Deliberate per-scenario sweep: verify-plans must prove each
+            # topology's cold construction, never a cached/delta shortcut.
+            plan = build_plan(mesh, theta=0.5)  # reprolint: sanctioned-cold-build
             for split in args.m2l_split:
                 violations.extend(verify_fmm_split(plan, split))
             status = "OK" if not violations else "FAIL"

@@ -31,8 +31,11 @@ Both sides are bit-identical to the per-face reference fills; the
 distributed-driver equivalence tests assert ``np.array_equal`` between the
 coalesced and un-coalesced paths.
 
-A bundle is rebuilt only when ``AmrMesh.topology_version`` moves — the
-same invalidation contract as the hydro/FMM execution plans.
+A bundle plan is rebuilt only when the mesh's content
+:meth:`~repro.octree.mesh.AmrMesh.fingerprint` moves — the same
+invalidation contract as the hydro/FMM execution plans (see
+``docs/plan_lifecycle.md``), and rebuilds reuse the per-face
+:class:`~repro.octree.ghost.FaceTraceCache` entries a regrid left intact.
 """
 
 from __future__ import annotations
@@ -43,15 +46,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.octree.fields import NFIELDS
-from repro.octree.ghost import (
-    _RESTRICT_OFFSETS,
-    _IndexNode,
-    _IndexSubGrid,
-    _fill_boundary,
-    _fill_coarse,
-    _fill_same,
-    _transverse_axes,
-)
+from repro.octree.ghost import FaceTraceCache, trace_face
 from repro.octree.mesh import AmrMesh
 from repro.octree.node import NodeKey
 
@@ -153,6 +148,21 @@ class PairBundle:
         self._fine_acc = self.payload[self.copy_src.size :]
         self._fine_tmp = np.empty(self.fine_dst.size)
 
+    def __getstate__(self) -> dict:
+        # The scratch buffers must not cross a pickle boundary: _fine_acc
+        # is a *view* of payload, and a round-trip silently flattens it to
+        # an independent array — pack() would then write the restricted
+        # fine data nowhere and unpack() scatter uninitialized memory.
+        # (The replan broadcast pickles bundles; fork inherits them intact.)
+        state = self.__dict__.copy()
+        for scratch in ("payload", "_fine_acc", "_fine_tmp"):
+            state.pop(scratch, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__post_init__()
+
     @property
     def local(self) -> bool:
         return self.src_locality == self.dst_locality
@@ -203,6 +213,11 @@ class GhostBundlePlan:
     cover: Dict[NodeKey, Tuple[PairKey, ...]]
     #: donor leaf key -> pair keys whose bundles read its interior.
     donor_of: Dict[NodeKey, Tuple[PairKey, ...]]
+    #: Content hash of the topology this plan was traced for (see
+    #: :meth:`repro.octree.mesh.AmrMesh.fingerprint`); ``matches`` compares
+    #: it instead of the monotonic counter, so a mesh that regrids back to
+    #: a previously-seen topology revalidates instead of rebuilding.
+    fingerprint: str = ""
 
     @property
     def remote_pairs(self) -> List[PairKey]:
@@ -217,45 +232,7 @@ class GhostBundlePlan:
         return sum(self.bundles[k].nbytes for k in self.remote_pairs)
 
     def matches(self, mesh: AmrMesh) -> bool:
-        return self.topology_version == mesh.topology_version
-
-
-def _child_fine_rows(
-    leaf: _IndexNode, child: _IndexNode, axis: int, side: int
-) -> Tuple[np.ndarray, np.ndarray]:
-    """One face child's restriction gather rows and destination indices.
-
-    Mirrors :func:`repro.octree.ghost._fill_fine` for a single child: row
-    ``t`` holds the arena indices of the ``t``-th
-    :data:`_RESTRICT_OFFSETS` term, ``dst`` the ghost cells its average
-    lands on.  Eight source rows of an output cell always come from the
-    same child, which is what lets a fine face split across bundles.
-    """
-    sg = leaf.subgrid
-    g, n = sg.ghost, sg.n
-    half = n // 2
-    t1, t2 = _transverse_axes(axis)
-    csg = child.subgrid
-    cg = csg.ghost
-    donor: List[Optional[slice]] = [None, None, None]
-    if side == 0:
-        donor[axis] = slice(cg + csg.n - 2 * g, cg + csg.n)
-    else:
-        donor[axis] = slice(cg, cg + 2 * g)
-    donor[t1] = csg.interior
-    donor[t2] = csg.interior
-    band = csg.data[(slice(None),) + tuple(donor)]
-    rows = np.stack([band[:, i::2, j::2, k::2] for i, j, k in _RESTRICT_OFFSETS])
-
-    b1 = (child.octant >> t1) & 1
-    b2 = (child.octant >> t2) & 1
-    dest: List[Optional[slice]] = [None, None, None]
-    dest[axis] = slice(0, g)
-    dest[t1] = slice(b1 * half, (b1 + 1) * half)
-    dest[t2] = slice(b2 * half, (b2 + 1) * half)
-    dst_band = sg.data[(slice(None),) + sg.ghost_slices(axis, side)]
-    dst = dst_band[(slice(None),) + tuple(dest)]
-    return rows.reshape(8, -1), dst.ravel()
+        return self.fingerprint == mesh.fingerprint()
 
 
 class _PairAccumulator:
@@ -281,30 +258,27 @@ def _cat(arrays: List[np.ndarray]) -> np.ndarray:
 
 
 def build_bundle_plan(
-    mesh: AmrMesh, offsets: Dict[NodeKey, int], nfields: int = NFIELDS
+    mesh: AmrMesh,
+    offsets: Dict[NodeKey, int],
+    nfields: int = NFIELDS,
+    trace_cache: Optional[FaceTraceCache] = None,
 ) -> GhostBundlePlan:
     """Trace the reference fills into per-locality-pair bundles.
 
     ``offsets`` maps each leaf key to its flat-arena chunk offset (see
-    :func:`adopt_arena`).  Same tracing technique as
-    :func:`repro.octree.ghost.ghost_index_plan` — each leaf gets a cube of
-    its own arena indices, and running the reference fill functions over
-    those cubes leaves every traced ghost band holding the arena index of
-    its source cell — but grouped by ``(donor_locality, dest_locality)``.
+    :func:`adopt_arena`).  Consumes the same per-face traces as
+    :func:`repro.octree.ghost.ghost_index_plan` — leaf-local index cubes
+    relocated into the arena layout — but grouped by
+    ``(donor_locality, dest_locality)``.  Passing a
+    :class:`~repro.octree.ghost.FaceTraceCache` (typically the one the
+    hydro plan already populated) reuses the traces of faces a regrid did
+    not touch.
     """
     leaves = sorted(mesh.leaves(), key=lambda nd: nd.key)
     n, g = mesh.n, mesh.ghost
     m = n + 2 * g
     chunk = nfields * m**3
-    proxies: Dict[NodeKey, _IndexNode] = {}
-    locality: Dict[NodeKey, int] = {}
-    for leaf in leaves:
-        base = offsets[leaf.key]
-        cube = np.arange(base, base + chunk, dtype=np.intp).reshape(nfields, m, m, m)
-        proxies[leaf.key] = _IndexNode(
-            _IndexSubGrid(n, g, cube), leaf.coords, leaf.octant
-        )
-        locality[leaf.key] = leaf.locality
+    locality: Dict[NodeKey, int] = {leaf.key: leaf.locality for leaf in leaves}
 
     acc: Dict[PairKey, _PairAccumulator] = {}
 
@@ -315,40 +289,31 @@ def build_bundle_plan(
         return entry
 
     for leaf in leaves:
-        proxy = proxies[leaf.key]
-        sg = proxy.subgrid
+        dest_base = offsets[leaf.key]
         for axis in range(3):
             for side in (0, 1):
-                kind, other = mesh.face_neighbor(leaf, axis, side)
-                if kind == "fine":
-                    for child in other:
-                        rows, dst = _child_fine_rows(
-                            proxy, proxies[child.key], axis, side
-                        )
-                        entry = pair_acc(child.locality, leaf.locality)
-                        entry.fine_src.append(rows)
-                        entry.fine_dst.append(dst)
-                        entry.donor_keys[child.key] = None
+                if trace_cache is not None:
+                    trace = trace_cache.face(mesh, leaf, axis, side)
+                else:
+                    trace = trace_face(mesh, leaf, axis, side, nfields)
+                bases = np.array(
+                    [offsets[k] for k in trace.participants], dtype=np.intp
+                )
+                if trace.kind == "fine":
+                    for child_key, rows, dst in trace.fine_parts:
+                        entry = pair_acc(locality[child_key], leaf.locality)
+                        entry.fine_src.append(trace.relocate(rows, bases, chunk))
+                        entry.fine_dst.append(dst + dest_base)
+                        entry.donor_keys[child_key] = None
                         entry.dest_keys[leaf.key] = None
                         entry.faces.append((leaf.key, axis, side))
                     continue
-                band = (slice(None),) + sg.ghost_slices(axis, side)
-                # The band is pristine until its own fill below runs
-                # (every fill reads interiors only).
-                dst = sg.data[band].ravel().copy()
-                if kind == "boundary":
-                    donor_key = leaf.key
-                    _fill_boundary(proxy, axis, side)
-                elif kind == "same":
-                    donor_key = other.key
-                    _fill_same(proxy, proxies[other.key], axis, side)
-                else:
-                    donor_key = other.key
-                    _fill_coarse(proxy, proxies[other.key], axis, side)
-                src = sg.data[band].ravel().copy()
+                donor_key = trace.participants[1] if len(
+                    trace.participants
+                ) > 1 else leaf.key
                 entry = pair_acc(locality[donor_key], leaf.locality)
-                entry.copy_src.append(src)
-                entry.copy_dst.append(dst)
+                entry.copy_src.append(trace.relocate(trace.copy_src, bases, chunk))
+                entry.copy_dst.append(trace.copy_dst + dest_base)
                 entry.donor_keys[donor_key] = None
                 entry.dest_keys[leaf.key] = None
                 entry.faces.append((leaf.key, axis, side))
@@ -385,4 +350,5 @@ def build_bundle_plan(
         bundles=bundles,
         cover={k: tuple(v) for k, v in cover.items()},
         donor_of={k: tuple(v) for k, v in donor_of.items()},
+        fingerprint=mesh.fingerprint(),
     )

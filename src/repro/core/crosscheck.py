@@ -213,6 +213,7 @@ def crosscheck_hydro(
     dt: Optional[float] = None,
     mutate: Optional[Callable[[AmrMesh, int], None]] = None,
     detect_races: bool = True,
+    plan_cache=None,  # PlanCache | str | Path | None
 ) -> CrosscheckResult:
     """Run ``steps`` RK3 steps on both backends; raise on any divergence.
 
@@ -220,7 +221,11 @@ def crosscheck_hydro(
     backend needs its own solver instance so plan caches never alias the
     other's mesh).  ``mutate(mesh, step_index)`` is applied to **both**
     meshes before each step — the regrid-propagation hook the hypothesis
-    sweep drives.
+    sweep drives.  ``plan_cache`` (a directory path or a
+    :class:`repro.core.plancache.PlanCache`) gives each backend its own
+    store handle over the same on-disk cache, so whichever side builds a
+    topology cold serves the other a cache hit — and the bit-identity
+    assertion then covers the cache-hit plan path too.
 
     The process side runs with static plan verification *and* (by
     default) the dynamic shm race detector enabled, so every cross-check
@@ -230,12 +235,22 @@ def crosscheck_hydro(
     """
     import time as _time
 
+    def cache_handle():  # noqa: ANN202
+        if plan_cache is None:
+            return None
+        if hasattr(plan_cache, "load"):
+            return plan_cache
+        from repro.core.plancache import PlanCache
+
+        return PlanCache(plan_cache)
+
     mesh_serial = mesh
     mesh_process = clone_mesh(mesh)
     serial = HydroIntegrator(
         mesh_serial, eos=eos, omega=omega,
         gravity=gravity() if gravity else None,
         gravity_every_stage=gravity_every_stage, reflux=reflux,
+        plan_cache=cache_handle(),
     )
     process = HydroIntegrator(
         mesh_process, eos=eos, omega=omega,
@@ -243,6 +258,7 @@ def crosscheck_hydro(
         gravity_every_stage=gravity_every_stage, reflux=reflux,
         backend="process", nprocs=nprocs, wire=wire,
         detect_races=detect_races,
+        plan_cache=cache_handle(),
     )
     serial_s = process_s = 0.0
     try:
@@ -385,6 +401,7 @@ def crosscheck_scenarios(
     steps: int = 2,
     wire: str = "shm",
     tier: Optional[str] = None,
+    plan_cache=None,  # PlanCache | str | Path | None
 ) -> List[CrosscheckResult]:
     """The CI smoke battery: blast (adaptive, reflux) and a rotating DWD
     (gravity via FMM), cross-checked per tier.
@@ -405,7 +422,8 @@ def crosscheck_scenarios(
     if tier is None:
         results.append(
             crosscheck_hydro(
-                blast.mesh, steps=steps, nprocs=nprocs, eos=blast.eos, wire=wire
+                blast.mesh, steps=steps, nprocs=nprocs, eos=blast.eos,
+                wire=wire, plan_cache=plan_cache,
             )
         )
 
@@ -416,6 +434,7 @@ def crosscheck_scenarios(
             crosscheck_hydro(
                 dwd.mesh, steps=steps, nprocs=nprocs, eos=dwd.eos,
                 omega=dwd.omega, gravity=gravity_factory, wire=wire,
+                plan_cache=plan_cache,
             )
         )
         return results

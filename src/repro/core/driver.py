@@ -98,6 +98,7 @@ class OctoTigerSim:
         verify_plans: bool = True,
         detect_races: bool = False,
         array_backend: Optional[str] = None,
+        plan_cache: Any = None,  # PlanCache | str | Path | None
     ) -> None:
         if backend not in ("des", "process"):
             raise ValueError(f"backend must be 'des' or 'process', got {backend!r}")
@@ -149,6 +150,16 @@ class OctoTigerSim:
         self.sanitize = sanitize
         self.sanitizer_findings: List[Any] = []
 
+        #: Persistent content-addressed plan store (fingerprint-keyed; see
+        #: :mod:`repro.core.plancache` and ``docs/plan_lifecycle.md``).  A
+        #: string/path builds a :class:`PlanCache` rooted there; ``None``
+        #: disables persistence (in-memory delta maintenance still runs).
+        if plan_cache is not None and not hasattr(plan_cache, "load"):
+            from repro.core.plancache import PlanCache
+
+            plan_cache = PlanCache(plan_cache)
+        self.plan_cache = plan_cache
+
         self.gravity_solver: Optional[FmmSolver] = None
         gravity_cb = None
         if gravity:
@@ -160,6 +171,7 @@ class OctoTigerSim:
                 nprocs=nprocs,
                 verify_plans=verify_plans,
                 array_backend=array_backend,
+                plan_cache=self.plan_cache,
             )
             # Route the solver's per-phase timers (fmm.plan, fmm.p2m_m2m,
             # fmm.m2l, fmm.l2p, fmm.p2p) into this run's counter registry.
@@ -177,6 +189,7 @@ class OctoTigerSim:
             verify_plans=verify_plans,
             detect_races=detect_races,
             array_backend=array_backend,
+            plan_cache=self.plan_cache,
         )
         # Route the integrator's per-phase timers (hydro.plan, hydro.ghost,
         # hydro.reconstruct, hydro.riemann, hydro.update) into this run's
@@ -205,6 +218,7 @@ class OctoTigerSim:
         omega: Optional[float] = None,
         backend: str = "des",
         nprocs: int = 2,
+        plan_cache: Any = None,  # PlanCache | str | Path | None
     ) -> "OctoTigerSim":
         """Build a driver from a validated :class:`repro.util.config.Config`.
 
@@ -240,6 +254,7 @@ class OctoTigerSim:
             backend=backend,
             nprocs=nprocs,
             array_backend=config["kokkos.backend"],
+            plan_cache=plan_cache,
         )
         if sim.gravity_solver is not None:
             sim.gravity_solver.theta = config["gravity.theta"]
@@ -309,6 +324,11 @@ class OctoTigerSim:
         result = _regrid(self.mesh, criterion, max_level=max_level)
         if result.changed:
             self.invalidate_workload()
+            # Announce the exact topology delta so the next plan rebuild is
+            # incremental: the integrator invalidates only the ghost face
+            # traces the delta touched (the FMM plan derives the same delta
+            # from its own stored topology).
+            self.integrator.notify_regrid(result.delta)
             self.counters.increment("regrid.refined", result.refined)
             self.counters.increment("regrid.coarsened", result.coarsened)
         return result

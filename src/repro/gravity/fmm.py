@@ -36,7 +36,10 @@ the retained per-node reference implementation, and produces identical
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # import cycle: repro.core.__init__ pulls in the driver
+    from repro.core.plancache import PlanCache
 
 import numpy as np
 
@@ -54,7 +57,14 @@ from repro.gravity.multipole import (
     stacked_octant_moments,
 )
 from repro.gravity.pairwise import p2p_apply_class, pairwise_accumulate
-from repro.gravity.plan import FmmPlan, build_plan, count_m2l_by_level, traverse
+from repro.gravity.plan import (
+    FmmPlan,
+    PairState,
+    build_plan,
+    count_m2l_by_level,
+    traverse,
+    update_plan,
+)
 from repro.octree.fields import Field
 from repro.octree.mesh import AmrMesh
 from repro.octree.node import NodeKey, OctreeNode
@@ -116,6 +126,7 @@ class FmmSolver:
         nprocs: int = 2,
         verify_plans: bool = True,
         array_backend: Optional[str] = None,
+        plan_cache: Optional["PlanCache"] = None,
     ) -> None:
         if not 0.0 < theta <= 1.0:
             raise ValueError("theta must be in (0, 1]")
@@ -139,6 +150,12 @@ class FmmSolver:
         self.last_stats: Optional[FmmStats] = None
         self.registry: Optional[CounterRegistry] = None
         self._plan: Optional[FmmPlan] = None
+        #: Optional persistent content-addressed plan store
+        #: (:class:`repro.core.plancache.PlanCache`): on a topology the
+        #: in-memory plan does not match, the canonical traversal pair
+        #: state is looked up by mesh fingerprint before paying a cold
+        #: dual-tree traversal, and cold results are stored back.
+        self.plan_cache = plan_cache
         #: "process" fans the sharded far-field M2L batches out to a pool
         #: of stateless worker processes (:mod:`repro.amt.parallel`); the
         #: shard arrays ride the pipes and the partials are accumulated in
@@ -175,10 +192,77 @@ class FmmSolver:
     # -- plan cache -----------------------------------------------------------
     def plan_for(self, mesh: AmrMesh) -> FmmPlan:
         """The cached traversal plan for ``mesh``, rebuilt only when the
-        mesh topology (``mesh.topology_version``) or ``theta`` changed."""
-        if self._plan is None or not self._plan.matches(mesh, self.theta):
-            self._plan = build_plan(mesh, self.theta)
-            self._registry().increment("fmm.plan_builds")
+        mesh topology (by content :meth:`~repro.octree.mesh.AmrMesh.\
+fingerprint`) or ``theta`` changed.
+
+        This is the sanctioned cache-miss hook (reprolint R010): on a miss
+        it tries, in order, (1) an incremental delta rebuild from the
+        previous plan (:func:`repro.gravity.plan.update_plan` — exact, see
+        ``docs/plan_lifecycle.md``), (2) the persistent plan cache keyed on
+        the fingerprint, (3) the cold dual-tree traversal, storing the
+        result back into the cache.  The three paths are bit-identical;
+        the ``plan.fmm.{delta,cache_hit,cold}`` timers record which one
+        ran.
+        """
+        if self._plan is not None and self._plan.matches(mesh, self.theta):
+            return self._plan
+        reg = self._registry()
+        fingerprint = mesh.fingerprint()
+        plan: Optional[FmmPlan] = None
+        # Donating recomputable state (cell positions, P2P templates) from
+        # the previous plan is only sound within one (n, domain_size)
+        # geometry family — node keys alone don't pin the geometry.
+        reuse = self._plan
+        if reuse is not None:
+            old_mesh = reuse.mesh_ref()
+            if reuse.n != mesh.n or (
+                old_mesh is not mesh
+                and (old_mesh is None or old_mesh.domain_size != mesh.domain_size)
+            ):
+                reuse = None
+        if self._plan is not None:
+            with reg.timer("plan.fmm.delta"):
+                plan = update_plan(self._plan, mesh, self.theta)
+            if plan is not None:
+                reg.increment("plan.fmm.delta_builds")
+                # Delta-assembled pair state is bit-identical to a cold
+                # traversal's — seed the cache with it too, or topologies
+                # only visited incrementally would miss on every rerun.
+                if self.plan_cache is not None and not self.plan_cache.contains(
+                    "fmm", fingerprint, {"theta": self.theta, "n": mesh.n}
+                ):
+                    self.plan_cache.store(
+                        "fmm",
+                        fingerprint,
+                        {"theta": self.theta, "n": mesh.n},
+                        plan.pair_state.to_payload(),
+                    )
+        if plan is None and self.plan_cache is not None:
+            payload = self.plan_cache.load(
+                "fmm", fingerprint, {"theta": self.theta, "n": mesh.n}
+            )
+            if payload is not None:
+                with reg.timer("plan.fmm.cache_hit"):
+                    plan = build_plan(
+                        mesh,
+                        self.theta,
+                        pair_state=PairState.from_payload(payload),
+                        reuse=reuse,
+                    )
+                reg.increment("plan.fmm.cache_hit_builds")
+        if plan is None:
+            with reg.timer("plan.fmm.cold"):
+                plan = build_plan(mesh, self.theta, reuse=reuse)  # reprolint: sanctioned-cold-build
+            reg.increment("plan.fmm.cold_builds")
+            if self.plan_cache is not None:
+                self.plan_cache.store(
+                    "fmm",
+                    fingerprint,
+                    {"theta": self.theta, "n": mesh.n},
+                    plan.pair_state.to_payload(),
+                )
+        self._plan = plan
+        reg.increment("fmm.plan_builds")
         return self._plan
 
     def invalidate_plan(self) -> None:

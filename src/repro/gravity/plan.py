@@ -8,14 +8,34 @@ arrays, leaf cell positions/volumes, octant cell-index maps and the P2P
 geometry-class templates depend only on the octree *topology* — which
 changes exactly when :meth:`repro.octree.mesh.AmrMesh.refine` /
 :meth:`~repro.octree.mesh.AmrMesh.derefine` run.  :class:`FmmPlan` captures
-all of it once and is keyed on ``AmrMesh.topology_version``, so a solver
-reuses the plan across every solve between regrids and rebuilds it
-automatically afterwards.
+all of it once and is keyed on the mesh's content
+:meth:`~repro.octree.mesh.AmrMesh.fingerprint`, so a solver reuses the plan
+across every solve between regrids and rebuilds it automatically afterwards.
 
 The execute phase (:meth:`repro.gravity.fmm.FmmSolver.solve`) then runs a
 small number of vectorised batches per level instead of per-node Python
 loops; see the module docstring of :mod:`repro.gravity.fmm` and
 ``docs/gravity_plan.md`` for the full architecture.
+
+Canonical pair state and incremental rebuilds
+---------------------------------------------
+The traversal's output is normalised into a :class:`PairState` — three
+lexsorted ``(P, 2)`` arrays of packed ``(level << 58 | code)`` node keys —
+and **every** plan array is assembled from that canonical form by
+:func:`_assemble_plan`.  Because cold builds, delta builds
+(:func:`update_plan`) and plan-cache hits all assemble from the same
+canonical representation, their plans are bit-identical by construction:
+``np.array_equal`` holds for every index array, and the solve output is
+bit-identical too.
+
+After a regrid, :func:`update_plan` avoids re-traversing the whole tree:
+pairs with an endpoint in the :class:`~repro.octree.regrid.RegridDelta`
+``drop_set`` are masked out, :func:`traverse_pruned` re-traverses only the
+subtrees containing ``emit_set`` nodes, and the merged pair state is
+re-assembled — reusing the previous plan's per-leaf cell positions and
+per-class P2P templates, which are pure deterministic functions of the
+surviving keys.  This is exact (see ``docs/plan_lifecycle.md`` for the
+invariance argument), not approximate.
 
 P2P geometry classes
 --------------------
@@ -32,20 +52,30 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.gravity.multipole import octant_ids
 from repro.gravity.pairwise import p2p_unit_templates
-from repro.octree.mesh import AmrMesh
+from repro.octree.mesh import AmrMesh, pack_keys
 from repro.octree.node import NodeKey, OctreeNode
+from repro.octree.regrid import RegridDelta
+from repro.util.morton import morton_parent
 
 #: Default cap on cached P2P template bytes per plan (t1 + t3 across all
 #: classes).  Same-level meshes need at most 27 classes; adaptive meshes can
 #: produce many more cross-level classes, whose templates are then rebuilt
 #: per solve instead of cached once the budget is exhausted.
 DEFAULT_TEMPLATE_BUDGET = 192 * 2**20
+
+#: Delta rebuilds touching more than this fraction of the new leaves fall
+#: back to a cold traversal (the pruned traversal would visit most of the
+#: tree anyway).
+DELTA_COLD_FRACTION = 0.5
+
+_LEVEL_SHIFT = 58
+_CODE_MASK = (1 << _LEVEL_SHIFT) - 1
 
 
 def is_far(a: OctreeNode, b: OctreeNode, theta: float) -> bool:
@@ -103,6 +133,74 @@ def traverse(
     return far, near, p2p
 
 
+def traverse_pruned(
+    mesh: AmrMesh, theta: float, emit_set: FrozenSet[NodeKey]
+) -> Tuple[
+    List[Tuple[NodeKey, NodeKey]],
+    List[Tuple[NodeKey, NodeKey]],
+    List[Tuple[NodeKey, NodeKey]],
+]:
+    """The subset of :func:`traverse` pairs with an endpoint in ``emit_set``.
+
+    A pair node ``(a, b)`` can only yield emitted pairs if the subtree of
+    ``a`` or of ``b`` contains an ``emit_set`` node, so the traversal skips
+    any pair node whose endpoints both lack a marked descendant-or-self —
+    for a localised regrid this visits a small neighbourhood of the changed
+    region instead of the whole pair space.  Decisions at visited pairs are
+    exactly :func:`traverse`'s, so the emitted pairs match the full
+    traversal's classification bit for bit.
+    """
+    marked: set = set()
+    for key in emit_set:
+        k = key
+        while k not in marked:
+            marked.add(k)
+            level, code = k
+            if level == 0:
+                break
+            k = (level - 1, morton_parent(code))
+    far: List[Tuple[NodeKey, NodeKey]] = []
+    near: List[Tuple[NodeKey, NodeKey]] = []
+    p2p: List[Tuple[NodeKey, NodeKey]] = []
+    if not marked:
+        return far, near, p2p
+    stack: List[Tuple[NodeKey, NodeKey]] = [((0, 0), (0, 0))]
+    while stack:
+        ka, kb = stack.pop()
+        if ka not in marked and kb not in marked:
+            continue
+        a, b = mesh.nodes[ka], mesh.nodes[kb]
+        if ka == kb:
+            if a.is_leaf:
+                if ka in emit_set:
+                    p2p.append((ka, ka))
+            else:
+                kids = a.children_keys()
+                for i in range(8):
+                    for j in range(i, 8):
+                        stack.append((kids[i], kids[j]))
+            continue
+        if is_far(a, b, theta):
+            if ka in emit_set or kb in emit_set:
+                far.append((ka, kb))
+            continue
+        if a.is_leaf and b.is_leaf:
+            if ka in emit_set or kb in emit_set:
+                if is_touching(a, b):
+                    p2p.append((ka, kb))
+                else:
+                    near.append((ka, kb))
+            continue
+        split_a = (not a.is_leaf) and (a.node_size >= b.node_size or b.is_leaf)
+        if split_a:
+            for kid in a.children_keys():
+                stack.append((kid, kb))
+        else:
+            for kid in b.children_keys():
+                stack.append((ka, kid))
+    return far, near, p2p
+
+
 def count_m2l_by_level(far_pairs: List[Tuple[NodeKey, NodeKey]]) -> Dict[int, int]:
     """Per-level M2L interaction counts, counting *both* directions.
 
@@ -117,6 +215,72 @@ def count_m2l_by_level(far_pairs: List[Tuple[NodeKey, NodeKey]]) -> Dict[int, in
         by_level[ka[0]] = by_level.get(ka[0], 0) + 1
         by_level[kb[0]] = by_level.get(kb[0], 0) + 1
     return by_level
+
+
+# -- canonical pair state ------------------------------------------------------
+
+
+def _normalize_pairs(pairs: Iterable[Tuple[NodeKey, NodeKey]]) -> np.ndarray:
+    """Pack unordered key pairs into ``(P, 2)`` int64 ``(min, max)`` rows."""
+    pairs = list(pairs)
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    arr = np.asarray(pairs, dtype=np.int64)  # (P, 2, 2)
+    packed = (arr[..., 0] << _LEVEL_SHIFT) | arr[..., 1]  # (P, 2)
+    lo = np.minimum(packed[:, 0], packed[:, 1])
+    hi = np.maximum(packed[:, 0], packed[:, 1])
+    return np.stack([lo, hi], axis=1)
+
+
+def _canonical_pairs(rows: np.ndarray) -> np.ndarray:
+    """Lexsort normalised pair rows by (first, second) endpoint."""
+    if rows.shape[0] < 2:
+        return rows
+    order = np.lexsort((rows[:, 1], rows[:, 0]))
+    return rows[order]
+
+
+@dataclass(frozen=True)
+class PairState:
+    """Canonical traversal output: lexsorted packed ``(min, max)`` pairs.
+
+    The single source of truth every plan array is assembled from.  Two
+    identical topologies produce identical pair states regardless of how
+    they were reached (cold traversal, delta splice, cache load), which is
+    what makes the three build paths bit-identical.
+    """
+
+    far: np.ndarray  # (Pf, 2) int64
+    near: np.ndarray  # (Pn, 2)
+    p2p: np.ndarray  # (Pp, 2); self pairs appear as (k, k)
+
+    @classmethod
+    def from_traversal(cls, far, near, p2p) -> "PairState":
+        return cls(
+            far=_canonical_pairs(_normalize_pairs(far)),
+            near=_canonical_pairs(_normalize_pairs(near)),
+            p2p=_canonical_pairs(_normalize_pairs(p2p)),
+        )
+
+    def to_payload(self) -> Dict[str, np.ndarray]:
+        """Flat array payload for the on-disk plan cache."""
+        return {"far": self.far, "near": self.near, "p2p": self.p2p}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, np.ndarray]) -> "PairState":
+        return cls(
+            far=np.asarray(payload["far"], dtype=np.int64).reshape(-1, 2),
+            near=np.asarray(payload["near"], dtype=np.int64).reshape(-1, 2),
+            p2p=np.asarray(payload["p2p"], dtype=np.int64).reshape(-1, 2),
+        )
+
+
+def _m2l_by_level_packed(far: np.ndarray) -> Dict[int, int]:
+    if far.size == 0:
+        return {}
+    levels = np.concatenate([far[:, 0], far[:, 1]]) >> _LEVEL_SHIFT
+    vals, counts = np.unique(levels, return_counts=True)
+    return {int(v): int(c) for v, c in zip(vals, counts)}
 
 
 @dataclass
@@ -183,15 +347,21 @@ def _split_far_level(fl: FarLevel, max_rows: int) -> List[FarLevel]:
 class FmmPlan:
     """Topology-derived state of one mesh, reused across solves.
 
-    Built by :func:`build_plan`; invalidated by comparing
-    ``topology_version`` (and ``theta``) against the live mesh — see the
-    invalidation contract on :class:`repro.octree.mesh.AmrMesh`.
+    Built by :func:`build_plan`; invalidated by comparing the stored
+    topology :attr:`fingerprint` (and ``theta``) against the live mesh —
+    see the invalidation contract on :class:`repro.octree.mesh.AmrMesh`
+    and ``docs/plan_lifecycle.md``.
     """
 
     topology_version: int
     theta: float
     n: int
     mesh_ref: "weakref.ReferenceType[AmrMesh]"
+    #: Content hash of the topology this plan was assembled for.
+    fingerprint: str
+
+    # -- canonical traversal output (delta and cache substrate) -------------
+    pair_state: PairState
 
     # -- node indexing ------------------------------------------------------
     node_keys: List[NodeKey]
@@ -240,6 +410,18 @@ class FmmPlan:
     #: pure slicing of the CSR arrays, so shards share the plan's storage.
     _split_cache: Dict[int, List[FarLevel]] = field(default_factory=dict)
 
+    #: Chain-wide P2P template store, shared *by reference* along a
+    #: reuse/update chain of plans.  Templates are pure functions of the
+    #: class key (level difference + centre offset), independent of the
+    #: topology that first produced them — so a regrid churn that revisits
+    #: a geometry class never recomputes its template, even when the class
+    #: was absent from the immediately preceding plan.  Bounded by the
+    #: build's ``template_budget_bytes``; dropped (with the chain) on
+    #: :meth:`FmmSolver.invalidate_plan`.
+    template_store: Dict[
+        Tuple[int, Tuple[int, int, int]], Tuple[np.ndarray, np.ndarray]
+    ] = field(default_factory=dict)
+
     def split(self, max_rows: int) -> List[FarLevel]:
         """Far batches sharded to at most ``max_rows`` M2L rows each.
 
@@ -264,12 +446,33 @@ class FmmPlan:
         return cached
 
     def matches(self, mesh: AmrMesh, theta: float) -> bool:
-        """Whether this plan is still valid for ``mesh`` at ``theta``."""
+        """Whether this plan is still valid for ``mesh`` at ``theta``.
+
+        The topology comparison is the content fingerprint (memoised on
+        the mesh per ``topology_version``, so this stays cheap); the
+        identity check keeps plans scoped to their own mesh object —
+        cross-mesh sharing of cold-build work goes through the
+        content-addressed :mod:`repro.core.plancache` instead.
+        """
         return (
             self.mesh_ref() is mesh
-            and self.topology_version == mesh.topology_version
+            and self.fingerprint == mesh.fingerprint()
             and self.theta == theta
         )
+
+    # -- delta/cache reuse maps ---------------------------------------------
+    def leaf_pos_rows(self) -> Dict[NodeKey, np.ndarray]:
+        """Per-key cell-centre rows, for reuse by an incremental rebuild
+        (cell centres are a pure function of the key, so reuse is exact)."""
+        return {k: self.leaf_pos[i] for i, k in enumerate(self.leaf_keys)}
+
+    def template_map(self) -> Dict[Tuple[int, Tuple[int, int, int]], Tuple[np.ndarray, np.ndarray]]:
+        """Cached P2P templates by class key (pure functions of the key)."""
+        return {
+            cls.key: (cls.t1, cls.t3)
+            for cls in self.p2p_classes
+            if cls.t1 is not None
+        }
 
 
 def _leaf_positions(leaf: OctreeNode) -> np.ndarray:
@@ -277,14 +480,25 @@ def _leaf_positions(leaf: OctreeNode) -> np.ndarray:
     return np.stack([x.ravel(), y.ravel(), z.ravel()], axis=1)
 
 
-def build_plan(
+def _assemble_plan(
     mesh: AmrMesh,
     theta: float,
-    template_budget_bytes: int = DEFAULT_TEMPLATE_BUDGET,
+    state: PairState,
+    template_budget_bytes: int,
+    reuse: Optional[FmmPlan] = None,
 ) -> FmmPlan:
-    """Build the full traversal plan of ``mesh`` for opening angle ``theta``."""
+    """Assemble every plan array from the canonical pair state.
+
+    Pure vectorised grouping/sorting over the packed-key arrays: identical
+    pair states produce bit-identical plans, no matter which path (cold
+    traversal, delta splice, cache load) produced the state.  ``reuse``
+    donates per-leaf cell positions and per-class P2P templates from a
+    previous plan of the same mesh family — both are exact functions of
+    the surviving keys, so reuse changes build time, never values.
+    """
     nc = mesh.n**3
     node_keys = sorted(mesh.nodes)
+    packed_nodes = pack_keys(node_keys)  # sorted: pack is monotone in key order
     node_index = {k: i for i, k in enumerate(node_keys)}
     n_nodes = len(node_keys)
     node_center = np.empty((n_nodes, 3))
@@ -296,145 +510,193 @@ def build_plan(
     max_level = mesh.max_level()
 
     leaf_keys = [k for k in node_keys if mesh.nodes[k].is_leaf]
-    leaf_index = {k: i for i, k in enumerate(leaf_keys)}
-    leaf_node_idx = np.array([node_index[k] for k in leaf_keys], dtype=np.intp)
-    leaf_pos = np.stack([_leaf_positions(mesh.nodes[k]) for k in leaf_keys])
+    packed_leaves = pack_keys(leaf_keys)
+    leaf_node_idx = np.searchsorted(packed_nodes, packed_leaves).astype(np.intp)
+    n_leaves = len(leaf_keys)
+
+    reuse_pos = reuse.leaf_pos_rows() if reuse is not None else {}
+    leaf_pos = np.empty((n_leaves, nc, 3))
+    for i, k in enumerate(leaf_keys):
+        row = reuse_pos.get(k)
+        if row is None:
+            row = _leaf_positions(mesh.nodes[k])
+        leaf_pos[i] = row
     cell_vol = np.array([mesh.nodes[k].cell_volume for k in leaf_keys])
+    dx_leaf = np.array([mesh.nodes[k].dx for k in leaf_keys])
 
+    is_leaf_mask = np.zeros(n_nodes, dtype=bool)
+    is_leaf_mask[leaf_node_idx] = True
     level_interiors: List[Tuple[np.ndarray, np.ndarray]] = []
+    oct8 = np.arange(8, dtype=np.int64)
     for level in range(max_level - 1, -1, -1):
-        interiors = [
-            k for k in node_keys if k[0] == level and not mesh.nodes[k].is_leaf
-        ]
-        if not interiors:
+        int_idx = np.flatnonzero((node_level == level) & ~is_leaf_mask)
+        if int_idx.size == 0:
             continue
-        int_idx = np.array([node_index[k] for k in interiors], dtype=np.intp)
-        child_idx = np.array(
-            [[node_index[c] for c in mesh.nodes[k].children_keys()] for k in interiors],
-            dtype=np.intp,
-        )
-        level_interiors.append((int_idx, child_idx))
+        codes = packed_nodes[int_idx] & _CODE_MASK
+        child_packed = (
+            np.int64(level + 1) << _LEVEL_SHIFT
+        ) | ((codes << 3)[:, None] + oct8)
+        child_idx = np.searchsorted(packed_nodes, child_packed).astype(np.intp)
+        level_interiors.append((int_idx.astype(np.intp), child_idx))
 
-    far_pairs, near_pairs, p2p_pairs = traverse(mesh, theta)
-
-    # Far CSR, grouped per target level (targets keep first-seen order, so
-    # per-target source order matches the reference solver's accumulation).
-    far_sources: Dict[NodeKey, List[NodeKey]] = {}
-    for ka, kb in far_pairs:
-        far_sources.setdefault(ka, []).append(kb)
-        far_sources.setdefault(kb, []).append(ka)
+    # Far CSR, grouped per target level.  Directed edges lexsorted by
+    # (target, source) packed key: packed keys sort level-major, so targets
+    # come out grouped by level with canonically sorted source segments.
     far_levels: List[FarLevel] = []
-    for level in range(max_level + 1):
-        targets = [k for k in far_sources if k[0] == level]
-        if not targets:
-            continue
-        tgt_idx = np.array([node_index[k] for k in targets], dtype=np.intp)
-        counts = [len(far_sources[k]) for k in targets]
-        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
-        src_idx = np.array(
-            [node_index[s] for k in targets for s in far_sources[k]], dtype=np.intp
-        )
-        far_levels.append(FarLevel(tgt_idx, indptr, src_idx))
+    if state.far.size:
+        tgt = np.concatenate([state.far[:, 0], state.far[:, 1]])
+        src = np.concatenate([state.far[:, 1], state.far[:, 0]])
+        order = np.lexsort((src, tgt))
+        tgt = tgt[order]
+        src = src[order]
+        uniq, starts = np.unique(tgt, return_index=True)
+        bounds = np.append(starts, tgt.size)
+        lev_of = uniq >> _LEVEL_SHIFT
+        for level in range(max_level + 1):
+            lo = int(np.searchsorted(lev_of, level))
+            hi = int(np.searchsorted(lev_of, level + 1))
+            if lo == hi:
+                continue
+            tgt_idx = np.searchsorted(packed_nodes, uniq[lo:hi]).astype(np.intp)
+            indptr = (bounds[lo : hi + 1] - bounds[lo]).astype(np.intp)
+            src_idx = np.searchsorted(
+                packed_nodes, src[bounds[lo] : bounds[hi]]
+            ).astype(np.intp)
+            far_levels.append(FarLevel(tgt_idx, indptr, src_idx))
 
-    # Near (octant-resolved) interactions.
-    near_sources: Dict[int, List[int]] = {}
-    for ka, kb in near_pairs:
-        sa, sb = leaf_index[ka], leaf_index[kb]
-        near_sources.setdefault(sa, []).append(sb)
-        near_sources.setdefault(sb, []).append(sa)
-    participants = sorted(
-        set(near_sources) | {s for srcs in near_sources.values() for s in srcs}
-    )
-    part_slots = np.array(participants, dtype=np.intp)
-    part_row = np.full(len(leaf_keys), -1, dtype=np.intp)
-    part_row[part_slots] = np.arange(len(participants))
-
+    # Near (octant-resolved) interactions, target-major in sorted-slot order.
     octant = octant_ids(mesh.n)
     oct_cells = np.stack([np.flatnonzero(octant == o) for o in range(8)])
-    oct_geo_centers = np.empty((len(participants), 8, 3))
+    if state.near.size:
+        t = np.concatenate([state.near[:, 0], state.near[:, 1]])
+        s = np.concatenate([state.near[:, 1], state.near[:, 0]])
+        order = np.lexsort((s, t))
+        t = t[order]
+        s = s[order]
+        t_slot = np.searchsorted(packed_leaves, t).astype(np.intp)
+        s_slot = np.searchsorted(packed_leaves, s).astype(np.intp)
+        part_slots = np.unique(np.concatenate([t_slot, s_slot])).astype(np.intp)
+    else:
+        t_slot = s_slot = np.empty(0, dtype=np.intp)
+        part_slots = np.empty(0, dtype=np.intp)
+    part_row = np.full(n_leaves, -1, dtype=np.intp)
+    part_row[part_slots] = np.arange(part_slots.size)
+
+    oct_geo_centers = np.empty((part_slots.size, 8, 3))
     offsets = (
         np.stack(
             [[(o >> 0) & 1, (o >> 1) & 1, (o >> 2) & 1] for o in range(8)]
         ).astype(float)
         - 0.5
     )
-    for row, slot in enumerate(participants):
+    for row, slot in enumerate(part_slots):
         leaf = mesh.nodes[leaf_keys[slot]]
         oct_geo_centers[row] = leaf.center + offsets * (leaf.node_size / 2.0)
 
-    near_tgt_slots = np.array(list(near_sources), dtype=np.intp)
+    if t_slot.size:
+        near_tgt_slots, tstarts = np.unique(t_slot, return_index=True)
+        near_tgt_slots = near_tgt_slots.astype(np.intp)
+        tbounds = np.append(tstarts, t_slot.size)
+    else:
+        near_tgt_slots = np.empty(0, dtype=np.intp)
+        tbounds = np.zeros(1, dtype=np.intp)
     near_tgt_rows = part_row[near_tgt_slots]
-    near_rows_list: List[int] = []
+    near_rows_parts: List[np.ndarray] = []
     near_counts: List[int] = []
-    near_center_rows_list: List[int] = []
-    for t in near_sources:
+    near_center_parts: List[np.ndarray] = []
+    oct8p = np.arange(8, dtype=np.intp)
+    for j, tslot in enumerate(near_tgt_slots):
+        seg = s_slot[tbounds[j] : tbounds[j + 1]]
         # One octant pass gathers all 8 sub-moments of every source leaf
-        # (source-major, octant-minor — the reference concatenation order).
-        rows_t = [int(part_row[s]) * 8 + o for s in near_sources[t] for o in range(8)]
-        for o in range(8):
-            near_rows_list.extend(rows_t)
-            near_counts.append(len(rows_t))
-            near_center_rows_list.append(int(part_row[t]) * 8 + o)
-    near_rows = np.array(near_rows_list, dtype=np.intp)
+        # (source-major, octant-minor), repeated for the 8 target octants.
+        rows_t = (part_row[seg][:, None] * 8 + oct8p).ravel()
+        near_rows_parts.append(np.tile(rows_t, 8))
+        near_counts.extend([rows_t.size] * 8)
+        near_center_parts.append(part_row[tslot] * 8 + oct8p)
+    near_rows = (
+        np.concatenate(near_rows_parts) if near_rows_parts else np.empty(0, dtype=np.intp)
+    )
     near_indptr = np.concatenate([[0], np.cumsum(near_counts)]).astype(np.intp)
-    near_center_rows = np.array(near_center_rows_list, dtype=np.intp)
+    near_center_rows = (
+        np.concatenate(near_center_parts)
+        if near_center_parts
+        else np.empty(0, dtype=np.intp)
+    )
 
-    # P2P geometry classes.
-    classes: Dict[Tuple[int, Tuple[int, int, int]], Dict[str, list]] = {}
-    for ka, kb in p2p_pairs:
-        edges = [(ka, kb)] if ka == kb else [(ka, kb), (kb, ka)]
-        for kt, ks in edges:
-            t, s = mesh.nodes[kt], mesh.nodes[ks]
-            dxm = min(t.dx, s.dx)
-            off = tuple(int(v) for v in np.rint(2.0 * (t.center - s.center) / dxm))
-            key = (t.level - s.level, off)
-            entry = classes.get(key)
-            if entry is None:
-                pos_t = leaf_pos[leaf_index[kt]]
-                pos_s = leaf_pos[leaf_index[ks]]
-                # Unit positions are exact half-integers on the dxm lattice;
-                # rounding makes every class member share identical templates.
-                upos_t = np.rint(2.0 * (pos_t - pos_s[0]) / dxm) / 2.0
-                upos_s = np.rint(2.0 * (pos_s - pos_s[0]) / dxm) / 2.0
-                entry = classes[key] = {
-                    "tgt": [],
-                    "src": [],
-                    "inv_dx": [],
-                    "upos_t": upos_t,
-                    "upos_s": upos_s,
-                }
-            entry["tgt"].append(leaf_index[kt])
-            entry["src"].append(leaf_index[ks])
-            entry["inv_dx"].append(1.0 / dxm)
-
-    p2p_classes = [
-        P2PClass(
-            key=key,
-            tgt=np.array(entry["tgt"], dtype=np.intp),
-            src=np.array(entry["src"], dtype=np.intp),
-            inv_dx=np.array(entry["inv_dx"]),
-            upos_t=entry["upos_t"],
-            upos_s=entry["upos_s"],
+    # P2P geometry classes from directed edges, grouped by packed class key
+    # and ordered canonically (class key, then target, then source).
+    p2p_classes: List[P2PClass] = []
+    if state.p2p.size:
+        self_mask = state.p2p[:, 0] == state.p2p[:, 1]
+        a, b = state.p2p[:, 0], state.p2p[:, 1]
+        dt = np.concatenate([a, b[~self_mask]])
+        ds = np.concatenate([b, a[~self_mask]])
+        dt_slot = np.searchsorted(packed_leaves, dt).astype(np.intp)
+        ds_slot = np.searchsorted(packed_leaves, ds).astype(np.intp)
+        dxm = np.minimum(dx_leaf[dt_slot], dx_leaf[ds_slot])
+        ct = node_center[leaf_node_idx[dt_slot]]
+        cs = node_center[leaf_node_idx[ds_slot]]
+        off = np.rint(2.0 * (ct - cs) / dxm[:, None]).astype(np.int64)
+        dl = (dt >> _LEVEL_SHIFT) - (ds >> _LEVEL_SHIFT)
+        ckey = (
+            ((dl + 32) << 45)
+            | ((off[:, 0] + 512) << 30)
+            | ((off[:, 1] + 512) << 15)
+            | (off[:, 2] + 512)
         )
-        for key, entry in classes.items()
-    ]
-    # Cache templates for the busiest classes within the byte budget; the
-    # rest rebuild their templates per solve (still batched per class).
+        order = np.lexsort((ds, dt, ckey))
+        ckey_s = ckey[order]
+        uniq_c, cstarts = np.unique(ckey_s, return_index=True)
+        cbounds = np.append(cstarts, ckey_s.size)
+        for j in range(uniq_c.size):
+            seg = order[cbounds[j] : cbounds[j + 1]]
+            rep = seg[0]
+            key = (int(dl[rep]), tuple(int(v) for v in off[rep]))
+            pos_t = leaf_pos[dt_slot[rep]]
+            pos_s = leaf_pos[ds_slot[rep]]
+            rep_dxm = dxm[rep]
+            # Unit positions are exact half-integers on the dxm lattice;
+            # rounding makes every class member share identical templates.
+            upos_t = np.rint(2.0 * (pos_t - pos_s[0]) / rep_dxm) / 2.0
+            upos_s = np.rint(2.0 * (pos_s - pos_s[0]) / rep_dxm) / 2.0
+            p2p_classes.append(
+                P2PClass(
+                    key=key,
+                    tgt=dt_slot[seg],
+                    src=ds_slot[seg],
+                    inv_dx=1.0 / dxm[seg],
+                    upos_t=upos_t,
+                    upos_s=upos_s,
+                )
+            )
+
+    # Cache templates for the busiest classes within the byte budget; ties
+    # break on the class key so the selection is canonical.  The store is
+    # shared by reference along the reuse chain: a class key ever seen on
+    # this chain serves its template for free (templates are pure functions
+    # of the key, so cross-topology reuse is exact), and only genuinely new
+    # classes charge the budget.
     template_bytes = 2 * nc * nc * 8
-    budget = template_budget_bytes
-    for cls in sorted(p2p_classes, key=lambda c: -len(c.tgt)):
-        if budget < template_bytes:
+    max_cached = max(0, template_budget_bytes // template_bytes)
+    store = reuse.template_store if reuse is not None else {}
+    for cls in sorted(p2p_classes, key=lambda c: (-c.tgt.size, c.key)):
+        cached = store.get(cls.key)
+        if cached is not None:
+            cls.t1, cls.t3 = cached
+            continue
+        if len(store) >= max_cached:
             continue
         cls.t1, cls.t3 = p2p_unit_templates(cls.upos_t, cls.upos_s)
-        budget -= template_bytes
+        store[cls.key] = (cls.t1, cls.t3)
 
-    n_leaves = len(leaf_keys)
     n_interiors = n_nodes - n_leaves
     return FmmPlan(
         topology_version=mesh.topology_version,
         theta=theta,
         n=mesh.n,
         mesh_ref=weakref.ref(mesh),
+        fingerprint=mesh.fingerprint(),
+        pair_state=state,
         node_keys=node_keys,
         node_index=node_index,
         node_center=node_center,
@@ -456,11 +718,96 @@ def build_plan(
         near_indptr=near_indptr,
         near_center_rows=near_center_rows,
         p2p_classes=p2p_classes,
-        p2p_pair_count=len(p2p_pairs),
+        template_store=store,
+        p2p_pair_count=int(state.p2p.shape[0]),
         n_p2m=n_leaves,
         n_m2m=n_interiors,
         n_l2l=8 * n_interiors,
-        n_m2l_pairs=len(far_pairs),
-        n_near_pairs=len(near_pairs),
-        m2l_by_level=count_m2l_by_level(far_pairs),
+        n_m2l_pairs=int(state.far.shape[0]),
+        n_near_pairs=int(state.near.shape[0]),
+        m2l_by_level=_m2l_by_level_packed(state.far),
     )
+
+
+def build_plan(
+    mesh: AmrMesh,
+    theta: float,
+    template_budget_bytes: int = DEFAULT_TEMPLATE_BUDGET,
+    pair_state: Optional[PairState] = None,
+    reuse: Optional[FmmPlan] = None,
+) -> FmmPlan:
+    """Build the full traversal plan of ``mesh`` for opening angle ``theta``.
+
+    ``pair_state`` short-circuits the traversal with a precomputed
+    canonical pair state (the plan-cache hit path); ``reuse`` donates
+    recomputable per-key state from a previous plan.  All paths produce
+    bit-identical plans for identical topologies.
+    """
+    if pair_state is None:
+        far, near, p2p = traverse(mesh, theta)
+        pair_state = PairState.from_traversal(far, near, p2p)
+    return _assemble_plan(mesh, theta, pair_state, template_budget_bytes, reuse=reuse)
+
+
+def update_plan(
+    plan: FmmPlan,
+    mesh: AmrMesh,
+    theta: float,
+    template_budget_bytes: int = DEFAULT_TEMPLATE_BUDGET,
+    delta: Optional[RegridDelta] = None,
+    cold_fraction: float = DELTA_COLD_FRACTION,
+) -> Optional[FmmPlan]:
+    """Incrementally rebuild ``plan`` for the regridded ``mesh``.
+
+    Computes the :class:`~repro.octree.regrid.RegridDelta` between the
+    plan's stored topology and the live mesh (or takes one), drops every
+    cached pair with an endpoint in the delta's ``drop_set``, re-traverses
+    only the changed subtrees (:func:`traverse_pruned`) and re-assembles —
+    the result is bit-identical to a cold :func:`build_plan` because both
+    assemble the same canonical pair state.
+
+    Returns ``None`` when the delta path does not apply (different
+    ``theta`` or geometry — node keys only identify topology within one
+    ``(n, domain_size)`` family) or is not worthwhile (more than
+    ``cold_fraction`` of the leaves changed); the caller falls back to a
+    cold build.
+    """
+    if theta != plan.theta or plan.n != mesh.n:
+        return None
+    old_mesh = plan.mesh_ref()
+    if old_mesh is not mesh and (
+        old_mesh is None or old_mesh.domain_size != mesh.domain_size
+    ):
+        return None
+    if delta is None:
+        delta = RegridDelta.between(
+            frozenset(plan.node_keys),
+            frozenset(plan.leaf_keys),
+            frozenset(mesh.nodes),
+            frozenset(mesh.leaf_keys()),
+        )
+    if delta.changed_fraction > cold_fraction:
+        return None
+    drop = pack_keys(delta.drop_set)
+    drop.sort()
+
+    def retained(rows: np.ndarray) -> np.ndarray:
+        if rows.size == 0 or drop.size == 0:
+            return rows
+        keep = ~(np.isin(rows[:, 0], drop) | np.isin(rows[:, 1], drop))
+        return rows[keep]
+
+    far_add, near_add, p2p_add = traverse_pruned(mesh, theta, delta.emit_set)
+
+    def merged(kept: np.ndarray, added) -> np.ndarray:
+        add_rows = _normalize_pairs(added)
+        if add_rows.size == 0:
+            return kept
+        return _canonical_pairs(np.concatenate([kept, add_rows]))
+
+    state = PairState(
+        far=merged(retained(plan.pair_state.far), far_add),
+        near=merged(retained(plan.pair_state.near), near_add),
+        p2p=merged(retained(plan.pair_state.p2p), p2p_add),
+    )
+    return _assemble_plan(mesh, theta, state, template_budget_bytes, reuse=plan)

@@ -28,7 +28,7 @@ re-walking the mesh with a second primitives pass.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -46,16 +46,25 @@ from repro.hydro.solver import dudt_subgrid
 from repro.hydro.sources import gravity_source, rotating_frame_source
 from repro.hydro.timestep import global_timestep, max_signal_subgrid
 from repro.octree.fields import Field
-from repro.octree.ghost import fill_all_ghosts
+from repro.octree.ghost import FaceTraceCache, fill_all_ghosts
 from repro.octree.mesh import AmrMesh
 from repro.octree.node import NodeKey, OctreeNode
 from repro.profiling.apex import CounterRegistry, global_registry
+
+if TYPE_CHECKING:
+    from repro.core.plancache import PlanCache
+    from repro.octree.regrid import RegridDelta
 
 #: Signature of a gravity callback: mesh -> {leaf key: (3, N, N, N) accel}.
 GravityCallback = Callable[[AmrMesh], Dict[NodeKey, np.ndarray]]
 
 # Convex-combination coefficients (a0, a1): U_new = a0 U0 + a1 (U + dt L(U)).
 _RK3_STAGES = ((0.0, 1.0), (0.75, 0.25), (1.0 / 3.0, 2.0 / 3.0))
+
+#: Sentinel for :attr:`HydroIntegrator._trace_fp`: a regrid was announced
+#: via :meth:`HydroIntegrator.notify_regrid` and the surviving face traces
+#: are valid for the (not yet fingerprinted) post-delta topology.
+_TRACES_PENDING = object()
 
 
 class HydroIntegrator:
@@ -88,6 +97,7 @@ class HydroIntegrator:
         verify_plans: bool = True,
         detect_races: bool = False,
         array_backend: Optional[str] = None,
+        plan_cache: Optional["PlanCache"] = None,
     ) -> None:
         if backend not in ("serial", "process"):
             raise ValueError(
@@ -139,6 +149,21 @@ class HydroIntegrator:
         self.last_dt = 0.0
         self.faces_refluxed = 0
         self._plan: Optional[HydroPlan] = None
+        #: Per-face ghost trace cache reused across plan rebuilds; a regrid
+        #: invalidates exactly the touched faces (:meth:`notify_regrid`).
+        self._trace_cache = FaceTraceCache()
+        #: Fingerprint the surviving traces are valid for — either a mesh
+        #: fingerprint (cache matches that exact topology) or
+        #: :data:`_TRACES_PENDING` right after an announced regrid (the
+        #: surviving traces are valid for the regridded mesh, whose
+        #: fingerprint the next build will record).  Anything else means
+        #: the topology moved without a :meth:`notify_regrid` and the
+        #: traces must be dropped, preserving the pre-delta safety net.
+        self._trace_fp: Optional[str] = None
+        #: Optional persistent content-addressed plan store
+        #: (:class:`repro.core.plancache.PlanCache`): ghost index-plan
+        #: arrays are looked up by mesh fingerprint before re-tracing.
+        self.plan_cache = plan_cache
         #: (topology_version, steps_taken, {leaf key: peak signal}) from the
         #: end of the last step — valid until the mesh or the state moves on.
         self._signal_cache: Optional[Tuple[int, int, Dict[NodeKey, float]]] = None
@@ -146,16 +171,91 @@ class HydroIntegrator:
     # -- plan cache -----------------------------------------------------------
     def plan_for(self, mesh: Optional[AmrMesh] = None) -> HydroPlan:
         """The cached batched plan, rebuilt only when the mesh topology
-        (``mesh.topology_version``) changed or leaf storage was rebound."""
+        (by content :meth:`~repro.octree.mesh.AmrMesh.fingerprint`) changed
+        or leaf storage was rebound.
+
+        This is the sanctioned cache-miss hook (reprolint R010).  On a miss
+        it tries, in order, (1) an incremental rebuild reusing the previous
+        plan's surviving ghost face traces and cell-centre rows, (2) the
+        persistent plan cache (ghost index arrays keyed on the
+        fingerprint), (3) the cold trace.  All paths build bit-identical
+        plans; the ``plan.hydro.{delta,cache_hit,cold}`` timers record
+        which one ran.
+        """
         mesh = mesh if mesh is not None else self.mesh
-        if self._plan is None or not self._plan.matches(mesh):
-            self._plan = build_hydro_plan(mesh)
-            self._registry().increment("hydro.plan_builds")
+        if self._plan is not None and self._plan.matches(mesh):
+            return self._plan
+        reg = self._registry()
+        fingerprint = mesh.fingerprint()
+        params = {"n": mesh.n, "ghost": mesh.ghost}
+        same_mesh = self._plan is not None and self._plan.mesh_ref() is mesh
+        # The surviving traces are trustworthy only for the topology they
+        # were recorded against — either this exact fingerprint, or (after
+        # an announced regrid of the same mesh object) the post-delta state.
+        traces_ok = len(self._trace_cache) > 0 and (
+            self._trace_fp == fingerprint
+            or (self._trace_fp is _TRACES_PENDING and same_mesh)
+        )
+        if not traces_ok:
+            self._trace_cache.clear()
+        plan = None
+        if self._plan is not None and traces_ok:
+            with reg.timer("plan.hydro.delta"):
+                plan = build_hydro_plan(
+                    mesh, trace_cache=self._trace_cache, reuse=self._plan
+                )
+            reg.increment("plan.hydro.delta_builds")
+            # Delta builds are bit-identical to cold ones, so they are
+            # just as good a cache seed: store them too, or topologies
+            # only ever visited incrementally would miss on every rerun.
+            if self.plan_cache is not None and not self.plan_cache.contains(
+                "hydro", plan.fingerprint, params
+            ):
+                self.plan_cache.store(
+                    "hydro", plan.fingerprint, params, plan.ghosts.to_payload()
+                )
+        if plan is None and self.plan_cache is not None:
+            payload = self.plan_cache.load("hydro", fingerprint, params)
+            if payload is not None:
+                with reg.timer("plan.hydro.cache_hit"):
+                    plan = build_hydro_plan(
+                        mesh, ghost_payload=payload, reuse=self._plan
+                    )
+                reg.increment("plan.hydro.cache_hit_builds")
+                self._trace_fp = None  # cache hits do not populate traces
+        if plan is None:
+            with reg.timer("plan.hydro.cold"):
+                plan = build_hydro_plan(mesh, trace_cache=self._trace_cache, reuse=self._plan)  # reprolint: sanctioned-cold-build
+            reg.increment("plan.hydro.cold_builds")
+            if self.plan_cache is not None:
+                self.plan_cache.store(
+                    "hydro", plan.fingerprint, params, plan.ghosts.to_payload()
+                )
+        # Trace-populating builds (cold / delta) leave a cache valid for
+        # exactly this topology; a persistent-cache hit leaves it empty.
+        self._trace_fp = plan.fingerprint if len(self._trace_cache) else None
+        self._plan = plan
+        reg.increment("hydro.plan_builds")
         return self._plan
 
     def invalidate_plan(self) -> None:
         """Drop the cached plan (the next batched step rebuilds it)."""
         self._plan = None
+
+    def notify_regrid(self, delta) -> None:
+        """Tell the integrator a regrid happened.
+
+        Invalidates exactly the ghost face traces the
+        :class:`~repro.octree.regrid.RegridDelta` touched; the next
+        :meth:`plan_for` then rebuilds incrementally from the surviving
+        traces instead of re-tracing the whole mesh.  The executor's
+        in-place replan (process backend) keys off the same delta.
+        """
+        if delta is not None:
+            self._trace_cache.invalidate(delta)
+            self._trace_fp = _TRACES_PENDING
+        if self._executor is not None:
+            self._executor.notify_regrid(delta)
 
     def _registry(self) -> CounterRegistry:
         return self.registry if self.registry is not None else global_registry()

@@ -49,7 +49,7 @@ from repro.hydro.eos import IdealGasEOS
 from repro.hydro.riemann import PRIM_KEYS
 from repro.hydro.solver import primitives_from_conserved
 from repro.octree.fields import Field, NFIELDS
-from repro.octree.ghost import GhostIndexPlan, ghost_index_plan
+from repro.octree.ghost import FaceTraceCache, GhostIndexPlan, ghost_index_plan
 from repro.octree.mesh import AmrMesh
 from repro.octree.node import NodeKey
 
@@ -121,9 +121,19 @@ class HydroPlan:
     ``(NFIELDS, M, M, M)`` array for every per-leaf consumer.
     """
 
-    def __init__(self, mesh: AmrMesh) -> None:
+    def __init__(
+        self,
+        mesh: AmrMesh,
+        trace_cache: Optional[FaceTraceCache] = None,
+        reuse: Optional["HydroPlan"] = None,
+        ghost_payload: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
         self.mesh_ref = weakref.ref(mesh)
         self.topology_version = mesh.topology_version
+        #: Content hash of the topology this plan was built for; the
+        #: validity key :meth:`matches` compares (see
+        #: ``docs/plan_lifecycle.md``).
+        self.fingerprint = mesh.fingerprint()
         self.n = mesh.n
         self.ghost_width = mesh.ghost
         m = self.n + 2 * self.ghost_width
@@ -145,6 +155,18 @@ class HydroPlan:
             leaf.subgrid.data = view
             self.views.append(view)
 
+        # Cell centres are pure functions of the key: rebuilds reuse the
+        # previous plan's rows for surviving leaves (exact, not approximate).
+        reuse_xy: Dict[NodeKey, Tuple[np.ndarray, np.ndarray]] = {}
+        if reuse is not None and reuse.n == self.n:
+            old_mesh = reuse.mesh_ref()
+            if old_mesh is mesh or (
+                old_mesh is not None and old_mesh.domain_size == mesh.domain_size
+            ):
+                for block in reuse.blocks:
+                    for j, key in enumerate(block.keys):
+                        reuse_xy[key] = (block.x[j], block.y[j])
+
         # Leaves sort level-major under (level, morton), so each level is one
         # contiguous arena run and stacks into a (B, NFIELDS, M, M, M) view.
         self.blocks: List[LevelBlock] = []
@@ -161,9 +183,13 @@ class HydroPlan:
             x = np.empty((len(batch), self.n, self.n, self.n))
             y = np.empty_like(x)
             for j, leaf in enumerate(batch):
-                cx, cy, _ = leaf.cell_centers()
-                x[j] = cx
-                y[j] = cy
+                cached = reuse_xy.get(leaf.key) if reuse_xy else None
+                if cached is not None:
+                    x[j], y[j] = cached
+                else:
+                    cx, cy, _ = leaf.cell_centers()
+                    x[j] = cx
+                    y[j] = cy
             self.blocks.append(
                 LevelBlock(
                     level=level,
@@ -176,7 +202,14 @@ class HydroPlan:
             )
             start = stop
 
-        self.ghosts: GhostIndexPlan = ghost_index_plan(mesh, offsets)
+        if ghost_payload is not None:
+            # Cache hit: the ghost index plan is a pure function of topology
+            # and the canonical sorted-leaf arena layout above, so the
+            # fingerprint-keyed payload reconstructs it bit for bit without
+            # re-tracing a single face.
+            self.ghosts: GhostIndexPlan = GhostIndexPlan.from_payload(ghost_payload)
+        else:
+            self.ghosts = ghost_index_plan(mesh, offsets, trace_cache=trace_cache)
         self.scratch = ScratchArena()
 
     @property
@@ -186,13 +219,15 @@ class HydroPlan:
     def matches(self, mesh: AmrMesh) -> bool:
         """Whether this plan is still valid for ``mesh``.
 
-        Topology version covers regrids; the view-identity check covers
-        anything else that rebinds leaf storage away from this plan's arena
-        (another plan adopting the mesh, a checkpoint restore, ...).
+        The content fingerprint covers regrids (including a regrid that
+        lands back on a previously-seen topology, which revalidates); the
+        view-identity check covers anything else that rebinds leaf storage
+        away from this plan's arena (another plan adopting the mesh, a
+        checkpoint restore, ...).
         """
         if self.mesh_ref() is not mesh:
             return False
-        if self.topology_version != mesh.topology_version:
+        if self.fingerprint != mesh.fingerprint():
             return False
         nodes = mesh.nodes
         return all(
@@ -205,9 +240,24 @@ class HydroPlan:
         return self.arena.nbytes + self.scratch.nbytes()
 
 
-def build_hydro_plan(mesh: AmrMesh) -> HydroPlan:
-    """Build the batched execution plan for ``mesh`` (adopts leaf storage)."""
-    return HydroPlan(mesh)
+def build_hydro_plan(
+    mesh: AmrMesh,
+    trace_cache: Optional[FaceTraceCache] = None,
+    reuse: Optional[HydroPlan] = None,
+    ghost_payload: Optional[Dict[str, np.ndarray]] = None,
+) -> HydroPlan:
+    """Build the batched execution plan for ``mesh`` (adopts leaf storage).
+
+    ``trace_cache`` reuses per-face ghost traces a regrid left intact;
+    ``reuse`` donates recomputable per-leaf state (cell-centre rows) from
+    the previous plan; ``ghost_payload`` (a persistent-cache hit, see
+    :mod:`repro.core.plancache`) skips the ghost trace entirely.  All three
+    change build time only — the plan arrays are a pure function of
+    topology either way.
+    """
+    return HydroPlan(
+        mesh, trace_cache=trace_cache, reuse=reuse, ghost_payload=ghost_payload
+    )
 
 
 def _timer(registry, name: str):

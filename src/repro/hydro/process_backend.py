@@ -41,6 +41,8 @@ owned by the parent's lifecycle guard, so a crashed step never leaks
 
 from __future__ import annotations
 
+import math
+from contextlib import nullcontext
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -71,8 +73,9 @@ from repro.hydro.plan import (
     stacked_source_kernel,
     stacked_update_kernel,
 )
-from repro.hydro.reflux import apply_flux_corrections
+from repro.hydro.reflux import apply_flux_table, build_reflux_table
 from repro.octree.fields import NFIELDS
+from repro.octree.ghost import FaceTraceCache
 from repro.octree.mesh import AmrMesh
 from repro.octree.node import NodeKey
 from repro.octree.partition import sfc_partition
@@ -80,6 +83,16 @@ from repro.profiling.apex import CounterRegistry
 
 #: Convex-combination coefficients, shared with the serial integrator.
 from repro.hydro.integrator import _RK3_STAGES  # noqa: E402  (cycle-free)
+
+#: Shm arenas are allocated for this many times the current leaf count, so
+#: a growing regrid usually fits the existing segments and can be patched
+#: in place (:meth:`ProcessHydroExecutor._replan_in_place`) instead of
+#: re-forking the pool.
+ARENA_HEADROOM = 1.5
+
+#: Sentinel: a regrid was announced via ``notify_regrid`` and the surviving
+#: ghost face traces are valid for the (not yet fingerprinted) new topology.
+_TRACES_PENDING = object()
 
 
 class _WorkerState:
@@ -94,35 +107,39 @@ class _WorkerState:
         self.rank = rank
         self.registry = registry
         self.ex = executor
-        m = executor.m
-        n = executor.n
-        self.interior = slice(executor.ghost, executor.ghost + n)
-        stacked = executor.arena_view.reshape(-1, NFIELDS, m, m, m)
+        self.interior = slice(executor.ghost, executor.ghost + executor.n)
+        #: BSP epoch: one per dispatched command, advanced identically on
+        #: every rank (rounds broadcast the same command sequence).
+        self.epoch = 0
+        self.events = None
+        self._bind()
+        if executor.event_log is not None:
+            self.events = executor.event_log.writer(rank)
+            self._build_event_rows(len(executor.leaf_keys))
+
+    def _bind(self) -> None:
+        """(Re)derive every topology-dependent view from the executor's
+        current plan state — at fork time from the inherited state, and
+        again after each :meth:`replan` patches that state in place."""
+        ex = self.ex
+        m = ex.m
+        rank = self.rank
+        stacked = ex.arena_view.reshape(-1, NFIELDS, m, m, m)
         #: Maximal contiguous same-level slot runs owned by this rank.
-        self.runs: List[Tuple[int, int, float]] = executor.runs[rank]
+        self.runs: List[Tuple[int, int, float]] = ex.runs[rank]
         self.u = [stacked[lo:hi] for lo, hi, _ in self.runs]
         self.u_int = [u[:, :, self.interior, self.interior, self.interior]
                       for u in self.u]
         self.u0 = [np.empty_like(ui) for ui in self.u_int]
         self.dudt = [np.empty_like(ui) for ui in self.u_int]
         self.scratch = ScratchArena()
-        #: Per-run interior cell-centre coordinates (rotating frame).
-        self.x: List[np.ndarray] = []
-        self.y: List[np.ndarray] = []
-        mesh = executor.mesh
-        keys = executor.leaf_keys
-        for lo, hi, _ in self.runs:
-            bx = np.empty((hi - lo, n, n, n))
-            by = np.empty_like(bx)
-            for j, key in enumerate(keys[lo:hi]):
-                cx, cy, _ = mesh.nodes[key].cell_centers()
-                bx[j] = cx
-                by[j] = cy
-            self.x.append(bx)
-            self.y.append(by)
+        #: Per-run interior cell-centre coordinates (rotating frame),
+        #: precomputed by the parent (pure functions of the leaf keys).
+        self.x = [bx for bx, _ in ex.run_xy[rank]]
+        self.y = [by for _, by in ex.run_xy[rank]]
         #: Bundles this rank applies (wire=shm: all with dst == rank;
         #: wire=pipe: the local ones — remote payloads arrive by pipe).
-        plan = executor.bundle_plan
+        plan = ex.bundle_plan
         self.dst_pairs = sorted(
             pair for pair in plan.bundles if pair[1] == rank
         )
@@ -130,20 +147,50 @@ class _WorkerState:
             pair for pair in plan.bundles
             if pair[0] == rank and pair[0] != pair[1]
         )
-        self.accel_view = executor.accel_view
-        self.flux_view = executor.flux_view
+        self.accel_view = ex.accel_view
+        self.flux_view = ex.flux_view
         #: Owned leaves for the reflux pass: key -> dudt interior view.
+        keys = ex.leaf_keys
         self.owned_rhs: Dict[NodeKey, np.ndarray] = {}
         for run_index, (lo, hi, _) in enumerate(self.runs):
             for j, key in enumerate(keys[lo:hi]):
                 self.owned_rhs[key] = self.dudt[run_index][j]
-        #: BSP epoch: one per dispatched command, advanced identically on
-        #: every rank (rounds broadcast the same command sequence).
-        self.epoch = 0
-        self.events = None
-        if executor.event_log is not None:
-            self.events = executor.event_log.writer(rank)
-            self._build_event_rows(len(executor.leaf_keys))
+
+    def replan(self, payload: Dict[str, Any]) -> None:
+        """Patch this worker's executor state for a regridded topology.
+
+        The parent's replan broadcast carries everything the child cannot
+        derive itself (its forked mesh copy is stale the moment the parent
+        regrids): the new arena layout, partitions, ghost bundles, cell
+        centres and the mesh-free reflux table.  Rebinding happens inside
+        the barrier, so no stale index array survives into the next round
+        — the same guarantee a re-fork gave, without the fork.
+        """
+        ex = self.ex
+        n, m = ex.n, ex.m
+        chunk = NFIELDS * m**3
+        ex.leaf_keys = payload["leaf_keys"]
+        ex.slot = {k: i for i, k in enumerate(ex.leaf_keys)}
+        n_slots = len(ex.leaf_keys)
+        ex.arena_view = ex.arena.ndarray((n_slots * chunk,))
+        ex.accel_view = ex.accel_arena.ndarray((n_slots, 3, n, n, n))
+        ex.flux_view = ex.flux_arena.ndarray(
+            (n_slots, 3, 2, NFIELDS, n, n)
+        )
+        ex.runs = payload["runs"]
+        ex.run_xy = [[] for _ in range(ex.nprocs)]
+        ex.run_xy[self.rank] = payload["run_xy"]
+        ex.reflux_table = payload["reflux_table"]
+        plan = ex.bundle_plan
+        plan.bundles = payload["bundles"]
+        plan.fingerprint = payload["fingerprint"]
+        # Membership maps are parent-side concerns; drop the stale copies
+        # so nothing can read them by accident.
+        plan.cover = {}
+        plan.donor_of = {}
+        self._bind()
+        if self.events is not None:
+            self._build_event_rows(n_slots)
 
     def _build_event_rows(self, n_slots: int) -> None:
         """Precompute per-phase shm access descriptors from the *live*
@@ -283,21 +330,19 @@ class _WorkerState:
     def reflux(self) -> int:
         """Flux corrections for owned leaves, reading all leaves' faces.
 
-        ``apply_flux_corrections`` skips leaves absent from the rhs map,
-        so each worker passes only its owned dudt views while the full shm
-        flux arena supplies every child face — corrections to a coarse
-        leaf are applied exactly once, by its owner.
+        Replays the parent-built mesh-free reflux table
+        (:func:`repro.hydro.reflux.build_reflux_table`): rows for unowned
+        leaves are skipped, so each coarse face is corrected exactly once
+        — by its owner — while the full shm flux arena supplies every
+        child face.  The table, not the forked mesh copy, is the source
+        of truth: it stays correct across in-place replans where the
+        child mesh goes stale.
         """
-        flux_all = {
-            key: {
-                (axis, side): self.flux_view[slot, axis, side]
-                for axis in range(3)
-                for side in (0, 1)
-            }
-            for slot, key in enumerate(self.ex.leaf_keys)
-        }
         with self.registry.timer("hydro.update"):
-            return apply_flux_corrections(self.ex.mesh, self.owned_rhs, flux_all)
+            return apply_flux_table(
+                self.ex.reflux_table, self.owned_rhs, self.flux_view,
+                self.ex.n,
+            )
 
     def update(self, a0: float, a1: float, dt: float) -> None:
         with self.registry.timer("hydro.update"):
@@ -343,6 +388,8 @@ class _WorkerState:
             return self.update(command[1], command[2], command[3])
         if op == "finish":
             return self.finish()
+        if op == "replan":
+            return self.replan(command[1])
         raise ValueError(f"unknown command {op!r}")
 
 
@@ -360,11 +407,13 @@ def _make_handler(executor: "ProcessHydroExecutor"):
 class ProcessHydroExecutor:
     """Owns the shm arenas and the worker pool for process-parallel steps.
 
-    Build once and call :meth:`step` repeatedly; :meth:`ensure` rebuilds
-    the arenas and **re-forks the workers** whenever the mesh topology
-    moved or leaf storage was rebound — re-forking *is* the plan
-    invalidation broadcast: the new children inherit the new plan, so no
-    stale index array can survive a regrid.
+    Build once and call :meth:`step` repeatedly; :meth:`ensure` revalidates
+    arenas, plans and workers whenever the mesh topology moved or leaf
+    storage was rebound.  A regrid that fits the allocated arena headroom
+    is patched **in place** and broadcast to the live workers — no
+    re-fork; an overflow (or first build) takes the cold path, where
+    re-forking is the plan invalidation broadcast of last resort: new
+    children inherit the new plan, so no stale index array can survive.
     """
 
     def __init__(
@@ -418,8 +467,22 @@ class ProcessHydroExecutor:
         self.leaf_keys: List[NodeKey] = []
         self.slot: Dict[NodeKey, int] = {}
         self.runs: List[List[Tuple[int, int, float]]] = []
+        #: Per-rank, per-run interior cell-centre stacks (parent-computed;
+        #: the workers' forked mesh copy cannot be trusted after a replan).
+        self.run_xy: List[List[Tuple[np.ndarray, np.ndarray]]] = []
+        #: Mesh-free coarse-fine flux correction table (same story).
+        self.reflux_table: list = []
         self._views: List[np.ndarray] = []
-        self._topology_version = -1
+        #: Topology content hash the current arenas/plans/workers serve
+        #: (:meth:`repro.octree.mesh.AmrMesh.fingerprint`).
+        self._fingerprint = ""
+        #: Arena capacity in leaf slots (current count x ARENA_HEADROOM at
+        #: allocation time); regrids that fit are patched in place.
+        self.capacity_slots = 0
+        #: Ghost face traces reused across bundle plan rebuilds, plus the
+        #: fingerprint they are valid for (mirrors HydroIntegrator).
+        self._trace_cache = FaceTraceCache()
+        self._trace_fp: Any = None
         self.faces_refluxed = 0
         #: Wire-format accounting (pipe mode): payload messages and bytes
         #: relayed last step.
@@ -429,7 +492,7 @@ class ProcessHydroExecutor:
     # -- lifecycle ------------------------------------------------------------
     def matches(self) -> bool:
         """Whether the current arenas/workers are valid for the mesh."""
-        if self._topology_version != self.mesh.topology_version:
+        if self._fingerprint != self.mesh.fingerprint():
             return False
         if not self.engine.started:
             return False
@@ -439,31 +502,53 @@ class ProcessHydroExecutor:
             for key, view in zip(self.leaf_keys, self._views)
         )
 
-    def ensure(self) -> None:
-        """(Re)build arenas, bundle plan and worker pool for the mesh."""
-        if self.matches():
-            return
-        self.close()
+    def _timer(self, name: str):  # noqa: ANN202
+        return (
+            self.registry.timer(name) if self.registry is not None
+            else nullcontext()
+        )
+
+    def _count(self, name: str) -> None:
+        if self.registry is not None:
+            self.registry.increment(name)
+
+    def notify_regrid(self, delta) -> None:  # noqa: ANN001 - RegridDelta
+        """Announce a regrid's exact topology delta.
+
+        Invalidates only the ghost face traces the delta touched; the next
+        :meth:`ensure` then rebuilds the bundle plan incrementally from the
+        survivors.  Unannounced topology changes drop the whole trace
+        cache instead (the pre-delta safety net)."""
+        if delta is not None:
+            self._trace_cache.invalidate(delta)
+            self._trace_fp = _TRACES_PENDING
+
+    def _build_plan_state(self):  # noqa: ANN202
+        """Everything that is a pure function of the current mesh topology:
+        SFC partition, sorted-leaf arena layout, ghost bundle plan (trace
+        cache reused where a regrid left faces intact), slot runs, cell
+        centres and the mesh-free reflux table.  Shared by the cold build
+        and the in-place replan — both paths produce identical plans.
+        """
         mesh = self.mesh
         sfc_partition(mesh, self.nprocs)
         leaves = sorted(mesh.leaves(), key=lambda nd: nd.key)
         self.leaf_keys = [leaf.key for leaf in leaves]
         self.slot = {k: i for i, k in enumerate(self.leaf_keys)}
-        n, m = self.n, self.m
-        chunk = NFIELDS * m**3
+        n = self.n
+        chunk = NFIELDS * self.m**3
+        offsets = {leaf.key: i * chunk for i, leaf in enumerate(leaves)}
 
-        self.arena = ShmArena(len(leaves) * chunk * 8)
-        self.arena_view = self.arena.ndarray((len(leaves) * chunk,))
-        _, offsets = adopt_arena(mesh, out=self.arena_view)
-        self._views = [mesh.nodes[k].subgrid.data for k in self.leaf_keys]
-        self.bundle_plan = build_bundle_plan(mesh, offsets)
-
-        self.accel_arena = ShmArena(len(leaves) * 3 * n**3 * 8)
-        self.accel_view = self.accel_arena.ndarray((len(leaves), 3, n, n, n))
-        self.flux_arena = ShmArena(len(leaves) * 6 * NFIELDS * n**2 * 8)
-        self.flux_view = self.flux_arena.ndarray(
-            (len(leaves), 3, 2, NFIELDS, n, n)
+        fingerprint = mesh.fingerprint()
+        if not (
+            self._trace_fp == fingerprint
+            or self._trace_fp is _TRACES_PENDING
+        ):
+            self._trace_cache.clear()
+        self.bundle_plan = build_bundle_plan(
+            mesh, offsets, trace_cache=self._trace_cache
         )
+        self._trace_fp = fingerprint
 
         # Contiguous same-level slot runs per rank: the unit of stacked
         # kernel execution inside each worker.
@@ -482,6 +567,69 @@ class ProcessHydroExecutor:
             self.runs[rank].append((start, stop, leaves[start].dx))
             start = stop
 
+        self.run_xy = [[] for _ in range(self.nprocs)]
+        for rank, rank_runs in enumerate(self.runs):
+            for lo, hi, _ in rank_runs:
+                bx = np.empty((hi - lo, n, n, n))
+                by = np.empty_like(bx)
+                for j, key in enumerate(self.leaf_keys[lo:hi]):
+                    cx, cy, _ = mesh.nodes[key].cell_centers()
+                    bx[j] = cx
+                    by[j] = cy
+                self.run_xy[rank].append((bx, by))
+
+        self.reflux_table = build_reflux_table(mesh, self.slot)
+        return leaves
+
+    def _can_replan(self) -> bool:
+        """Whether the regridded mesh fits the live arenas and pool.
+
+        The rank count is fixed for an executor's lifetime, so only an
+        arena overflow (leaf count beyond the allocated headroom) forces
+        the re-fork cold path.
+        """
+        if not self.engine.started or self.arena is None:
+            return False
+        return sum(1 for _ in self.mesh.leaves()) <= self.capacity_slots
+
+    def ensure(self) -> None:
+        """(Re)validate arenas, plans and the worker pool for the mesh.
+
+        Three tiers: a fingerprint match is free; a changed topology that
+        fits the allocated arenas is patched in place and broadcast to the
+        live workers (:meth:`_replan_in_place`); anything else — first
+        build, arena overflow, rebound storage after a :meth:`close` —
+        takes the cold path: rebuild everything and re-fork, which is the
+        plan invalidation broadcast of last resort (new children inherit
+        the new plan, so no stale index array can survive).
+        """
+        if self.matches():
+            return
+        if self._can_replan():
+            self._replan_in_place()
+            return
+        self.close()
+        mesh = self.mesh
+        n, m = self.n, self.m
+        chunk = NFIELDS * m**3
+        with self._timer("plan.bundle.cold"):
+            leaves = self._build_plan_state()
+        self._count("plan.bundle.cold_builds")
+
+        cap = max(len(leaves), int(math.ceil(len(leaves) * ARENA_HEADROOM)))
+        self.capacity_slots = cap
+        self.arena = ShmArena(cap * chunk * 8)
+        self.arena_view = self.arena.ndarray((len(leaves) * chunk,))
+        adopt_arena(mesh, out=self.arena_view)
+        self._views = [mesh.nodes[k].subgrid.data for k in self.leaf_keys]
+
+        self.accel_arena = ShmArena(cap * 3 * n**3 * 8)
+        self.accel_view = self.accel_arena.ndarray((len(leaves), 3, n, n, n))
+        self.flux_arena = ShmArena(cap * 6 * NFIELDS * n**2 * 8)
+        self.flux_view = self.flux_arena.ndarray(
+            (len(leaves), 3, 2, NFIELDS, n, n)
+        )
+
         if self.bundle_plan_hook is not None:
             self.bundle_plan_hook(self.bundle_plan)
         if self.verify_plans:
@@ -495,7 +643,67 @@ class ProcessHydroExecutor:
         if self.race_detector is not None:
             self.engine.round_observer = self.race_detector.scan
         self.engine.start(_make_handler(self))
-        self._topology_version = mesh.topology_version
+        self._fingerprint = mesh.fingerprint()
+
+    def _replan_in_place(self) -> None:
+        """Patch arenas, partitions and plans for the regridded mesh and
+        broadcast the new state to the live workers — no re-fork.
+
+        The per-rank replan payload (new arena layout, slot runs, filtered
+        ghost bundles, cell centres, reflux table) *is* the invalidation
+        message: every worker rebinds its views inside the barrier, so the
+        round after this one runs entirely on the new topology.
+        """
+        mesh = self.mesh
+        n, m = self.n, self.m
+        chunk = NFIELDS * m**3
+        # Detach surviving leaves from the arena first: the new layout
+        # overlaps the old one in the same shm pages, so adoption must not
+        # read storage it is about to overwrite.
+        nodes = mesh.nodes
+        for key, view in zip(self.leaf_keys, self._views):
+            node = nodes.get(key)
+            if node is not None and node.subgrid.data is view:
+                node.subgrid.data = view.copy()
+
+        with self._timer("plan.bundle.delta"):
+            leaves = self._build_plan_state()
+        self._count("plan.bundle.delta_builds")
+
+        self.arena_view = self.arena.ndarray((len(leaves) * chunk,))
+        adopt_arena(mesh, out=self.arena_view)
+        self._views = [nodes[k].subgrid.data for k in self.leaf_keys]
+        self.accel_view = self.accel_arena.ndarray((len(leaves), 3, n, n, n))
+        self.flux_view = self.flux_arena.ndarray(
+            (len(leaves), 3, 2, NFIELDS, n, n)
+        )
+
+        if self.bundle_plan_hook is not None:
+            self.bundle_plan_hook(self.bundle_plan)
+        if self.verify_plans:
+            require_verified(verify_process_plan(self))
+
+        plan = self.bundle_plan
+        common = {
+            "leaf_keys": self.leaf_keys,
+            "runs": self.runs,
+            "reflux_table": self.reflux_table,
+            "fingerprint": plan.fingerprint,
+        }
+        for rank in range(self.nprocs):
+            bundles = {
+                pair: b for pair, b in plan.bundles.items()
+                if pair[1] == rank or pair[0] == rank
+            }
+            payload = dict(
+                common, run_xy=self.run_xy[rank], bundles=bundles
+            )
+            self.engine.send(rank, ("replan", payload))
+        self.engine.gather()
+        self.engine.rounds += 1
+        if self.engine.round_observer is not None:
+            self.engine.round_observer()
+        self._fingerprint = mesh.fingerprint()
 
     def close(self) -> None:
         """Stop the workers and release every shm segment.
@@ -522,7 +730,8 @@ class ProcessHydroExecutor:
         self.race_detector = None
         self.arena = self.accel_arena = self.flux_arena = None
         self.arena_view = self.accel_view = self.flux_view = None
-        self._topology_version = -1
+        self._fingerprint = ""
+        self.capacity_slots = 0
 
     def __enter__(self) -> "ProcessHydroExecutor":
         return self

@@ -15,7 +15,7 @@ global dt, no time interpolation of the flux registers is needed.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -86,4 +86,86 @@ def apply_flux_corrections(
                 sign = -1.0 if side == 1 else 1.0
                 rhs[leaf.key][tuple(index)] += sign * delta / leaf.dx
                 corrected += 1
+    return corrected
+
+
+#: One coarse-fine face in slot terms: (coarse key, coarse slot, axis, side,
+#: coarse dx, ((b1, b2, child slot), ...)) — everything
+#: :func:`apply_flux_table` needs to reproduce one
+#: :func:`apply_flux_corrections` face without touching the mesh.
+FluxTableRow = Tuple[
+    NodeKey, int, int, int, float, Tuple[Tuple[int, int, int], ...]
+]
+
+
+def build_reflux_table(
+    mesh: AmrMesh, slot: Dict[NodeKey, int]
+) -> List[FluxTableRow]:
+    """Snapshot every coarse-fine face as slot indices into the flux arena.
+
+    The rows are emitted in exactly the ``mesh.leaves()`` / axis / side
+    order :func:`apply_flux_corrections` walks, so replaying them with
+    :func:`apply_flux_table` accumulates edge-overlapping corrections in
+    the same order — bit-identical dudt.  Built by the parent (which holds
+    the live mesh) and shipped to process-backend workers, whose forked
+    mesh copy goes stale after an in-place replan and can never again be
+    trusted for neighbor lookups.
+    """
+    table: List[FluxTableRow] = []
+    for leaf in mesh.leaves():
+        for axis in range(3):
+            t1, t2 = _transverse_axes(axis)
+            for side in (0, 1):
+                kind, children = mesh.face_neighbor(leaf, axis, side)
+                if kind != "fine":
+                    continue
+                quads = tuple(
+                    (
+                        (child.octant >> t1) & 1,
+                        (child.octant >> t2) & 1,
+                        slot[child.key],
+                    )
+                    for child in children
+                )
+                table.append(
+                    (leaf.key, slot[leaf.key], axis, side, leaf.dx, quads)
+                )
+    return table
+
+
+def apply_flux_table(
+    table: List[FluxTableRow],
+    rhs: Dict[NodeKey, np.ndarray],
+    flux_view: np.ndarray,
+    n: int,
+) -> int:
+    """Replay a :func:`build_reflux_table` snapshot over the flux arena.
+
+    ``rhs`` maps *owned* leaf keys to their (NFIELDS, N, N, N) dudt views
+    (rows for unowned leaves are skipped, so each face is corrected exactly
+    once — by its owner); ``flux_view`` is the whole-mesh
+    ``(slots, 3, 2, NFIELDS, n, n)`` boundary-flux arena.  Same arithmetic,
+    same order as :func:`apply_flux_corrections`: identical bits.
+    """
+    corrected = 0
+    half = n // 2
+    for key, lslot, axis, side, dx, quads in table:
+        target = rhs.get(key)
+        if target is None:
+            continue
+        coarse_flux = flux_view[lslot, axis, side]
+        fine_flux = np.empty_like(coarse_flux)
+        for b1, b2, cslot in quads:
+            block = _restrict_face(flux_view[cslot, axis, 1 - side])
+            fine_flux[
+                :,
+                b1 * half : (b1 + 1) * half,
+                b2 * half : (b2 + 1) * half,
+            ] = block
+        delta = fine_flux - coarse_flux
+        index = [slice(None)] * 4
+        index[axis + 1] = n - 1 if side == 1 else 0
+        sign = -1.0 if side == 1 else 1.0
+        target[tuple(index)] += sign * delta / dx
+        corrected += 1
     return corrected

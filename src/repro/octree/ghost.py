@@ -20,7 +20,7 @@ one description.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -316,6 +316,44 @@ class GhostIndexPlan:
             + self.fine_dst.size
         )
 
+    _FACE_KINDS = ("same", "coarse", "boundary", "fine")
+
+    def to_payload(self) -> Dict[str, np.ndarray]:
+        """Flat array payload for the persistent plan cache
+        (:mod:`repro.core.plancache`).  The arrays are absolute indices
+        into the canonical sorted-leaf arena layout, which is itself a
+        pure function of topology — so a payload keyed on the mesh
+        fingerprint reconstructs this plan bit for bit."""
+        return {
+            "same_src": self.same_src,
+            "same_dst": self.same_dst,
+            "coarse_src": self.coarse_src,
+            "coarse_dst": self.coarse_dst,
+            "boundary_src": self.boundary_src,
+            "boundary_dst": self.boundary_dst,
+            "fine_src": self.fine_src,
+            "fine_dst": self.fine_dst,
+            "face_counts": np.array(
+                [self.face_counts[k] for k in self._FACE_KINDS], dtype=np.int64
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, np.ndarray]) -> "GhostIndexPlan":
+        def idx(name: str) -> np.ndarray:
+            return np.asarray(payload[name]).astype(np.intp, copy=False)
+
+        counts = np.asarray(payload["face_counts"], dtype=np.int64)
+        return cls(
+            same=(idx("same_src"), idx("same_dst")),
+            coarse=(idx("coarse_src"), idx("coarse_dst")),
+            boundary=(idx("boundary_src"), idx("boundary_dst")),
+            fine=(idx("fine_src").reshape(8, -1), idx("fine_dst")),
+            face_counts={
+                k: int(c) for k, c in zip(cls._FACE_KINDS, counts)
+            },
+        )
+
     @declare_effects(reads=[(ANY, "U", "Host")], writes=[(ANY, "U.ghost", "Host")])
     def fill_ghosts_kernel(self, flat: np.ndarray) -> None:
         """Whole-mesh ghost exchange over the flat storage arena.
@@ -339,66 +377,200 @@ class GhostIndexPlan:
             flat[self.fine_dst] = self._fine_acc
 
 
-def _fine_index_rows(
-    leaf: _IndexNode, children: List[_IndexNode], axis: int, side: int
+def _child_fine_rows(
+    leaf: _IndexNode, child: _IndexNode, axis: int, side: int
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Eight source-index rows + destination indices for one fine-class face.
+    """One face child's restriction gather rows and destination indices.
 
-    Mirrors :func:`_fill_fine` exactly, except the 2x2x2 average is kept
-    symbolic: row ``t`` holds the indices of the ``t``-th
-    :data:`_RESTRICT_OFFSETS` term.
+    Mirrors :func:`_fill_fine` for a single child: row ``t`` holds the
+    arena indices of the ``t``-th :data:`_RESTRICT_OFFSETS` term, ``dst``
+    the ghost cells its average lands on.  Eight source rows of an output
+    cell always come from the same child, which is what lets a fine face
+    split across locality bundles.
     """
     sg = leaf.subgrid
     g, n = sg.ghost, sg.n
     half = n // 2
     t1, t2 = _transverse_axes(axis)
-    band_shape = tuple(g if a == axis else n for a in range(3))
-    out = np.empty((8, sg.data.shape[0]) + band_shape, dtype=np.intp)
-    for child in children:
-        csg = child.subgrid
-        cg = csg.ghost
-        donor = [None, None, None]
-        if side == 0:
-            donor[axis] = slice(cg + csg.n - 2 * g, cg + csg.n)
+    csg = child.subgrid
+    cg = csg.ghost
+    donor: List[Optional[slice]] = [None, None, None]
+    if side == 0:
+        donor[axis] = slice(cg + csg.n - 2 * g, cg + csg.n)
+    else:
+        donor[axis] = slice(cg, cg + 2 * g)
+    donor[t1] = csg.interior
+    donor[t2] = csg.interior
+    band = csg.data[(slice(None),) + tuple(donor)]
+    rows = np.stack([band[:, i::2, j::2, k::2] for i, j, k in _RESTRICT_OFFSETS])
+
+    b1 = (child.octant >> t1) & 1
+    b2 = (child.octant >> t2) & 1
+    dest: List[Optional[slice]] = [None, None, None]
+    dest[axis] = slice(0, g)
+    dest[t1] = slice(b1 * half, (b1 + 1) * half)
+    dest[t2] = slice(b2 * half, (b2 + 1) * half)
+    dst_band = sg.data[(slice(None),) + sg.ghost_slices(axis, side)]
+    dst = dst_band[(slice(None),) + tuple(dest)]
+    return rows.reshape(8, -1), dst.ravel()
+
+
+@dataclass(frozen=True)
+class FaceTrace:
+    """One face's fill, traced in **leaf-local** arena indices.
+
+    ``participants`` lists the dest leaf first, then the donor leaves in
+    fill order; the trace's index cubes place participant ``q`` at base
+    ``q * chunk``, so a local index decomposes as ``q, r = divmod(i,
+    chunk)`` and relocates to any arena layout as ``offsets[participants
+    [q]] + r``.  That makes a trace a pure function of the participant
+    *keys* (geometry enters only via coords parity and octants, which the
+    keys determine) — valid for reuse across plan rebuilds until a regrid
+    touches one of its participants.
+
+    ``copy_src/copy_dst`` serve the gather classes (same/coarse/boundary);
+    ``fine_parts`` holds per-child ``(child_key, rows (8, K), dst)`` so a
+    locality-straddling fine face can split across message bundles.
+    """
+
+    kind: str
+    participants: Tuple[NodeKey, ...]
+    copy_src: Optional[np.ndarray]
+    copy_dst: Optional[np.ndarray]
+    fine_parts: Tuple[Tuple[NodeKey, np.ndarray, np.ndarray], ...]
+    #: Memoised ``divmod(local, chunk)`` splits, keyed on the identity of
+    #: the trace-owned index array — the split never changes for a given
+    #: trace, but relocation reruns on every plan rebuild, so caching it
+    #: removes the divmod from the incremental-rebuild hot path.
+    _splits: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def relocate(self, local: np.ndarray, bases: np.ndarray, chunk: int) -> np.ndarray:
+        """Translate local trace indices into absolute arena indices."""
+        key = (id(local), chunk)
+        split = self._splits.get(key)
+        if split is None:
+            split = np.divmod(local, chunk)
+            self._splits[key] = split
+        q, r = split
+        return bases[q] + r
+
+
+def trace_face(
+    mesh: AmrMesh,
+    leaf: OctreeNode,
+    axis: int,
+    side: int,
+    nfields: int = NFIELDS,
+) -> FaceTrace:
+    """Trace one face's reference fill over leaf-local index cubes."""
+    n, g = mesh.n, mesh.ghost
+    m = n + 2 * g
+    chunk = nfields * m**3
+    kind, other = mesh.face_neighbor(leaf, axis, side)
+    donors = [] if kind == "boundary" else ([other] if kind != "fine" else list(other))
+
+    def proxy(node: OctreeNode, slot: int) -> _IndexNode:
+        cube = np.arange(slot * chunk, (slot + 1) * chunk, dtype=np.intp).reshape(
+            nfields, m, m, m
+        )
+        return _IndexNode(_IndexSubGrid(n, g, cube), node.coords, node.octant)
+
+    dest = proxy(leaf, 0)
+    donor_proxies = [proxy(d, i + 1) for i, d in enumerate(donors)]
+    participants = (leaf.key,) + tuple(d.key for d in donors)
+    sg = dest.subgrid
+    if kind == "fine":
+        parts = []
+        for donor, dp in zip(donors, donor_proxies):
+            rows, dst = _child_fine_rows(dest, dp, axis, side)
+            parts.append((donor.key, rows, dst))
+        return FaceTrace(kind, participants, None, None, tuple(parts))
+    band = (slice(None),) + sg.ghost_slices(axis, side)
+    dst = sg.data[band].ravel().copy()
+    if kind == "boundary":
+        _fill_boundary(dest, axis, side)
+    elif kind == "same":
+        _fill_same(dest, donor_proxies[0], axis, side)
+    else:
+        _fill_coarse(dest, donor_proxies[0], axis, side)
+    src = sg.data[band].ravel().copy()
+    return FaceTrace(kind, participants, src, dst, ())
+
+
+class FaceTraceCache:
+    """Per-face fill traces reused across plan rebuilds.
+
+    Keyed by ``(dest_key, axis, side)``.  A trace stays valid as long as no
+    participant was touched by a regrid: a face's donor set can only change
+    if the neighbouring topology changed, and every node involved in such a
+    change appears in the :class:`~repro.octree.regrid.RegridDelta`'s
+    drop/emit sets — so :meth:`invalidate` drops exactly the stale entries.
+    Shared by :func:`ghost_index_plan` and
+    :func:`repro.comms.bundle.build_bundle_plan`, which consume the same
+    traces grouped differently.
+    """
+
+    def __init__(self, nfields: int = NFIELDS) -> None:
+        self.nfields = nfields
+        self._traces: Dict[Tuple[NodeKey, int, int], FaceTrace] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def face(self, mesh: AmrMesh, leaf: OctreeNode, axis: int, side: int) -> FaceTrace:
+        key = (leaf.key, axis, side)
+        trace = self._traces.get(key)
+        if trace is None:
+            self.misses += 1
+            trace = trace_face(mesh, leaf, axis, side, self.nfields)
+            self._traces[key] = trace
         else:
-            donor[axis] = slice(cg, cg + 2 * g)
-        donor[t1] = csg.interior
-        donor[t2] = csg.interior
-        band = csg.data[(slice(None),) + tuple(donor)]
-        b1 = (child.octant >> t1) & 1
-        b2 = (child.octant >> t2) & 1
-        dest = [None, None, None]
-        dest[axis] = slice(0, g)
-        dest[t1] = slice(b1 * half, (b1 + 1) * half)
-        dest[t2] = slice(b2 * half, (b2 + 1) * half)
-        for t, (i, j, k) in enumerate(_RESTRICT_OFFSETS):
-            out[(t, slice(None)) + tuple(dest)] = band[:, i::2, j::2, k::2]
-    dst = sg.data[(slice(None),) + sg.ghost_slices(axis, side)]
-    return out.reshape(8, -1), dst.ravel()
+            self.hits += 1
+        return trace
+
+    def invalidate(self, delta) -> int:
+        """Drop traces with a participant in the regrid delta's changed
+        sets; returns how many entries were dropped."""
+        touched = delta.drop_set | delta.emit_set
+        if not touched:
+            return 0
+        stale = [
+            key
+            for key, trace in self._traces.items()
+            if any(p in touched for p in trace.participants)
+        ]
+        for key in stale:
+            del self._traces[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._traces.clear()
+
+    def __len__(self) -> int:
+        return len(self._traces)
 
 
 def ghost_index_plan(
-    mesh: AmrMesh, offsets: Dict[NodeKey, int], nfields: int = NFIELDS
+    mesh: AmrMesh,
+    offsets: Dict[NodeKey, int],
+    nfields: int = NFIELDS,
+    trace_cache: Optional[FaceTraceCache] = None,
 ) -> GhostIndexPlan:
     """Trace the reference fills into a :class:`GhostIndexPlan`.
 
     ``offsets`` maps each leaf key to the flat-arena offset of its
-    ``(nfields, M, M, M)`` chunk.  Each leaf gets a cube of its own arena
-    indices; running the reference fill functions over those cubes leaves
-    every traced ghost band holding the arena index of its source cell
-    (fills read interiors only, so cubes stay pristine where it matters).
+    ``(nfields, M, M, M)`` chunk.  Every face's fill is traced in
+    leaf-local indices (:func:`trace_face`) and relocated into the arena
+    layout; passing a :class:`FaceTraceCache` reuses the traces of faces a
+    regrid did not touch, which is the bulk of an incremental rebuild.
+    The walk is over **sorted** leaf keys, so the plan arrays are a pure
+    function of topology (not of mesh construction order).
     """
-    leaves = mesh.leaves()
+    leaves = sorted(mesh.leaves(), key=lambda nd: nd.key)
     n, g = mesh.n, mesh.ghost
     m = n + 2 * g
     chunk = nfields * m**3
-    proxies: Dict[NodeKey, _IndexNode] = {}
-    for leaf in leaves:
-        base = offsets[leaf.key]
-        cube = np.arange(base, base + chunk, dtype=np.intp).reshape(nfields, m, m, m)
-        proxies[leaf.key] = _IndexNode(
-            _IndexSubGrid(n, g, cube), leaf.coords, leaf.octant
-        )
 
     src: Dict[str, List[np.ndarray]] = {"same": [], "coarse": [], "boundary": []}
     dst: Dict[str, List[np.ndarray]] = {"same": [], "coarse": [], "boundary": []}
@@ -406,29 +578,24 @@ def ghost_index_plan(
     fine_dst: List[np.ndarray] = []
     face_counts = {"same": 0, "coarse": 0, "boundary": 0, "fine": 0}
     for leaf in leaves:
-        proxy = proxies[leaf.key]
-        sg = proxy.subgrid
+        dest_base = offsets[leaf.key]
         for axis in range(3):
             for side in (0, 1):
-                kind, other = mesh.face_neighbor(leaf, axis, side)
-                face_counts[kind] += 1
-                band = (slice(None),) + sg.ghost_slices(axis, side)
-                if kind == "fine":
-                    rows, band_dst = _fine_index_rows(
-                        proxy, [proxies[c.key] for c in other], axis, side
-                    )
-                    fine_src.append(rows)
-                    fine_dst.append(band_dst)
-                    continue
-                # The band is pristine until its own fill below runs.
-                dst[kind].append(sg.data[band].ravel().copy())
-                if kind == "boundary":
-                    _fill_boundary(proxy, axis, side)
-                elif kind == "same":
-                    _fill_same(proxy, proxies[other.key], axis, side)
+                if trace_cache is not None:
+                    trace = trace_cache.face(mesh, leaf, axis, side)
                 else:
-                    _fill_coarse(proxy, proxies[other.key], axis, side)
-                src[kind].append(sg.data[band].ravel().copy())
+                    trace = trace_face(mesh, leaf, axis, side, nfields)
+                face_counts[trace.kind] += 1
+                bases = np.array(
+                    [offsets[k] for k in trace.participants], dtype=np.intp
+                )
+                if trace.kind == "fine":
+                    for _child_key, rows, part_dst in trace.fine_parts:
+                        fine_src.append(trace.relocate(rows, bases, chunk))
+                        fine_dst.append(part_dst + dest_base)
+                    continue
+                src[trace.kind].append(trace.relocate(trace.copy_src, bases, chunk))
+                dst[trace.kind].append(trace.copy_dst + dest_base)
 
     if fine_src:
         fine = (np.concatenate(fine_src, axis=1), _as_index(fine_dst))

@@ -12,13 +12,39 @@ Invariants maintained (and tested):
 
 from __future__ import annotations
 
+import hashlib
+
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.octree.fields import Field
+from repro.octree.fields import Field, NFIELDS
 from repro.octree.node import NodeKey, OctreeNode
 from repro.util.morton import morton_encode3, morton_neighbors, morton_parent
+
+
+def pack_key(key: NodeKey) -> int:
+    """Pack ``(level, morton code)`` into one int: ``level << 58 | code``.
+
+    Morton codes use 3 bits per level, so codes at the maximum practical
+    depth (19 levels, 57 bits) still fit below bit 58, and packed keys sort
+    exactly like ``(level, code)`` tuples within a level.
+    """
+    level, code = key
+    return (level << 58) | code
+
+
+def pack_keys(keys) -> np.ndarray:
+    """Vectorized :func:`pack_key` over an iterable of keys -> int64 array."""
+    arr = np.asarray(list(keys), dtype=np.int64)
+    if arr.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return (arr[:, 0] << 58) | arr[:, 1]
+
+
+def unpack_key(packed: int) -> NodeKey:
+    """Inverse of :func:`pack_key`."""
+    return (int(packed) >> 58, int(packed) & ((1 << 58) - 1))
 
 
 class AmrMesh:
@@ -43,6 +69,8 @@ class AmrMesh:
         self.nodes: Dict[NodeKey, OctreeNode] = {}
         root = OctreeNode(0, 0, n=n, ghost=ghost, domain_size=domain_size)
         self.nodes[root.key] = root
+        #: (topology_version, digest) memo for :meth:`fingerprint`.
+        self._fingerprint_cache: Optional[Tuple[int, str]] = None
 
     # -- basic queries ---------------------------------------------------------
     @property
@@ -74,6 +102,39 @@ class AmrMesh:
 
     def __iter__(self) -> Iterator[OctreeNode]:
         return iter(self.nodes.values())
+
+    # -- topology fingerprint --------------------------------------------------
+    def fingerprint(self) -> str:
+        """Deterministic content hash of the mesh *topology*.
+
+        SHA-256 over the structural header (sub-grid edge, ghost width,
+        domain size, field count) and the sorted packed leaf keys.  Two
+        meshes — in the same process, across processes, or across runs —
+        have equal fingerprints iff they have identical leaf sets and
+        identical sub-grid geometry; the interior-node set is implied
+        (every non-leaf ancestor of a leaf exists and is fully refined).
+
+        Unlike ``topology_version`` (a process-local mutation counter),
+        the fingerprint is stable content addressing: it keys the on-disk
+        plan cache (:mod:`repro.core.plancache`) and the process backend's
+        replan protocol.  Memoised per ``topology_version``.
+        """
+        cache = self._fingerprint_cache
+        if cache is not None and cache[0] == self.topology_version:
+            return cache[1]
+        h = hashlib.sha256()
+        h.update(
+            np.array(
+                [self.n, self.ghost, NFIELDS], dtype=np.int64
+            ).tobytes()
+        )
+        h.update(np.float64(self.domain_size).tobytes())
+        packed = pack_keys(self.leaf_keys())
+        packed.sort()
+        h.update(packed.tobytes())
+        digest = h.hexdigest()
+        self._fingerprint_cache = (self.topology_version, digest)
+        return digest
 
     # -- refinement ---------------------------------------------------------------
     def refine(self, key: NodeKey) -> List[OctreeNode]:

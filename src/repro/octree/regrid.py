@@ -6,18 +6,48 @@ A :class:`RefinementCriterion` decides per leaf whether it should refine or
 may coarsen; :func:`regrid` applies the decisions while preserving the
 2:1 balance and conservation (prolongation/restriction are conservative,
 tested).
+
+Every :func:`regrid` call also emits a :class:`RegridDelta` — the exact
+old/new topology difference the plan layers (:mod:`repro.gravity.plan`,
+:mod:`repro.hydro.plan`, :mod:`repro.comms.bundle`) consume to rebuild only
+the affected plan segments instead of paying a cold rebuild
+(see ``docs/plan_lifecycle.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Protocol
+import math
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Protocol
 
 import numpy as np
 
 from repro.octree.fields import Field
 from repro.octree.mesh import AmrMesh
-from repro.octree.node import OctreeNode
+from repro.octree.node import NodeKey, OctreeNode
+
+
+def _validate_threshold(name: str, value: float) -> float:
+    """Typed validation for regrid thresholds.
+
+    Mirrors the ``Engine.post`` non-finite guard: a NaN threshold makes
+    every comparison silently ``False`` (the criterion never refines and
+    always coarsens), and a negative one inverts the hysteresis band — both
+    previously reached the criteria unvalidated and produced wrong meshes
+    instead of an error at construction time.  ``+inf`` stays legal as the
+    explicit "never fires" sentinel.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.floating)):
+        raise TypeError(
+            f"{name} must be a real number, got {type(value).__name__}"
+        )
+    value = float(value)
+    if math.isnan(value):
+        raise ValueError(f"{name} must not be NaN")
+    if value < 0.0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
 
 
 class RefinementCriterion(Protocol):
@@ -36,6 +66,17 @@ class DensityCriterion:
 
     refine_above: float = 1e-3
     coarsen_below: Optional[float] = None  # default: refine_above / 10
+
+    def __post_init__(self) -> None:
+        _validate_threshold("refine_above", self.refine_above)
+        if self.coarsen_below is not None:
+            coarsen = _validate_threshold("coarsen_below", self.coarsen_below)
+            if coarsen > self.refine_above:
+                raise ValueError(
+                    "coarsen_below must not exceed refine_above "
+                    f"({coarsen!r} > {self.refine_above!r}): the hysteresis "
+                    "band would invert and leaves would flap every regrid"
+                )
 
     def wants_refinement(self, leaf: OctreeNode) -> bool:
         return leaf.subgrid.max_abs(Field.RHO) > self.refine_above
@@ -56,6 +97,9 @@ class TracerCriterion:
 
     field: Field = Field.FRAC2
     refine_above: float = 1e-4
+
+    def __post_init__(self) -> None:
+        _validate_threshold("refine_above", self.refine_above)
 
     def wants_refinement(self, leaf: OctreeNode) -> bool:
         rho = np.maximum(leaf.subgrid.interior_view(Field.RHO), 1e-300)
@@ -79,10 +123,98 @@ class CombinedCriterion:
         return all(m.allows_coarsening(leaf) for m in self.members)
 
 
+@dataclass(frozen=True)
+class RegridDelta:
+    """Exact topology difference between two mesh snapshots.
+
+    Built from before/after snapshots of the node and leaf key sets
+    (:meth:`between`).  The derived sets drive the plan layers' incremental
+    rebuilds:
+
+    * ``refined`` — old leaves that became interior nodes,
+    * ``coarsened`` — old interior nodes that became leaves,
+    * ``removed_nodes`` / ``added_nodes`` — nodes deleted / created,
+    * ``unchanged_leaves`` — leaves present on both sides with data and
+      neighbour-band geometry potentially affected only through the
+      changed sets,
+    * ``drop_set`` / ``emit_set`` — the exact invalidation and
+      re-traversal frontiers for pair-based plans: any cached pair with an
+      endpoint in ``drop_set`` is stale, and every pair of the new
+      topology not cached has at least one endpoint in ``emit_set``
+      (endpoints untouched by the regrid keep identical traversal
+      decisions, since their ancestors exist and keep their leaf/interior
+      status on both sides).
+    """
+
+    old_leaves: FrozenSet[NodeKey]
+    new_leaves: FrozenSet[NodeKey]
+    refined: FrozenSet[NodeKey]
+    coarsened: FrozenSet[NodeKey]
+    removed_nodes: FrozenSet[NodeKey]
+    added_nodes: FrozenSet[NodeKey]
+    drop_set: FrozenSet[NodeKey] = field(repr=False)
+    emit_set: FrozenSet[NodeKey] = field(repr=False)
+
+    @classmethod
+    def between(
+        cls,
+        old_nodes: FrozenSet[NodeKey],
+        old_leaves: FrozenSet[NodeKey],
+        new_nodes: FrozenSet[NodeKey],
+        new_leaves: FrozenSet[NodeKey],
+    ) -> "RegridDelta":
+        refined = frozenset(old_leaves & (new_nodes - new_leaves))
+        coarsened = frozenset((old_nodes - old_leaves) & new_leaves)
+        removed = frozenset(old_nodes - new_nodes)
+        added = frozenset(new_nodes - old_nodes)
+        return cls(
+            old_leaves=frozenset(old_leaves),
+            new_leaves=frozenset(new_leaves),
+            refined=refined,
+            coarsened=coarsened,
+            removed_nodes=removed,
+            added_nodes=added,
+            drop_set=frozenset(refined | coarsened | removed),
+            emit_set=frozenset(refined | coarsened | added),
+        )
+
+    @classmethod
+    def from_mesh(
+        cls, old_nodes: FrozenSet[NodeKey], old_leaves: FrozenSet[NodeKey], mesh: AmrMesh
+    ) -> "RegridDelta":
+        return cls.between(
+            old_nodes, old_leaves, frozenset(mesh.nodes), frozenset(mesh.leaf_keys())
+        )
+
+    @property
+    def unchanged_leaves(self) -> FrozenSet[NodeKey]:
+        return (self.old_leaves & self.new_leaves) - self.coarsened
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.drop_set or self.emit_set)
+
+    @property
+    def changed_fraction(self) -> float:
+        """Changed leaves (either side) over the new leaf count — the plan
+        layers' cold-rebuild fallback heuristic."""
+        if not self.new_leaves:
+            return 1.0
+        touched = (
+            self.refined
+            | self.coarsened
+            | (self.new_leaves - self.old_leaves)
+            | (self.old_leaves - self.new_leaves)
+        )
+        return len(touched) / len(self.new_leaves)
+
+
 @dataclass
 class RegridResult:
     refined: int
     coarsened: int
+    #: Exact old/new topology difference for incremental plan maintenance.
+    delta: Optional[RegridDelta] = None
 
     @property
     def changed(self) -> bool:
@@ -101,7 +233,13 @@ def regrid(
     Refinement first (cascades preserve 2:1 balance automatically), then
     conservative coarsening of sibling groups whose eight leaves all allow
     it.  Coarsening that would violate balance is skipped, not forced.
+
+    The returned :class:`RegridResult` carries a :class:`RegridDelta`
+    covering the net effect of the whole call (refine cascades and
+    coarsening included).
     """
+    old_nodes = frozenset(mesh.nodes)
+    old_leaves = frozenset(mesh.leaf_keys())
     refined = 0
     for _ in range(max_rounds):
         to_refine = [
@@ -139,4 +277,8 @@ def regrid(
             except ValueError:
                 continue  # would break 2:1 balance; keep refined
             coarsened += 1
-    return RegridResult(refined=refined, coarsened=coarsened)
+    return RegridResult(
+        refined=refined,
+        coarsened=coarsened,
+        delta=RegridDelta.from_mesh(old_nodes, old_leaves, mesh),
+    )

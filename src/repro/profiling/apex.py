@@ -43,6 +43,22 @@ class CounterRegistry:
     def increment(self, name: str, amount: int = 1) -> None:
         self.sample(name, float(amount))
 
+    def absorb(self, name: str, count: int, total: float, maximum: float = 0.0) -> None:
+        """Merge another registry's aggregate for ``name`` losslessly.
+
+        Unlike :meth:`sample` — which would record the merge as a single
+        observation — this preserves the source's sample count and sum, so
+        counters harvested from worker processes keep their count/total
+        semantics (``count()`` stays the number of events, ``total()`` the
+        sum across all workers)."""
+        if count <= 0:
+            return
+        c = self._counters.setdefault(name, _Counter())
+        c.count += count
+        c.total += total
+        c.maximum = max(c.maximum, maximum)
+        c.minimum = min(c.minimum, total / count)
+
     def get(self, name: str) -> Optional[_Counter]:
         return self._counters.get(name)
 

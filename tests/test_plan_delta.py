@@ -1,0 +1,253 @@
+"""Delta-maintained plans are bit-identical to cold rebuilds.
+
+Hypothesis sweeps drive random refine/coarsen sequences and assert,
+array for array, that the incremental path of each plan layer — FmmPlan
+(``update_plan``), HydroPlan (trace-cache delta rebuild through
+``plan_for``), and the ghost bundle plan (trace-cache reuse after
+``FaceTraceCache.invalidate``) — produces exactly the plan a cold build
+would.  A final case runs the blast crosscheck with a plan cache on both
+the serial and process backends: the cache-hit plan path must keep the
+backends bit-identical.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import fill_gaussian, make_uniform_mesh
+from repro.comms import adopt_arena, build_bundle_plan
+from repro.core.plancache import PlanCache
+from repro.gravity.plan import build_plan, update_plan
+from repro.hydro.integrator import HydroIntegrator
+from repro.hydro.plan import build_hydro_plan
+from repro.octree.ghost import FaceTraceCache
+from repro.octree.partition import sfc_partition
+from repro.octree.regrid import RegridDelta
+
+#: Attributes a structural plan comparison must skip: back-references to
+#: the live mesh, uninitialized scratch buffers (np.empty allocations
+#: whose bytes are meaningless until the first pack()/apply()), and
+#: build-time caches whose *presence* varies by rebuild path while their
+#: values are pure functions of the class key (P2P templates t1/t3 and
+#: the chain-wide template_store — a delta chain may carry entries for
+#: classes a one-shot cold build never met).
+_SKIP_ATTRS = {
+    "mesh_ref",
+    "payload",
+    "_fine_acc",
+    "_fine_tmp",
+    "_same_buf",
+    "_coarse_buf",
+    "_boundary_buf",
+    "_fine_buf",
+    "_splits",
+    "_split_cache",
+    "template_store",
+    "t1",
+    "t3",
+}
+
+
+def assert_plans_equal(a, b, path="plan"):
+    """Recursive array-for-array equality over two plan object graphs."""
+    assert type(a) is type(b), f"{path}: {type(a)} != {type(b)}"
+    if isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype, f"{path}: dtype {a.dtype} != {b.dtype}"
+        assert np.array_equal(a, b), f"{path}: arrays differ"
+        return
+    if isinstance(a, dict):
+        assert sorted(map(repr, a)) == sorted(map(repr, b)), f"{path}: keys"
+        for key in a:
+            assert_plans_equal(a[key], b[key], f"{path}[{key!r}]")
+        return
+    if isinstance(a, (list, tuple)):
+        assert len(a) == len(b), f"{path}: length {len(a)} != {len(b)}"
+        for i, (xa, xb) in enumerate(zip(a, b)):
+            assert_plans_equal(xa, xb, f"{path}[{i}]")
+        return
+    if isinstance(a, slice):
+        assert a == b, f"{path}: {a} != {b}"
+        return
+    if hasattr(a, "__dict__") or hasattr(a, "__dataclass_fields__"):
+        for name, value in sorted(vars(a).items()):
+            if name in _SKIP_ATTRS:
+                continue
+            assert_plans_equal(value, getattr(b, name), f"{path}.{name}")
+        return
+    assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+def apply_ops(mesh, ops, max_level=3):
+    """Resolve refine/derefine picks against the live mesh; return the
+    exact :class:`RegridDelta` (or None if nothing changed)."""
+    old_nodes = frozenset(mesh.nodes)
+    old_leaves = frozenset(mesh.leaf_keys())
+    changed = False
+    for op, pick in ops:
+        if op == "refine":
+            candidates = sorted(k for k in mesh.leaf_keys() if k[0] < max_level)
+            if not candidates:
+                continue
+            mesh.refine(candidates[pick % len(candidates)])
+            changed = True
+        else:
+            candidates = []
+            for key, node in sorted(mesh.nodes.items()):
+                if node.is_leaf:
+                    continue
+                children = [mesh.nodes[k] for k in node.children_keys()]
+                if all(c.is_leaf for c in children):
+                    candidates.append(key)
+            if not candidates:
+                continue
+            try:
+                mesh.derefine(candidates[pick % len(candidates)])
+            except ValueError:
+                continue  # would break 2:1 balance
+            changed = True
+    if not changed:
+        return None
+    return RegridDelta.between(
+        old_nodes, old_leaves, frozenset(mesh.nodes), frozenset(mesh.leaf_keys())
+    )
+
+
+@st.composite
+def _mutation_sequences(draw):
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["refine", "derefine"]), st.integers(0, 63)
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+
+
+class TestFmmDeltaEquivalence:
+    @given(ops=_mutation_sequences())
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_update_plan_identical_to_cold(self, ops):
+        # 64 leaves: small mutations stay under the cold-fraction cutoff,
+        # so the delta path actually exercises (8 leaves would fall back).
+        mesh = make_uniform_mesh(2, n=4)
+        fill_gaussian(mesh)
+        plan = build_plan(mesh, theta=0.5)
+        if apply_ops(mesh, ops) is None:
+            return
+        updated = update_plan(plan, mesh, 0.5)
+        cold = build_plan(mesh, theta=0.5)
+        if updated is None:
+            return  # cold-fraction fallback: safe by construction
+        assert_plans_equal(updated, cold)
+
+
+class TestHydroDeltaEquivalence:
+    @given(ops=_mutation_sequences())
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_plan_for_delta_identical_to_cold(self, ops):
+        mesh = make_uniform_mesh(1, n=4)
+        fill_gaussian(mesh)
+        integ = HydroIntegrator(mesh)
+        integ.plan_for(mesh)  # cold build populates the trace cache
+        delta = apply_ops(mesh, ops)
+        if delta is None:
+            return
+        integ.notify_regrid(delta)
+        warm = integ.plan_for(mesh)
+        cold = build_hydro_plan(mesh)  # reprolint: sanctioned-cold-build
+        assert_plans_equal(warm.ghosts, cold.ghosts)
+        assert warm.leaf_keys == cold.leaf_keys
+        assert warm.fingerprint == cold.fingerprint
+        assert warm.slot == cold.slot
+
+
+class TestBundleDeltaEquivalence:
+    @given(ops=_mutation_sequences(), nprocs=st.sampled_from([1, 2, 4]))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_trace_reuse_identical_to_cold(self, ops, nprocs):
+        mesh = make_uniform_mesh(1, n=4)
+        fill_gaussian(mesh)
+        sfc_partition(mesh, nprocs)
+        _, offsets = adopt_arena(mesh)
+        cache = FaceTraceCache()
+        build_bundle_plan(mesh, offsets, trace_cache=cache)
+        delta = apply_ops(mesh, ops)
+        if delta is None:
+            return
+        cache.invalidate(delta)
+        sfc_partition(mesh, nprocs)
+        _, offsets = adopt_arena(mesh)
+        warm = build_bundle_plan(mesh, offsets, trace_cache=cache)
+        cold = build_bundle_plan(mesh, offsets)
+        assert_plans_equal(warm, cold)
+
+
+class TestPlanCacheCrosscheck:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_blast_cache_hit_bit_identical(self, tmp_path, backend):
+        """A second integrator over the same topology must serve its plan
+        from the cache and step bit-identically to the cold-built one."""
+        from repro.scenarios.blast import sedov_blast
+
+        scenario = sedov_blast(levels=1)
+        mesh_cold = scenario.mesh
+        mesh_hit = sedov_blast(levels=1).mesh
+
+        kwargs = {}
+        if backend == "process":
+            kwargs = {"backend": "process", "nprocs": 2}
+        cold = HydroIntegrator(
+            mesh_cold, eos=scenario.eos,
+            plan_cache=PlanCache(tmp_path), **kwargs,
+        )
+        try:
+            cold.step(1e-4)
+        finally:
+            cold.close()
+
+        hit_cache = PlanCache(tmp_path)
+        hit = HydroIntegrator(
+            mesh_hit, eos=scenario.eos, plan_cache=hit_cache, **kwargs
+        )
+        try:
+            hit.step(1e-4)
+        finally:
+            hit.close()
+        if backend == "serial":
+            # The process backend's plans live in the executor and never
+            # consult the persistent cache; only assert hits on serial.
+            assert hit_cache.stats.hits >= 1
+        for key in sorted(mesh_cold.leaf_keys()):
+            assert np.array_equal(
+                mesh_cold.nodes[key].subgrid.data,
+                mesh_hit.nodes[key].subgrid.data,
+            ), key
+
+    def test_crosscheck_hydro_with_plan_cache(self, tmp_path):
+        """The full crosscheck battery case: blast, serial vs process,
+        sharing one plan-cache directory — divergence raises."""
+        from repro.core.crosscheck import crosscheck_hydro
+        from repro.scenarios.blast import sedov_blast
+
+        blast = sedov_blast(levels=1)
+        result = crosscheck_hydro(
+            blast.mesh, steps=2, nprocs=2, eos=blast.eos,
+            plan_cache=tmp_path,
+        )
+        assert result.ok
+        assert (tmp_path / "hydro").exists() or any(tmp_path.iterdir())

@@ -444,3 +444,57 @@ class TestBackendImports:
             "import numpy as np\nimport importlib\n",
             "src/repro/hydro/fast.py",
         ) == []
+
+
+class TestColdPlanBuild:
+    def test_cold_build_in_loop_flagged(self):
+        src = (
+            "for step in range(10):\n"
+            "    plan = build_hydro_plan(mesh)\n"
+        )
+        assert rules(lint_source(src, "src/repro/core/driver.py")) == ["R010"]
+
+    def test_method_call_in_while_flagged(self):
+        src = (
+            "while t < t_end:\n"
+            "    plan = planner.build_bundle_plan(mesh, offsets)\n"
+        )
+        assert rules(lint_source(src, "src/repro/core/driver.py")) == ["R010"]
+
+    def test_all_builders_covered(self):
+        for fn in ("build_plan", "build_hydro_plan", "build_bundle_plan",
+                   "ghost_index_plan"):
+            src = f"for _ in steps:\n    p = {fn}(mesh)\n"
+            assert rules(lint_source(src, "src/repro/x.py")) == ["R010"], fn
+
+    def test_sanctioned_call_line_ok(self):
+        src = (
+            "for step in range(10):\n"
+            "    plan = build_hydro_plan(mesh)"
+            "  # reprolint: sanctioned-cold-build\n"
+        )
+        assert lint_source(src, "src/repro/core/driver.py") == []
+
+    def test_sanctioned_loop_header_ok(self):
+        src = (
+            "for level in levels:  # reprolint: sanctioned-cold-build\n"
+            "    plan = build_plan(mesh, theta=0.5)\n"
+        )
+        assert lint_source(src, "src/repro/cli.py") == []
+
+    def test_cold_build_outside_loop_ok(self):
+        src = "plan = build_hydro_plan(mesh)\n"
+        assert lint_source(src, "src/repro/hydro/integrator.py") == []
+
+    def test_nested_loop_reported_once(self):
+        src = (
+            "for a in outer:\n"
+            "    for b in inner:\n"
+            "        p = ghost_index_plan(mesh, offsets)\n"
+        )
+        findings = lint_source(src, "src/repro/x.py")
+        assert [f.rule for f in findings] == ["R010"]
+
+    def test_unrelated_call_in_loop_ok(self):
+        src = "for s in steps:\n    integrator.plan_for(mesh)\n"
+        assert lint_source(src, "src/repro/core/driver.py") == []

@@ -76,6 +76,18 @@ R009 array-backends-via-registry
     ``View.xp`` / ``ArrayBackend.module`` so unavailable backends degrade
     to a skip instead.
 
+R010 no-cold-plan-in-step-loop
+    No cold plan construction (``build_plan``, ``build_hydro_plan``,
+    ``build_bundle_plan``, ``ghost_index_plan``) inside a loop.  Plans are
+    keyed on the mesh topology fingerprint and maintained incrementally
+    (delta rebuild) or served from the content-addressed plan cache
+    (``repro.core.plancache``); a cold build per loop iteration silently
+    reinstates the regrid cold-path this machinery exists to kill — the
+    exact ~5×-per-regrid overhead BENCH_fmm.json measures.  The sanctioned
+    cache-miss hooks (the ``plan_for`` fallbacks) and deliberate
+    per-scenario sweeps carry ``# reprolint: sanctioned-cold-build`` on
+    the call line or the loop header.
+
 Exit status: 0 clean, 1 findings reported, 2 usage error, 3 unreadable
 or unparseable input (R000).  ``--json`` emits the findings as a machine
 readable object for CI annotation.
@@ -126,6 +138,12 @@ _RICH_ATTRS = {"mesh", "subgrid", "nodes", "data"}
 _BACKEND_MODULES = {"numba", "cupy", "jax"}
 #: The registry itself is the one sanctioned importer (R009).
 _BACKEND_EXEMPT = ("repro/kokkos/backend.py",)
+#: Cold plan constructors — every call pays the full traversal/trace cost
+#: the fingerprint/delta/cache machinery exists to amortize (R010).
+_COLD_BUILD_FNS = {
+    "build_plan", "build_hydro_plan", "build_bundle_plan", "ghost_index_plan",
+}
+_COLD_SANCTION_TAG = "# reprolint: sanctioned-cold-build"
 
 
 @dataclass(frozen=True)
@@ -633,6 +651,40 @@ def _check_backend_imports(tree: ast.Module, path: str) -> List[Finding]:
     return findings
 
 
+def _check_cold_plan_build(
+    tree: ast.Module, path: str, sanctioned: Set[int]
+) -> List[Finding]:
+    """R010: no cold plan construction inside a loop body."""
+    findings: List[Finding] = []
+    seen: Set[tuple] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.For, ast.While)):
+            continue
+        if node.lineno in sanctioned:
+            continue
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            fn = call.func
+            name = fn.attr if isinstance(fn, ast.Attribute) else (
+                fn.id if isinstance(fn, ast.Name) else ""
+            )
+            if name not in _COLD_BUILD_FNS or call.lineno in sanctioned:
+                continue
+            key = (call.lineno, call.col_offset)
+            if key in seen:  # nested loops walk the same call twice
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                path, call.lineno, "R010",
+                f"cold plan construction ({name}) inside a loop re-pays the "
+                "full rebuild every iteration; go through plan_for (delta "
+                "rebuild / plan cache keyed on the topology fingerprint), or "
+                f"mark a deliberate path with {_COLD_SANCTION_TAG!r}",
+            ))
+    return findings
+
+
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one module's source text; the unit of testing."""
     tree = ast.parse(source, filename=path)
@@ -651,6 +703,9 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
         tree, path, _sanctioned_lines(source, _WIRE_SANCTION_TAG)
     )
     findings += _check_backend_imports(tree, path)
+    findings += _check_cold_plan_build(
+        tree, path, _sanctioned_lines(source, _COLD_SANCTION_TAG)
+    )
     return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
 
 
