@@ -38,11 +38,14 @@ not run them (the guard's PID check is the second line of defence).
 
 from __future__ import annotations
 
+import inspect
 import math
 import multiprocessing
 import numbers
 import os
+import time
 import traceback
+from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.profiling.apex import CounterRegistry
@@ -51,12 +54,17 @@ from repro.resilience.protocol import UnrecoverableFault
 #: A worker handler: called once per command, returns the reply payload.
 Handler = Callable[[Any], Any]
 #: Builds the handler inside the child after fork: (rank, registry) -> handler.
+#: A factory may also accept a third :class:`WorkerLink` argument to take
+#: part in dependency-grained rounds (:meth:`ParallelEngine.round_async`).
 HandlerFactory = Callable[[int, CounterRegistry], Handler]
 
 #: Reserved control commands (never passed to the handler).
 _STOP = "__stop__"
 _CRASH = "__crash__"
 _TIMERS = "__timers__"
+#: Wire tags of the dependency-grained round protocol (see round_async).
+_NOTE = "note"
+_ROUTE = "__route__"
 
 
 class WorkerError(RuntimeError):
@@ -131,6 +139,62 @@ def _timer_snapshot(registry: CounterRegistry) -> Dict[str, Tuple[int, float, fl
     return out
 
 
+class WorkerLink:
+    """The worker-side end of a dependency-grained round.
+
+    Inside a :meth:`ParallelEngine.round_async` handler the link is the
+    futurization primitive: ``note`` posts a mid-round message to the
+    parent *without* ending the round (the worker keeps computing), and
+    ``wait`` blocks until the parent routes a message with the given tag
+    back — a message-grained happens-before edge instead of a barrier.
+    Routed messages arriving out of order are buffered per tag, so a
+    worker can keep computing past payloads it has not asked for yet.
+    """
+
+    def __init__(self, conn) -> None:  # noqa: ANN001
+        self._conn = conn
+        self._pending: Dict[Any, deque] = {}
+
+    def note(self, tag: Any, payload: Any = None) -> None:
+        """Post a mid-round message; the parent's ``on_note`` sees it."""
+        self._conn.send((_NOTE, tag, payload))
+
+    def stash(self, tag: Any, payload: Any) -> None:
+        self._pending.setdefault(tag, deque()).append(payload)
+
+    def wait(self, tag: Any) -> Any:
+        """Block until the parent routes a message tagged ``tag``."""
+        queue = self._pending.get(tag)
+        if queue:
+            return queue.popleft()
+        while True:
+            message = self._conn.recv()
+            if isinstance(message, tuple) and len(message) == 3 \
+                    and message[0] == _ROUTE:
+                if message[1] == tag:
+                    return message[2]
+                self.stash(message[1], message[2])
+                continue
+            raise RuntimeError(
+                f"protocol violation: expected a routed message, got "
+                f"{type(message).__name__}"
+            )
+
+
+def _build_handler(
+    factory: HandlerFactory, rank: int, registry: CounterRegistry, link: WorkerLink
+) -> Handler:
+    """Call the factory with the link when its signature takes one (the
+    overlap-aware handlers), without it otherwise (every legacy factory)."""
+    try:
+        n_params = len(inspect.signature(factory).parameters)
+    except (TypeError, ValueError):
+        n_params = 2
+    if n_params >= 3:
+        return factory(rank, registry, link)
+    return factory(rank, registry)
+
+
 def _worker_main(rank: int, factory: HandlerFactory, conn) -> None:  # noqa: ANN001
     """Child main loop: execute commands until told to stop.
 
@@ -140,9 +204,16 @@ def _worker_main(rank: int, factory: HandlerFactory, conn) -> None:  # noqa: ANN
     """
     registry = CounterRegistry()
     try:
-        handler = factory(rank, registry)
+        link = WorkerLink(conn)
+        handler = _build_handler(factory, rank, registry, link)
         while True:
             command = conn.recv()
+            if isinstance(command, tuple) and len(command) == 3 \
+                    and command[0] == _ROUTE:
+                # A routed payload the handler did not wait for before
+                # replying; keep it for the next round's first wait.
+                link.stash(command[1], command[2])
+                continue
             if command == _STOP:
                 conn.send(("ok", None))
                 break
@@ -329,6 +400,89 @@ class ParallelEngine:
         self.broadcast(command)
         self.rounds += 1
         results = self.gather()
+        if self.round_observer is not None:
+            self.round_observer()
+        return results
+
+    def round_async(
+        self,
+        command: Any,
+        on_note: Optional[Callable[[int, Any, Any], Any]] = None,
+    ) -> List[Any]:
+        """One dependency-grained round: per-message progress, late barrier.
+
+        Broadcasts ``command`` like :meth:`round`, but instead of blocking
+        on the replies in rank order it interleaves **mid-round notes**
+        with the final replies as they arrive.  A worker posts a note via
+        its :class:`WorkerLink` (``link.note(tag, payload)``) and keeps
+        computing; the parent delivers it to ``on_note(rank, tag,
+        payload)`` immediately.  ``on_note`` may return an iterable of
+        ``(rank, tag, payload)`` route messages, which the engine forwards
+        to the named workers' links — each forwarded message is one
+        message-grained happens-before edge (the overlap schedule's
+        replacement for the barrier; the shm race detector is told about
+        exactly these edges).  The barrier degenerates to the end of the
+        round: every worker still sends one final ``("ok", result)``
+        before the method returns, so the :attr:`round_observer` still
+        sees a quiescent state.
+
+        Failure semantics match :meth:`round`: remote raise →
+        :class:`WorkerError`, dead process → :class:`WorkerCrashError`,
+        deadline → :class:`WorkerTimeoutError`.
+        """
+        from multiprocessing import connection as mp_connection
+
+        self.broadcast(command)
+        self.rounds += 1
+        n = len(self.localities)
+        results: List[Any] = [None] * n
+        done = [False] * n
+        error: Optional[WorkerError] = None
+        dead: List[int] = []
+        conn_rank = {self.localities[r].conn: r for r in range(n)}
+        deadline = time.monotonic() + self.timeout
+        while not all(done):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                undone = [r for r in range(n) if not done[r]]
+                stalled = [r for r in undone if self.localities[r].alive]
+                late_dead = [r for r in undone if not self.localities[r].alive]
+                if late_dead:
+                    raise WorkerCrashError(late_dead)
+                raise WorkerTimeoutError(stalled, self.timeout)
+            ready = mp_connection.wait(
+                [self.localities[r].conn for r in range(n) if not done[r]],
+                timeout=min(remaining, 0.25),
+            )
+            for conn in ready:
+                rank = conn_rank[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, BrokenPipeError, ConnectionResetError):
+                    done[rank] = True
+                    dead.append(rank)
+                    continue
+                self.control_messages += 1
+                if isinstance(message, tuple) and len(message) == 3 \
+                        and message[0] == _NOTE:
+                    if on_note is not None:
+                        routes = on_note(rank, message[1], message[2])
+                        for to_rank, tag, payload in routes or ():
+                            self.localities[to_rank].send(
+                                (_ROUTE, tag, payload)
+                            )
+                            self.control_messages += 1
+                    continue
+                status, payload = message
+                done[rank] = True
+                if status == "err":
+                    error = error or WorkerError(rank, payload)
+                else:
+                    results[rank] = payload
+            if dead:
+                raise WorkerCrashError(dead)
+        if error is not None:
+            raise error
         if self.round_observer is not None:
             self.round_observer()
         return results

@@ -8,7 +8,8 @@ rides the future layer.  The process backend
 primitive is the BSP barrier of :meth:`repro.amt.parallel.ParallelEngine.round`.
 This module is the equivalent checker for that world:
 
-* each worker appends ``(epoch, mode, segment, slot_lo, slot_hi, region)``
+* each worker appends
+  ``(epoch, mode, segment, slot_lo, slot_hi, region, phase)``
   access events to its own block of a shared-memory event log
   (:class:`ShmEventLog` / :class:`ShmEventWriter`) — the *epoch* is the
   worker's dispatch counter, which advances identically on every rank
@@ -16,7 +17,10 @@ This module is the equivalent checker for that world:
 * after each round the parent's :class:`ShmRaceDetector` replays the
   logs.  The happens-before relation is exactly the barrier structure:
   events in **different** epochs are ordered by the barrier between them,
-  events in the **same** epoch on **different** ranks are concurrent.  Two
+  events in the **same** epoch on **different** ranks are concurrent —
+  unless an explicitly sanctioned message-grained happens-before edge
+  (the overlap schedule's ``round_async`` note→route chain, declared as
+  an ordered ``(phase, phase)`` pair) orders them.  Two
   concurrent events conflict when they touch the same segment, their leaf
   slot ranges intersect, their regions can alias, and their access modes
   do not commute under the PR 2 effect vocabulary
@@ -65,7 +69,20 @@ REGION_NAMES = {REGION_ALL: "all", REGION_INTERIOR: "interior",
 
 #: Event-log wire format: per-rank header words, words per event row.
 _HEADER = 2  # [count, dropped]
-_WORDS = 6   # (epoch, mode, segment, slot_lo, slot_hi, region)
+_WORDS = 7   # (epoch, mode, segment, slot_lo, slot_hi, region, phase)
+
+#: Default phase stamp: plain barrier-ordered events.  The overlap
+#: schedule stamps its events with protocol phases so the detector can
+#: honour message-grained happens-before edges *within* an epoch (see
+#: :class:`ShmRaceDetector` ``ordered_phases``).
+PHASE_NONE = 0
+#: Overlap-protocol phase stamps.  The futurized process backend tags the
+#: events of a fused exchange/compute/update epoch with these so the
+#: detector can recognise the message-grained happens-before edges the
+#: protocol establishes (see ``ordered_phases`` on :class:`ShmRaceDetector`).
+PHASE_EXCHANGE = 1
+PHASE_COMPUTE = 2
+PHASE_UPDATE = 3
 
 
 class ShmRaceError(RaceError):
@@ -181,9 +198,11 @@ class ShmEventWriter:
         self.capacity = capacity
         self._rows = block[_HEADER:].reshape(capacity, _WORDS)
 
-    def log(self, epoch: int, rows: np.ndarray) -> None:
+    def log(self, epoch: int, rows: np.ndarray, phase: int = PHASE_NONE) -> None:
         """Append precomputed ``(mode, segment, lo, hi, region)`` rows,
-        stamped with ``epoch``.  Overflow is counted, never blocks."""
+        stamped with ``epoch`` and the protocol ``phase`` (overlap rounds
+        tag each schedule stage so the detector can apply message-grained
+        ordering).  Overflow is counted, never blocks."""
         n = len(rows)
         if not n:
             return
@@ -192,7 +211,8 @@ class ShmEventWriter:
         if take:
             dst = self._rows[count : count + take]
             dst[:, 0] = epoch
-            dst[:, 1:] = rows[:take]
+            dst[:, 1:6] = rows[:take]
+            dst[:, 6] = phase
             self._block[0] = count + take
         if take < n:
             self._block[1] += n - take
@@ -209,7 +229,20 @@ class ShmRaceDetector:
     same-epoch events on different ranks.
     """
 
-    def __init__(self, log: ShmEventLog, raise_on_finding: bool = True) -> None:
+    def __init__(
+        self,
+        log: ShmEventLog,
+        raise_on_finding: bool = True,
+        ordered_phases: Optional[set] = None,
+    ) -> None:
+        #: Sanctioned message-grained happens-before edges *within* an
+        #: epoch: a set of ``(phase_a, phase_b)`` pairs meaning "events
+        #: stamped ``phase_a`` are ordered before cross-rank events
+        #: stamped ``phase_b`` by an explicit routed message" (the
+        #: ``round_async`` note→route chain).  Pairs of events joined by
+        #: such an edge are not concurrent and are skipped; the empty
+        #: default reproduces pure barrier-epoch semantics.
+        self.ordered_phases = frozenset(ordered_phases or ())
         self.log = log
         self.raise_on_finding = raise_on_finding
         self.findings: List[RaceFinding] = []
@@ -264,6 +297,12 @@ class ShmRaceDetector:
             mode_a = MODE_NAMES[int(ea[i, 1])]
             mode_b = MODE_NAMES[int(eb[j, 1])]
             if (mode_a, mode_b) in _COMMUTING:
+                continue
+            phase_a, phase_b = int(ea[i, 6]), int(eb[j, 6])
+            if (phase_a, phase_b) in self.ordered_phases \
+                    or (phase_b, phase_a) in self.ordered_phases:
+                # A sanctioned routed-message edge orders these two
+                # phases across ranks within the epoch: not concurrent.
                 continue
             epoch, seg = int(ea[i, 0]), int(ea[i, 2])
             lo = max(int(ea[i, 3]), int(eb[j, 3]))

@@ -10,6 +10,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -74,6 +75,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(identical bits, see docs/parallel.md)")
     run.add_argument("--nprocs", type=int, default=2, metavar="N",
                      help="worker processes for --backend process")
+    run.add_argument("--overlap", default=False,
+                     action=argparse.BooleanOptionalAction,
+                     help="process backend: futurized interior/halo "
+                          "schedule — ghost-exchange latency hidden behind "
+                          "interior compute in a dependency-grained fused "
+                          "round (bit-identical to the default BSP rounds; "
+                          "--no-overlap is the ablation baseline)")
     run.add_argument("--verify-plans", default=True,
                      action=argparse.BooleanOptionalAction,
                      help="statically verify the parallel plans (disjoint "
@@ -109,6 +117,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="ghost-exchange wire format for the process "
                             "backend: shm writes (default) or serialized "
                             "payload buffers over pipes")
+    check.add_argument("--overlap", default=False,
+                       action=argparse.BooleanOptionalAction,
+                       help="run the process side with the futurized "
+                            "interior/halo schedule; the bit-identity "
+                            "assertion then covers the overlap path")
     check.add_argument("--tier", default=None,
                        choices=["exact", "tolerance"],
                        help="array-backend equivalence tier instead of the "
@@ -176,6 +189,15 @@ def _command_run(args: argparse.Namespace) -> int:
         print("level too large to build in memory; use `scale`", file=sys.stderr)
         return 2
     machine = MACHINES[args.machine]
+    if args.backend == "process":
+        cores_online = os.cpu_count() or 1
+        if args.nprocs > cores_online:
+            print(
+                f"warning: --nprocs {args.nprocs} exceeds the "
+                f"{cores_online} online core(s); workers will timeshare "
+                "and measured speedups are not meaningful",
+                file=sys.stderr,
+            )
     faults = FaultSpec.parse(args.faults) if args.faults else None
     plan_cache = None
     if args.plan_cache is not None:
@@ -199,6 +221,7 @@ def _command_run(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         backend=args.backend,
         nprocs=args.nprocs,
+        overlap=args.overlap,
         verify_plans=args.verify_plans,
         detect_races=args.detect_races,
         array_backend=args.array_backend,
@@ -263,7 +286,8 @@ def _command_crosscheck(args: argparse.Namespace) -> int:
     try:
         results = crosscheck_scenarios(
             nprocs=args.nprocs, steps=args.steps, wire=args.wire,
-            tier=args.tier, plan_cache=args.plan_cache,
+            overlap=args.overlap, tier=args.tier,
+            plan_cache=args.plan_cache,
         )
     except (BackendMismatch, ToleranceExceeded) as exc:
         print(f"CROSSCHECK FAILED: {exc}", file=sys.stderr)

@@ -140,13 +140,34 @@ class PairBundle:
     #: localities is a member of each contributing pair.
     faces: Tuple[Tuple[NodeKey, int, int], ...]
     payload: np.ndarray = field(init=False, repr=False)
+    _payloads: Tuple[np.ndarray, np.ndarray] = field(init=False, repr=False)
+    _fine_accs: Tuple[np.ndarray, np.ndarray] = field(init=False, repr=False)
     _fine_acc: np.ndarray = field(init=False, repr=False)
     _fine_tmp: np.ndarray = field(init=False, repr=False)
+    _active: int = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self.payload = np.empty(self.copy_src.size + self.fine_dst.size)
-        self._fine_acc = self.payload[self.copy_src.size :]
+        # Double-buffered payloads: ``flip()`` swaps which buffer ``pack``
+        # fills, so the overlap schedule can start packing stage s+1 while
+        # stage s's packed payload is still in flight (queued on the wire
+        # or pending a late drain) without clobbering it.  The barrier
+        # path never flips and sees exactly one buffer.
+        size = self.copy_src.size + self.fine_dst.size
+        self._payloads = (np.empty(size), np.empty(size))
+        self._fine_accs = tuple(
+            buf[self.copy_src.size :] for buf in self._payloads
+        )
+        self._active = 0
+        self.payload = self._payloads[0]
+        self._fine_acc = self._fine_accs[0]
         self._fine_tmp = np.empty(self.fine_dst.size)
+
+    def flip(self) -> None:
+        """Switch to the other payload buffer (the previously packed one
+        survives until the *next* flip)."""
+        self._active ^= 1
+        self.payload = self._payloads[self._active]
+        self._fine_acc = self._fine_accs[self._active]
 
     def __getstate__(self) -> dict:
         # The scratch buffers must not cross a pickle boundary: _fine_acc
@@ -155,7 +176,8 @@ class PairBundle:
         # fine data nowhere and unpack() scatter uninitialized memory.
         # (The replan broadcast pickles bundles; fork inherits them intact.)
         state = self.__dict__.copy()
-        for scratch in ("payload", "_fine_acc", "_fine_tmp"):
+        for scratch in ("payload", "_payloads", "_fine_accs", "_fine_acc",
+                        "_fine_tmp", "_active"):
             state.pop(scratch, None)
         return state
 

@@ -210,6 +210,7 @@ def crosscheck_hydro(
     gravity_every_stage: bool = False,
     reflux: bool = True,
     wire: str = "shm",
+    overlap: bool = False,
     dt: Optional[float] = None,
     mutate: Optional[Callable[[AmrMesh, int], None]] = None,
     detect_races: bool = True,
@@ -256,7 +257,7 @@ def crosscheck_hydro(
         mesh_process, eos=eos, omega=omega,
         gravity=gravity() if gravity else None,
         gravity_every_stage=gravity_every_stage, reflux=reflux,
-        backend="process", nprocs=nprocs, wire=wire,
+        backend="process", nprocs=nprocs, wire=wire, overlap=overlap,
         detect_races=detect_races,
         plan_cache=cache_handle(),
     )
@@ -400,6 +401,7 @@ def crosscheck_scenarios(
     nprocs: int = 2,
     steps: int = 2,
     wire: str = "shm",
+    overlap: bool = False,
     tier: Optional[str] = None,
     plan_cache=None,  # PlanCache | str | Path | None
 ) -> List[CrosscheckResult]:
@@ -423,7 +425,7 @@ def crosscheck_scenarios(
         results.append(
             crosscheck_hydro(
                 blast.mesh, steps=steps, nprocs=nprocs, eos=blast.eos,
-                wire=wire, plan_cache=plan_cache,
+                wire=wire, overlap=overlap, plan_cache=plan_cache,
             )
         )
 
@@ -434,7 +436,7 @@ def crosscheck_scenarios(
             crosscheck_hydro(
                 dwd.mesh, steps=steps, nprocs=nprocs, eos=dwd.eos,
                 omega=dwd.omega, gravity=gravity_factory, wire=wire,
-                plan_cache=plan_cache,
+                overlap=overlap, plan_cache=plan_cache,
             )
         )
         return results

@@ -92,6 +92,7 @@ class DistributedHydroDriver:
         backend: str = "des",
         nprocs: int = 2,
         wire: str = "shm",
+        overlap: bool = False,
     ) -> None:
         from repro.machines.specs import FUGAKU
 
@@ -104,6 +105,8 @@ class DistributedHydroDriver:
         self.backend = backend
         self.nprocs = nprocs
         self.wire = wire
+        #: Process backend only: futurized interior/halo overlap schedule.
+        self.overlap = overlap
         self._executor = None  # lazy ProcessHydroExecutor
         self.mesh = mesh
         self.eos = eos or IdealGasEOS()
@@ -199,6 +202,7 @@ class DistributedHydroDriver:
                 omega=self.omega,
                 reflux=False,
                 wire=self.wire,
+                overlap=self.overlap,
             )
         return self._executor
 

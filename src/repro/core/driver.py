@@ -95,6 +95,7 @@ class OctoTigerSim:
         max_rollbacks: int = 8,
         backend: str = "des",
         nprocs: int = 2,
+        overlap: bool = False,
         verify_plans: bool = True,
         detect_races: bool = False,
         array_backend: Optional[str] = None,
@@ -111,6 +112,10 @@ class OctoTigerSim:
         #: worker processes (:mod:`repro.amt.parallel`), bit-identical.
         self.backend = backend
         self.nprocs = nprocs
+        #: Process backend only: futurized interior/halo schedule — ghost
+        #: exchange latency hidden behind interior compute, bit-identical
+        #: to the BSP rounds (the ``--overlap`` ablation flag).
+        self.overlap = overlap
         #: Checker wiring for the process backend: refuse statically
         #: unverified plans (default) and optionally log/replay shm access
         #: events at every barrier (``detect_races``).  No effect on "des".
@@ -169,6 +174,7 @@ class OctoTigerSim:
                 m2l_split=m2l_split,
                 backend=backend,
                 nprocs=nprocs,
+                overlap=overlap,
                 verify_plans=verify_plans,
                 array_backend=array_backend,
                 plan_cache=self.plan_cache,
@@ -186,6 +192,7 @@ class OctoTigerSim:
             batched=hydro_plan,
             backend="process" if backend == "process" else "serial",
             nprocs=nprocs,
+            overlap=overlap,
             verify_plans=verify_plans,
             detect_races=detect_races,
             array_backend=array_backend,
@@ -218,6 +225,7 @@ class OctoTigerSim:
         omega: Optional[float] = None,
         backend: str = "des",
         nprocs: int = 2,
+        overlap: bool = False,
         plan_cache: Any = None,  # PlanCache | str | Path | None
     ) -> "OctoTigerSim":
         """Build a driver from a validated :class:`repro.util.config.Config`.
@@ -253,6 +261,7 @@ class OctoTigerSim:
             m2l_split=config["gravity.m2l_split"],
             backend=backend,
             nprocs=nprocs,
+            overlap=overlap,
             array_backend=config["kokkos.backend"],
             plan_cache=plan_cache,
         )
@@ -445,6 +454,7 @@ class OctoTigerSim:
             batched=self.hydro_plan,
             backend="process" if self.backend == "process" else "serial",
             nprocs=self.nprocs,
+            overlap=self.overlap,
             verify_plans=self.verify_plans,
             detect_races=self.detect_races,
             array_backend=self.array_backend,

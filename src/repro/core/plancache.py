@@ -47,7 +47,10 @@ import numpy as np
 
 #: Bump when any payload layout or plan-assembly semantics change: old
 #: entries then read as misses and are rewritten, never misinterpreted.
-CACHE_FORMAT_VERSION = 1
+#: v2: hydro payloads carry the interior/halo region split
+#: (``split_meta``/``split_interior``/``split_halos``) next to the ghost
+#: index arrays.
+CACHE_FORMAT_VERSION = 2
 
 _META_KEY = "__plancache_meta__"
 

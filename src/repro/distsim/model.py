@@ -274,7 +274,11 @@ def simulate_step(
 
     comm = wire + comm_cpu
     sync = _sync_time(config, constants)
-    exposed = max(0.0, wire - constants.overlap_fraction * compute)
+    if config.overlap:
+        exposed = max(0.0, wire - constants.overlap_fraction * compute)
+    else:
+        # BSP ablation: every wire microsecond sits on the critical path.
+        exposed = wire
 
     total = compute + exposed + sync
     cells_per_second = spec.n_cells / total  # aggregate over the whole job

@@ -25,6 +25,11 @@ class RunConfig:
     #: flat-buffer bundle message per step phase (see ``docs/comms.md``):
     #: O(neighbor localities) payload messages instead of O(leaf faces).
     coalesce: bool = True
+    #: Futurized communication/compute overlap (HPX's raison d'être and the
+    #: process backend's ``--overlap`` schedule): when off, the full ghost
+    #: wire time is exposed on the critical path instead of being hidden
+    #: behind interior compute.
+    overlap: bool = True
     tasks_per_multipole_kernel: int = 1  # paper SVII-C ("OFF"=1, "ON"=16)
     gpu_aggregation: int = 16  # kernel launches fused per device launch
     cores: int = 0  # 0 = all node cores (Fig. 3 sweeps this)

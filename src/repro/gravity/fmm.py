@@ -124,6 +124,7 @@ class FmmSolver:
         m2l_split: int = 0,
         backend: str = "des",
         nprocs: int = 2,
+        overlap: bool = False,
         verify_plans: bool = True,
         array_backend: Optional[str] = None,
         plan_cache: Optional["PlanCache"] = None,
@@ -142,6 +143,12 @@ class FmmSolver:
         #: interleave them with communication (the paper's SVII-C
         #: multipole work-splitting); results are bit-identical.
         self.m2l_split = m2l_split
+        #: Futurized M2L fan-out (process backend): the parent keeps a
+        #: slice of the shards and computes them locally while the posted
+        #: remote shard payloads propagate — the same latency-hiding shape
+        #: as the hydro overlap schedule, and bit-identical either way
+        #: (shard target rows are disjoint, accumulation is shard-ordered).
+        self.overlap = bool(overlap)
         #: Sub-grids whose total mass is below this act as pure vacuum
         #: sources (their P2P/M2L source side is skipped).  Star scenarios
         #: are mostly floor-density vacuum; skipping it changes forces by
@@ -366,20 +373,40 @@ fingerprint`) or ``theta`` changed.
             split = max(1, -(-total_rows // (4 * engine.nprocs)))
         self._check_split(plan, split)
         shards = list(plan.split(split))
-        in_flight = []  # (shard_index, rank), send order == FIFO per pipe
+        # Futurized fan-out: the parent claims every (nprocs+1)-th shard
+        # for itself and computes it *between* posting the remote sends
+        # and draining their replies — local compute hides remote payload
+        # latency.  Partials are accumulated in shard index order either
+        # way, so the sums are bit-identical to the all-remote deal.
+        lanes = engine.nprocs + 1 if self.overlap else engine.nprocs
+        ranks = [
+            i % lanes if i % lanes < engine.nprocs else None
+            for i in range(len(shards))
+        ]
         for i, fl in enumerate(shards):
-            rank = i % engine.nprocs
+            if ranks[i] is None:
+                continue  # parent-local shard
             centers = np.repeat(mom_c[fl.tgt_idx], np.diff(fl.indptr), axis=0)
-            engine.send(rank, (
+            engine.send(ranks[i], (
                 "m2l",
                 mom_m[fl.src_idx], mom_c[fl.src_idx],
                 mom_q[fl.src_idx], mom_o[fl.src_idx],
                 centers, fl.indptr, self.order,
             ))
-            in_flight.append((i, rank))
-        for i, rank in in_flight:
+        for i, rank in enumerate(ranks):
             fl = shards[i]
-            s0, s1, s2, s3 = engine.gather([rank])[0]
+            if rank is None:
+                with reg.timer("fmm.m2l.local"):
+                    centers = np.repeat(
+                        mom_c[fl.tgt_idx], np.diff(fl.indptr), axis=0
+                    )
+                    s0, s1, s2, s3 = self._m2l_dispatch(
+                        mom_m[fl.src_idx], mom_c[fl.src_idx],
+                        mom_q[fl.src_idx], mom_o[fl.src_idx],
+                        centers, fl.indptr,
+                    )
+            else:
+                s0, s1, s2, s3 = engine.gather([rank])[0]
             l0[fl.tgt_idx] += s0
             l1[fl.tgt_idx] += s1
             l2[fl.tgt_idx] += s2

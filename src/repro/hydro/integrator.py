@@ -94,6 +94,7 @@ class HydroIntegrator:
         backend: str = "serial",
         nprocs: int = 2,
         wire: str = "shm",
+        overlap: bool = False,
         verify_plans: bool = True,
         detect_races: bool = False,
         array_backend: Optional[str] = None,
@@ -137,6 +138,10 @@ class HydroIntegrator:
         self.backend = backend
         self.nprocs = nprocs
         self.wire = wire
+        #: Process backend only: futurized interior/halo schedule that
+        #: hides ghost-exchange latency behind interior compute
+        #: (bit-identical to the BSP schedule; off = ablation baseline).
+        self.overlap = overlap
         #: Process backend only: static plan verification before forking
         #: and dynamic shm race detection at every barrier (see
         #: :mod:`repro.analysis.planverify` / :mod:`repro.analysis.shmrace`).
@@ -212,7 +217,7 @@ class HydroIntegrator:
                 "hydro", plan.fingerprint, params
             ):
                 self.plan_cache.store(
-                    "hydro", plan.fingerprint, params, plan.ghosts.to_payload()
+                    "hydro", plan.fingerprint, params, plan.cache_payload()
                 )
         if plan is None and self.plan_cache is not None:
             payload = self.plan_cache.load("hydro", fingerprint, params)
@@ -229,7 +234,7 @@ class HydroIntegrator:
             reg.increment("plan.hydro.cold_builds")
             if self.plan_cache is not None:
                 self.plan_cache.store(
-                    "hydro", plan.fingerprint, params, plan.ghosts.to_payload()
+                    "hydro", plan.fingerprint, params, plan.cache_payload()
                 )
         # Trace-populating builds (cold / delta) leave a cache valid for
         # exactly this topology; a persistent-cache hit leaves it empty.
@@ -354,6 +359,7 @@ class HydroIntegrator:
                 reflux=self.reflux,
                 reconstruction=self.reconstruction,
                 wire=self.wire,
+                overlap=self.overlap,
                 verify_plans=self.verify_plans,
                 detect_races=self.detect_races,
             )

@@ -37,6 +37,7 @@ See ``docs/hydro_plan.md`` for the full architecture.
 from __future__ import annotations
 
 import math
+import numbers
 import weakref
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -91,6 +92,153 @@ class ScratchArena:
                 buf.nbytes for buf in grp.values() if isinstance(buf, np.ndarray)
             )
         return total
+
+
+#: Stencil radius of the hydro reconstruction: a cell's RHS reads at most
+#: this many cells away along each sweep axis (MUSCL reconstruction of the
+#: faces around cell ``i`` reads cells ``[i - 2, i + 2]``; the first-order
+#: path reads a subset).  The interior/halo split below is keyed on it.
+STENCIL_RADIUS = 2
+
+#: Half-open box ``(x0, x1, y0, y1, z0, z1)`` in interior coordinates.
+Box = Tuple[int, int, int, int, int, int]
+
+
+@dataclass(frozen=True)
+class RegionSplit:
+    """Interior/halo decomposition of every ``n^3`` leaf interior.
+
+    ``interior_box`` holds the cells whose stencil closes over the leaf's
+    own interior — their RHS never reads a ghost cell, so they can be
+    computed while the ghost exchange is still in flight (the futurized
+    overlap path of :mod:`repro.hydro.process_backend`).  ``halo_boxes``
+    are the stencil-radius-wide shell whose stencils do read ghosts; they
+    wait for the exchange to drain.  Boxes are half-open
+    ``(x0, x1, y0, y1, z0, z1)`` in interior coordinates ``[0, n)`` and
+    partition the cube exactly — covering, disjoint, halo width equal to
+    the stencil radius on every face — which
+    :func:`repro.analysis.planverify.verify_region_split` re-proves before
+    the executor is allowed to schedule it.
+
+    The split is a pure function of ``(n, width)``: regrids never change
+    it (delta rebuilds hand it forward via ``reuse``), and the persistent
+    plan cache stores it alongside the ghost payload so a cache hit
+    restores the exact boxes that were verified when the entry was seeded.
+    """
+
+    n: int
+    width: int
+    interior_box: Box
+    halo_boxes: Tuple[Box, ...]
+
+    @property
+    def has_interior(self) -> bool:
+        x0, x1, y0, y1, z0, z1 = self.interior_box
+        return x1 > x0 and y1 > y0 and z1 > z0
+
+    @property
+    def boxes(self) -> Tuple[Box, ...]:
+        """All regions, interior first, empty boxes dropped."""
+        out = [self.interior_box] if self.has_interior else []
+        out.extend(self.halo_boxes)
+        return tuple(out)
+
+    @staticmethod
+    def box_cells(box: Box) -> int:
+        x0, x1, y0, y1, z0, z1 = box
+        return max(0, x1 - x0) * max(0, y1 - y0) * max(0, z1 - z0)
+
+    def to_payload(self) -> Dict[str, np.ndarray]:
+        """Flat arrays for the persistent plan cache (prefixed ``split_``
+        so they coexist with the ghost payload in one entry)."""
+        return {
+            "split_meta": np.array([self.n, self.width], dtype=np.int64),
+            "split_interior": np.array(self.interior_box, dtype=np.int64),
+            "split_halos": np.array(self.halo_boxes, dtype=np.int64).reshape(
+                len(self.halo_boxes), 6
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, np.ndarray]) -> "RegionSplit":
+        meta = np.asarray(payload["split_meta"], dtype=np.int64)
+        interior = tuple(
+            int(v) for v in np.asarray(payload["split_interior"], dtype=np.int64)
+        )
+        halos = tuple(
+            tuple(int(v) for v in row)
+            for row in np.asarray(payload["split_halos"], dtype=np.int64).reshape(-1, 6)
+        )
+        return cls(
+            n=int(meta[0]), width=int(meta[1]),
+            interior_box=interior, halo_boxes=halos,
+        )
+
+
+def compute_region_split(n: int, width: int = STENCIL_RADIUS) -> RegionSplit:
+    """The canonical interior/halo split of an ``n^3`` interior.
+
+    The interior box is ``[w, n - w)^3`` (every stencil stays inside the
+    leaf's own cells); the halo is six face slabs trimmed so they tile the
+    shell without overlap: the x slabs span the full transverse extent,
+    the y slabs are trimmed in x, the z slabs in both.  When ``n <= 2w``
+    no cell's stencil closes locally and the whole cube is one halo box.
+    """
+    if not isinstance(n, numbers.Integral) or isinstance(n, bool) or n < 1:
+        raise ValueError(f"n must be a positive integer, got {n!r}")
+    if not isinstance(width, numbers.Integral) or isinstance(width, bool) or width < 1:
+        raise ValueError(f"width must be a positive integer, got {width!r}")
+    n = int(n)
+    w = int(width)
+    if n <= 2 * w:
+        return RegionSplit(
+            n=n, width=w,
+            interior_box=(0, 0, 0, 0, 0, 0),
+            halo_boxes=((0, n, 0, n, 0, n),),
+        )
+    lo, hi = w, n - w
+    return RegionSplit(
+        n=n, width=w,
+        interior_box=(lo, hi, lo, hi, lo, hi),
+        halo_boxes=(
+            (0, lo, 0, n, 0, n),      # x-low slab, full transverse extent
+            (hi, n, 0, n, 0, n),      # x-high slab
+            (lo, hi, 0, lo, 0, n),    # y-low, trimmed in x
+            (lo, hi, hi, n, 0, n),    # y-high
+            (lo, hi, lo, hi, 0, lo),  # z-low, trimmed in x and y
+            (lo, hi, lo, hi, hi, n),  # z-high
+        ),
+    )
+
+
+def region_views(
+    u: np.ndarray, dudt: np.ndarray, box: Box, ghost: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``(u, dudt)`` sub-views for one region pass of
+    :func:`stacked_rhs_kernel`.
+
+    ``u`` is ``(B, NFIELDS, M, M, M)`` with ghost margin ``ghost`` and
+    ``dudt`` is ``(B, NFIELDS, n, n, n)``; ``box`` is half-open in interior
+    coordinates.  The ``u`` sub-view keeps a ``STENCIL_RADIUS`` margin
+    around the box on every axis, so the kernel's derived per-axis ghost
+    margins equal the stencil radius exactly and each cell of the box sees
+    the same neighbourhood values as the full-block pass — the fluxes, and
+    therefore the divergence bits, are identical.
+    """
+    if ghost < STENCIL_RADIUS:
+        raise ValueError(
+            f"ghost width {ghost} below stencil radius {STENCIL_RADIUS}"
+        )
+    x0, x1, y0, y1, z0, z1 = box
+    g, r = ghost, STENCIL_RADIUS
+    u_sub = u[
+        :, :,
+        x0 + g - r : x1 + g + r,
+        y0 + g - r : y1 + g + r,
+        z0 + g - r : z1 + g + r,
+    ]
+    d_sub = dudt[:, :, x0:x1, y0:y1, z0:z1]
+    return u_sub, d_sub
 
 
 @dataclass
@@ -210,6 +358,21 @@ class HydroPlan:
             self.ghosts: GhostIndexPlan = GhostIndexPlan.from_payload(ghost_payload)
         else:
             self.ghosts = ghost_index_plan(mesh, offsets, trace_cache=trace_cache)
+
+        # Interior/halo split for the futurized overlap path.  A pure
+        # function of (n, stencil radius): delta rebuilds inherit the
+        # previous plan's object, a persistent-cache hit restores the
+        # stored boxes (and cross-checks them against the canonical
+        # construction — a corrupt entry must not schedule), and a cold
+        # build computes it fresh.
+        split: Optional[RegionSplit] = None
+        if reuse is not None and reuse.n == self.n:
+            split = getattr(reuse, "split", None)
+        if split is None and ghost_payload is not None and "split_meta" in ghost_payload:
+            restored = RegionSplit.from_payload(ghost_payload)
+            if restored == compute_region_split(self.n):
+                split = restored
+        self.split: RegionSplit = split or compute_region_split(self.n)
         self.scratch = ScratchArena()
 
     @property
@@ -238,6 +401,11 @@ class HydroPlan:
     def nbytes(self) -> int:
         """Arena + scratch footprint (index arrays excluded)."""
         return self.arena.nbytes + self.scratch.nbytes()
+
+    def cache_payload(self) -> Dict[str, np.ndarray]:
+        """Everything the persistent plan cache stores for this plan:
+        the ghost index arrays plus the interior/halo split boxes."""
+        return {**self.ghosts.to_payload(), **self.split.to_payload()}
 
 
 def build_hydro_plan(
@@ -638,10 +806,13 @@ def stacked_rhs_kernel(
         raise ValueError(f"unknown reconstruction {reconstruction!r}")
     if scratch is None:
         scratch = ScratchArena()
-    n = dudt.shape[2]
+    # Per-axis interior extents and ghost margins: the full-block call has
+    # all three equal (n, n, n with margin g), but the overlap path runs
+    # the same kernel over interior/halo sub-boxes whose extents differ
+    # per axis — the arithmetic per cell is identical either way.
     nb = dudt.shape[0]
-    g = (u.shape[2] - n) // 2
-    mx = n + 4
+    ns = (dudt.shape[2], dudt.shape[3], dudt.shape[4])
+    gs = tuple((u.shape[2 + i] - ns[i]) // 2 for i in range(3))
     ws = stacked_primitives_kernel(u, eos, scratch, tag)
     # Passive primitive rows (tau / f1 / f2) equal their conserved fields,
     # and PRIM_KEYS[5:] lines up with Field.TAU..FRAC2 — read them straight
@@ -649,9 +820,7 @@ def stacked_rhs_kernel(
     upass = u.transpose(1, 0, 2, 3, 4)[Field.TAU : Field.FRAC2 + 1]
     dudt[...] = 0.0
     nk = len(PRIM_KEYS)
-    wbuf = scratch.get(("rhs.sweep", tag), (nk, mx, nb, n, n))
-    div = scratch.get(("rhs.div", tag), (NFIELDS, n, nb, n, n))
-    interior = slice(g, g + n)
+    interiors = tuple(slice(gs[i], gs[i] + ns[i]) for i in range(3))
     # When dx is a power of two (every level of a power-of-two domain),
     # x / dx == x * (1 / dx) for every float x: scaling by an exact power
     # of two changes only the exponent, so division and
@@ -669,28 +838,33 @@ def stacked_rhs_kernel(
 
     for axis in range(3):
         sweep = axis + 2  # the sweep spatial axis within (K, B, x, y, z)
+        na = ns[axis]
+        ga = gs[axis]
+        t1, t2 = tuple(ns[i] for i in range(3) if i != axis)
         with _timer(registry, "hydro.reconstruct"):
             # Stencil trim along the sweep axis (cells [g-2, g+n+2) feed the
             # n + 1 interior faces) + transverse trim to the interior, copied
             # once into sweep-major contiguous layout (K, Mx, B, t1, t2) so
             # every reconstruction pass streams contiguous memory.
-            index = [interior] * 5
-            index[0] = slice(None)  # key axis
-            index[1] = slice(None)  # batch axis
-            index[sweep] = slice(g - 2, g + n + 2)
+            index = [slice(None)] * 5
+            for i in range(3):
+                index[i + 2] = interiors[i]
+            index[sweep] = slice(ga - 2, ga + na + 2)
             perm = (0, sweep, 1) + tuple(d for d in (2, 3, 4) if d != sweep)
             trim = tuple(index)
+            wbuf = scratch.get(("rhs.sweep", tag), (nk, na + 4, nb, t1, t2))
             np.copyto(wbuf[:5], ws[:5][trim].transpose(perm))
             np.copyto(wbuf[5:], upass[trim].transpose(perm))
             wlr = reconstruct(wbuf, 1, scratch)
-            assert wlr.shape[2] == n + 1, "stencil accounting broke"
+            assert wlr.shape[2] == na + 1, "stencil accounting broke"
 
         with _timer(registry, "hydro.riemann"):
             flux = _hll_scratch(wlr, axis, eos, scratch)
 
-        # flux is (NFIELDS, n + 1, B, t1, t2): divergence always slices the
+        # flux is (NFIELDS, na + 1, B, t1, t2): divergence always slices the
         # face axis, and the strided write lands in the dudt view once.
-        np.subtract(flux[:, 1 : n + 1], flux[:, 0:n], out=div)
+        div = scratch.get(("rhs.div", tag), (NFIELDS, na, nb, t1, t2))
+        np.subtract(flux[:, 1 : na + 1], flux[:, 0:na], out=div)
         if dx_pow2:
             div *= rdx
         else:
@@ -698,9 +872,18 @@ def stacked_rhs_kernel(
         target = dudt_sweep[axis]
         target -= div
 
+        # Boundary-flux extraction: faces maps (axis, side) to a buffer for
+        # the first / last face of this sweep.  A sub-box pass only carries
+        # the keys whose faces coincide with the *block* boundary, so the
+        # dict may be sparse — absent keys are internal sub-box faces whose
+        # fluxes must not be recorded.
         if faces is not None:
-            faces[(axis, 0)][...] = flux[:, 0].transpose(1, 0, 2, 3)
-            faces[(axis, 1)][...] = flux[:, n].transpose(1, 0, 2, 3)
+            f_lo = faces.get((axis, 0))
+            if f_lo is not None:
+                f_lo[...] = flux[:, 0].transpose(1, 0, 2, 3)
+            f_hi = faces.get((axis, 1))
+            if f_hi is not None:
+                f_hi[...] = flux[:, na].transpose(1, 0, 2, 3)
 
 
 @declare_effects(

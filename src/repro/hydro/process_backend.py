@@ -42,18 +42,26 @@ owned by the parent's lifecycle guard, so a crashed step never leaks
 from __future__ import annotations
 
 import math
+import time
 from contextlib import nullcontext
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.amt.parallel import ParallelEngine
+from repro.amt.parallel import ParallelEngine, WorkerLink
 from repro.amt.shm import ShmArena
 from repro.analysis.effects import ANY, declare_effects
-from repro.analysis.planverify import require_verified, verify_process_plan
+from repro.analysis.planverify import (
+    require_verified,
+    verify_process_plan,
+    verify_region_split,
+)
 from repro.analysis.shmrace import (
     MODE_READ,
     MODE_WRITE,
+    PHASE_EXCHANGE,
+    PHASE_COMPUTE,
+    PHASE_UPDATE,
     REGION_ALL,
     REGION_INTERIOR,
     SEG_ACCEL,
@@ -67,6 +75,8 @@ from repro.comms.bundle import GhostBundlePlan, adopt_arena, build_bundle_plan
 from repro.hydro.eos import IdealGasEOS
 from repro.hydro.plan import (
     ScratchArena,
+    compute_region_split,
+    region_views,
     stacked_resync_tau_kernel,
     stacked_rhs_kernel,
     stacked_signal_kernel,
@@ -103,10 +113,14 @@ class _WorkerState:
         rank: int,
         registry: CounterRegistry,
         executor: "ProcessHydroExecutor",
+        link: Optional[WorkerLink] = None,
     ) -> None:
         self.rank = rank
         self.registry = registry
         self.ex = executor
+        #: Futurization primitive for the overlap schedule (mid-round
+        #: notes/waits); ``None`` only in direct unit-test construction.
+        self.link = link
         self.interior = slice(executor.ghost, executor.ghost + executor.n)
         #: BSP epoch: one per dispatched command, advanced identically on
         #: every rank (rounds broadcast the same command sequence).
@@ -147,6 +161,8 @@ class _WorkerState:
             pair for pair in plan.bundles
             if pair[0] == rank and pair[0] != pair[1]
         )
+        self.dst_local = [p for p in self.dst_pairs if p[0] == p[1]]
+        self.dst_remote = [p for p in self.dst_pairs if p[0] != p[1]]
         self.accel_view = ex.accel_view
         self.flux_view = ex.flux_view
         #: Owned leaves for the reflux pass: key -> dudt interior view.
@@ -155,6 +171,51 @@ class _WorkerState:
         for run_index, (lo, hi, _) in enumerate(self.runs):
             for j, key in enumerate(keys[lo:hi]):
                 self.owned_rhs[key] = self.dudt[run_index][j]
+        # Interior/halo sub-views for the futurized schedule: per run, the
+        # (u, dudt) region views of every split box plus the boundary-face
+        # patches the box owns (only boxes touching a block face collect
+        # flux there — together the patches tile each face exactly).
+        split = ex.split
+        self.region_interior: List[list] = []
+        self.region_halo: List[list] = []
+        for run_index, (lo, hi, _dx) in enumerate(self.runs):
+            u = self.u[run_index]
+            dudt = self.dudt[run_index]
+            boxes = []
+            if split.has_interior:
+                boxes.append(("i", split.interior_box))
+            boxes.extend(("h", box) for box in split.halo_boxes)
+            interior_list: list = []
+            halo_list: list = []
+            for bi, (kind, box) in enumerate(boxes):
+                u_sub, d_sub = region_views(u, dudt, box, ex.ghost)
+                faces_sub = self._region_faces(lo, hi, box)
+                entry = (u_sub, d_sub, faces_sub, (run_index, bi))
+                (interior_list if kind == "i" else halo_list).append(entry)
+            self.region_interior.append(interior_list)
+            self.region_halo.append(halo_list)
+
+    def _region_faces(
+        self, lo: int, hi: int, box: Tuple[int, ...]
+    ) -> Dict[Tuple[int, int], np.ndarray]:
+        """Boundary-flux patches a split box owns: for each block face the
+        box touches, the sub-view of the face buffer covering the box's
+        transverse extent."""
+        n = self.ex.n
+        bounds = ((box[0], box[1]), (box[2], box[3]), (box[4], box[5]))
+        faces: Dict[Tuple[int, int], np.ndarray] = {}
+        for axis in range(3):
+            t1, t2 = [bounds[i] for i in range(3) if i != axis]
+            for side in (0, 1):
+                touches = (
+                    bounds[axis][0] == 0 if side == 0
+                    else bounds[axis][1] == n
+                )
+                if touches:
+                    faces[(axis, side)] = self.flux_view[
+                        lo:hi, axis, side
+                    ][:, :, t1[0]:t1[1], t2[0]:t2[1]]
+        return faces
 
     def replan(self, payload: Dict[str, Any]) -> None:
         """Patch this worker's executor state for a regridded topology.
@@ -259,6 +320,35 @@ class _WorkerState:
 
     def _log_phase(self, command: Any) -> None:
         op = command[0]
+        if op == "xstage":
+            # Fused overlap epoch: stamp each access group with its
+            # protocol phase so the detector can apply the sanctioned
+            # message-grained happens-before edges (exchange -> update).
+            if self.ex.wire == "shm":
+                self.events.log(
+                    self.epoch, self._event_rows["ghost"],
+                    phase=PHASE_EXCHANGE,
+                )
+            else:
+                self.events.log(
+                    self.epoch, self._event_rows["ghost_pack"],
+                    phase=PHASE_EXCHANGE,
+                )
+                self.events.log(
+                    self.epoch, self._event_rows["ghost_unpack"],
+                    phase=PHASE_EXCHANGE,
+                )
+            self.events.log(
+                self.epoch,
+                self._event_rows[("rhs", bool(command[1]), bool(command[2]))],
+                phase=PHASE_COMPUTE,
+            )
+            if command[4]:  # fused update rides in the same epoch
+                self.events.log(
+                    self.epoch, self._event_rows["update"],
+                    phase=PHASE_UPDATE,
+                )
+            return
         if op == "rhs":
             rows = self._event_rows[("rhs", bool(command[1]), bool(command[2]))]
         else:
@@ -327,6 +417,109 @@ class _WorkerState:
                     x=self.x[run_index], y=self.y[run_index],
                 )
 
+    def _rhs_regions(self, passes: list, collect_fluxes: bool, dx: float) -> None:
+        for u_sub, d_sub, faces_sub, tag in passes:
+            stacked_rhs_kernel(
+                u_sub, dx, self.ex.eos, d_sub,
+                reconstruction=self.ex.reconstruction,
+                faces=(faces_sub or None) if collect_fluxes else None,
+                registry=self.registry,
+                scratch=self.scratch,
+                tag=("region",) + tag,
+            )
+
+    def xstage(
+        self,
+        collect_fluxes: bool,
+        use_accel: bool,
+        omega: float,
+        fuse_update: bool,
+        a0: float,
+        a1: float,
+        dt: float,
+    ) -> Dict[str, float]:
+        """One futurized RK stage: post the exchange, compute the interior
+        while it is in flight, drain arrivals, then compute the halo.
+
+        wire=shm — the apply *is* the receive (donor interiors were
+        sealed by the previous barrier), so the latency hidden here is
+        the cross-rank wait for the fused update's go-ahead: every rank
+        notes ``ghosts`` once its applies are done (it has finished
+        reading donor interiors) and the parent routes ``go`` when all
+        have — a message-grained happens-before edge that replaces the
+        rhs/update barrier and is hidden behind interior+halo compute.
+
+        wire=pipe — remote payloads are posted to the parent relay
+        first, interior compute runs while they propagate, then the
+        drain/unpack feeds the halo passes.
+
+        Returns per-phase wall-time attribution for the bench harness.
+        """
+        ex = self.ex
+        arena = ex.arena_view
+        plan = ex.bundle_plan
+        link = self.link
+        seg = {"ghost_s": 0.0, "wait_s": 0.0, "rhs_s": 0.0}
+
+        t0 = time.perf_counter()
+        with self.registry.timer("hydro.ghost"):
+            if ex.wire == "pipe":
+                # Post every remote payload before touching compute; the
+                # parent relays each to its destination as it arrives.
+                for pair in self.src_remote:
+                    bundle = plan.bundles[pair]
+                    bundle.flip()
+                    link.note(("payload", pair), bundle.pack(arena))
+                for pair in self.dst_local:
+                    plan.bundles[pair].apply(arena)
+            else:
+                for pair in self.dst_pairs:
+                    plan.bundles[pair].apply(arena)
+        if ex.wire == "shm" and fuse_update:
+            link.note("ghosts")
+        seg["ghost_s"] += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for run_index, (_lo, _hi, dx) in enumerate(self.runs):
+            self._rhs_regions(
+                self.region_interior[run_index], collect_fluxes, dx
+            )
+        seg["rhs_s"] += time.perf_counter() - t0
+
+        if ex.wire == "pipe":
+            t0 = time.perf_counter()
+            with self.registry.timer("hydro.ghost"):
+                for pair in self.dst_remote:
+                    bundle = plan.bundles[pair]
+                    np.copyto(bundle.payload, link.wait(("payload", pair)))
+                    bundle.unpack(arena)
+            seg["wait_s"] += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for run_index, (lo, hi, dx) in enumerate(self.runs):
+            self._rhs_regions(self.region_halo[run_index], collect_fluxes, dx)
+            if use_accel or omega != 0.0:
+                accel = self.accel_view[lo:hi] if use_accel else None
+                stacked_source_kernel(
+                    self.u_int[run_index], self.dudt[run_index],
+                    accel=accel, omega=omega,
+                    x=self.x[run_index], y=self.y[run_index],
+                )
+        seg["rhs_s"] += time.perf_counter() - t0
+
+        if fuse_update:
+            if ex.wire == "shm":
+                # The go-ahead orders every rank's donor-interior reads
+                # before any rank's interior writes; by now the compute
+                # above has usually already absorbed the wait.
+                t0 = time.perf_counter()
+                link.wait("go")
+                seg["wait_s"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            self.update(a0, a1, dt)
+            seg["rhs_s"] += time.perf_counter() - t0
+        return seg
+
     def reflux(self) -> int:
         """Flux corrections for owned leaves, reading all leaves' faces.
 
@@ -382,6 +575,8 @@ class _WorkerState:
             return self.ghost_unpack(command[1])
         if op == "rhs":
             return self.rhs(command[1], command[2], command[3])
+        if op == "xstage":
+            return self.xstage(*command[1:])
         if op == "reflux":
             return self.reflux()
         if op == "update":
@@ -397,8 +592,8 @@ def _make_handler(executor: "ProcessHydroExecutor"):
     """The child-side handler factory (runs after fork; sees the parent's
     mesh, plans and shm views by inheritance)."""
 
-    def factory(rank: int, registry: CounterRegistry):
-        state = _WorkerState(rank, registry, executor)
+    def factory(rank: int, registry: CounterRegistry, link: WorkerLink):
+        state = _WorkerState(rank, registry, executor, link)
         return state.dispatch
 
     return factory
@@ -428,6 +623,7 @@ class ProcessHydroExecutor:
         timeout: float = 120.0,
         verify_plans: bool = True,
         detect_races: bool = False,
+        overlap: bool = False,
     ) -> None:
         if wire not in ("shm", "pipe"):
             raise ValueError(f"wire must be 'shm' or 'pipe', got {wire!r}")
@@ -437,6 +633,11 @@ class ProcessHydroExecutor:
         self.reflux = reflux
         self.reconstruction = reconstruction
         self.wire = wire
+        #: Futurized schedule: fuse ghost exchange + rhs (+ update when no
+        #: reflux round is needed) into one dependency-grained round per RK
+        #: stage, hiding exchange latency behind interior compute.  Off by
+        #: default — the BSP schedule is the ablation baseline.
+        self.overlap = bool(overlap)
         self.engine = ParallelEngine(nprocs, timeout=timeout)
         self.nprocs = self.engine.nprocs
         self.registry: Optional[CounterRegistry] = None
@@ -456,6 +657,12 @@ class ProcessHydroExecutor:
         self.n = mesh.n
         self.ghost = mesh.ghost
         self.m = self.n + 2 * self.ghost
+        #: Plan-time interior/halo partition of every stacked block (a pure
+        #: function of n, so it survives every regrid unchanged).
+        self.split = compute_region_split(self.n)
+        #: Set once :func:`verify_region_split` has passed for this
+        #: executor; the overlap schedule refuses to run without it.
+        self._split_verified = False
 
         self.arena: Optional[ShmArena] = None
         self.accel_arena: Optional[ShmArena] = None
@@ -488,6 +695,12 @@ class ProcessHydroExecutor:
         #: relayed last step.
         self.payload_messages = 0
         self.payload_bytes = 0
+        #: Per-step phase attribution (seconds): critical-path time spent
+        #: in / waiting on the ghost exchange vs computing.  BSP charges
+        #: whole-round wall time; overlap charges the workers' own
+        #: per-phase clocks (max over ranks per stage).
+        self.exchange_wait_s = 0.0
+        self.compute_s = 0.0
 
     # -- lifecycle ------------------------------------------------------------
     def matches(self) -> bool:
@@ -634,9 +847,19 @@ class ProcessHydroExecutor:
             self.bundle_plan_hook(self.bundle_plan)
         if self.verify_plans:
             require_verified(verify_process_plan(self))
+            self._split_verified = True
         if self.detect_races:
             self.event_log = ShmEventLog(self.nprocs)
-            self.race_detector = ShmRaceDetector(self.event_log)
+            # The only sanctioned intra-epoch cross-rank edge: on the shm
+            # wire the fused update is gated by the ghosts->go handshake,
+            # ordering every donor-interior read before any interior write.
+            edges = (
+                {(PHASE_EXCHANGE, PHASE_UPDATE)}
+                if self.overlap and self.wire == "shm" else None
+            )
+            self.race_detector = ShmRaceDetector(
+                self.event_log, ordered_phases=edges
+            )
 
         # Fork *after* every arena and plan exists: children inherit it all.
         self.engine = ParallelEngine(self.engine.nprocs, timeout=self.engine.timeout)
@@ -682,6 +905,7 @@ class ProcessHydroExecutor:
             self.bundle_plan_hook(self.bundle_plan)
         if self.verify_plans:
             require_verified(verify_process_plan(self))
+            self._split_verified = True
 
         plan = self.bundle_plan
         common = {
@@ -789,6 +1013,54 @@ class ProcessHydroExecutor:
         if self.engine.round_observer is not None:
             self.engine.round_observer()
 
+    def _overlap_stage(
+        self,
+        a0: float,
+        a1: float,
+        dt: float,
+        collect_fluxes: bool,
+        use_accel: bool,
+    ) -> None:
+        """One futurized RK stage: a dependency-grained fused round.
+
+        The parent acts as the message router: pipe-wire ghost payloads
+        posted mid-round are relayed straight to their destination rank,
+        and the shm-wire fused update's go-ahead is granted once every
+        rank has finished reading donor interiors.  Reflux (when needed)
+        keeps its own barrier round — its flux reads span all ranks.
+        """
+        engine = self.engine
+        fuse_update = not collect_fluxes
+        ghosts_done = {"count": 0}
+
+        def on_note(rank: int, tag: Any, payload: Any):
+            if tag == "ghosts":
+                ghosts_done["count"] += 1
+                if ghosts_done["count"] == self.nprocs:
+                    return [(r, "go", None) for r in range(self.nprocs)]
+                return ()
+            _, pair = tag  # ("payload", (src, dst))
+            self.payload_messages += 1
+            self.payload_bytes += payload.size * 8
+            return [(pair[1], tag, payload)]
+
+        segs = engine.round_async(
+            (
+                "xstage", collect_fluxes, use_accel, self.omega,
+                fuse_update, a0, a1, dt,
+            ),
+            on_note=on_note,
+        )
+        self.exchange_wait_s += max(
+            s["ghost_s"] + s["wait_s"] for s in segs
+        )
+        self.compute_s += max(s["rhs_s"] for s in segs)
+        if collect_fluxes:
+            t0 = time.perf_counter()
+            self.faces_refluxed += sum(engine.round(("reflux",)))
+            engine.round(("update", a0, a1, dt))
+            self.compute_s += time.perf_counter() - t0
+
     # -- the step -------------------------------------------------------------
     def step(
         self,
@@ -806,6 +1078,8 @@ class ProcessHydroExecutor:
         engine = self.engine
         self.payload_messages = 0
         self.payload_bytes = 0
+        self.exchange_wait_s = 0.0
+        self.compute_s = 0.0
 
         use_accel = gravity is not None
         if use_accel:
@@ -814,18 +1088,44 @@ class ProcessHydroExecutor:
             self.reflux and self.bundle_plan is not None
             and any(b.fine_dst.size for b in self.bundle_plan.bundles.values())
         )
+        if self.overlap and not self._split_verified:
+            # The schedule below trusts the split partition for coverage
+            # and write-disjointness; refuse to overlap on an unverified
+            # split even when whole-plan verification is off.
+            require_verified(
+                verify_region_split(self.split, self.n, self.ghost)
+            )
+            self._split_verified = True
 
         engine.round(("begin",))
         for stage_index, (a0, a1) in enumerate(_RK3_STAGES):
+            # Per-stage accel rewrites need the parent between the ghost
+            # fill and the rhs — a seam the fused round does not have, so
+            # those stages fall back to the barrier schedule.
+            rewrite_accel = use_accel and gravity_every_stage and stage_index
+            if self.overlap and not rewrite_accel:
+                self._overlap_stage(a0, a1, dt, collect_fluxes, use_accel)
+                continue
+            t0 = time.perf_counter()
             self._ghost_round()
-            if use_accel and gravity_every_stage and stage_index:
+            self.exchange_wait_s += time.perf_counter() - t0
+            if rewrite_accel:
                 # Workers are between rounds (idle at the barrier), so the
                 # parent may rewrite the accel arena they read next round.
                 self._write_accel(gravity(self.mesh))
-            engine.round(("rhs", collect_fluxes, use_accel, self.omega))
+            t0 = time.perf_counter()
+            # BSP ablation baseline (and the per-stage accel-rewrite path):
+            # the barrier schedule is the comparison point for the overlap
+            # crosscheck, so these rounds stay blocking on purpose.
+            engine.round(  # reprolint: sanctioned-barrier
+                ("rhs", collect_fluxes, use_accel, self.omega)
+            )
             if collect_fluxes:
-                self.faces_refluxed += sum(engine.round(("reflux",)))
-            engine.round(("update", a0, a1, dt))
+                self.faces_refluxed += sum(
+                    engine.round(("reflux",))  # reprolint: sanctioned-barrier
+                )
+            engine.round(("update", a0, a1, dt))  # reprolint: sanctioned-barrier
+            self.compute_s += time.perf_counter() - t0
 
         signal_maps = engine.round(("finish",))
         if self.registry is not None:

@@ -35,7 +35,10 @@ from repro.octree.regrid import RegridDelta
 _SKIP_ATTRS = {
     "mesh_ref",
     "payload",
+    "_payloads",
+    "_active",
     "_fine_acc",
+    "_fine_accs",
     "_fine_tmp",
     "_same_buf",
     "_coarse_buf",

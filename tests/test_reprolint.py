@@ -498,3 +498,55 @@ class TestColdPlanBuild:
     def test_unrelated_call_in_loop_ok(self):
         src = "for s in steps:\n    integrator.plan_for(mesh)\n"
         assert lint_source(src, "src/repro/core/driver.py") == []
+
+
+class TestBarrierRoundInLoop:
+    def test_barrier_round_in_for_loop_flagged(self):
+        src = (
+            "for stage in stages:\n"
+            "    engine.round(('rhs', True))\n"
+        )
+        assert rules(lint_source(src, "src/repro/hydro/x.py")) == ["R011"]
+
+    def test_attribute_owner_in_while_flagged(self):
+        src = (
+            "while t < t_end:\n"
+            "    self.engine.round(('update', a0, a1, dt))\n"
+        )
+        assert rules(lint_source(src, "src/repro/hydro/x.py")) == ["R011"]
+
+    def test_sanctioned_call_line_ok(self):
+        src = (
+            "for stage in stages:\n"
+            "    engine.round(('reflux',))"
+            "  # reprolint: sanctioned-barrier\n"
+        )
+        assert lint_source(src, "src/repro/hydro/x.py") == []
+
+    def test_sanctioned_loop_header_ok(self):
+        src = (
+            "for stage in stages:  # reprolint: sanctioned-barrier\n"
+            "    engine.round(('rhs', True))\n"
+        )
+        assert lint_source(src, "src/repro/hydro/x.py") == []
+
+    def test_round_outside_loop_ok(self):
+        src = "engine.round(('begin',))\n"
+        assert lint_source(src, "src/repro/hydro/x.py") == []
+
+    def test_async_round_in_loop_ok(self):
+        src = "for stage in stages:\n    engine.round_async(cmd, on_note=h)\n"
+        assert lint_source(src, "src/repro/hydro/x.py") == []
+
+    def test_numpy_round_in_loop_ok(self):
+        src = "for v in vals:\n    out.append(np.round(v))\n"
+        assert lint_source(src, "src/repro/hydro/x.py") == []
+
+    def test_nested_loop_reported_once(self):
+        src = (
+            "for a in outer:\n"
+            "    for b in inner:\n"
+            "        engine.round(('rhs',))\n"
+        )
+        findings = lint_source(src, "src/repro/x.py")
+        assert [f.rule for f in findings] == ["R011"]

@@ -15,6 +15,7 @@ from repro.analysis.shmrace import (
     MODE_ACCUM,
     MODE_READ,
     MODE_WRITE,
+    PHASE_NONE,
     REGION_ALL,
     REGION_GHOST,
     REGION_INTERIOR,
@@ -41,12 +42,12 @@ class TestEventLog:
             w0.log(4, slot_range_rows(1, 2, MODE_READ, SEG_FLUX,
                                       REGION_INTERIOR))
             rows = log.events(0)
-            assert rows.shape == (2, 6)
+            assert rows.shape == (2, 7)
             assert rows[0].tolist() == [3, MODE_WRITE, SEG_FIELDS, 0, 4,
-                                        REGION_ALL]
+                                        REGION_ALL, PHASE_NONE]
             assert rows[1].tolist() == [4, MODE_READ, SEG_FLUX, 1, 2,
-                                        REGION_INTERIOR]
-            assert log.events(1).shape == (0, 6)
+                                        REGION_INTERIOR, PHASE_NONE]
+            assert log.events(1).shape == (0, 7)
 
     def test_overflow_counts_dropped_never_raises(self):
         with ShmEventLog(nranks=1, capacity=2) as log:
@@ -55,10 +56,10 @@ class TestEventLog:
                 slot_range_rows(0, 1, MODE_READ, SEG_FIELDS), 5, axis=0
             )
             w.log(0, rows)
-            assert log.events(0).shape == (2, 6)
+            assert log.events(0).shape == (2, 7)
             assert log.dropped(0) == 3
             log.reset()
-            assert log.events(0).shape == (0, 6)
+            assert log.events(0).shape == (0, 7)
             assert log.dropped(0) == 3  # cumulative across resets
 
     def test_unlinks_segment(self):

@@ -88,6 +88,17 @@ R010 no-cold-plan-in-step-loop
     per-scenario sweeps carry ``# reprolint: sanctioned-cold-build`` on
     the call line or the loop header.
 
+R011 no-barrier-round-in-step-loop
+    No blocking barrier round (``engine.round(...)``) inside a loop.  A
+    barrier per loop iteration serializes the ghost exchange against the
+    compute that could hide it; the dependency-grained alternative
+    (``ParallelEngine.round_async`` + the futurized interior/halo
+    schedule, see docs/parallel.md) exists precisely to overlap them.
+    Deliberate barrier loops — the BSP ablation baseline, collective
+    phases with genuine all-rank dependencies (reflux), test harnesses —
+    carry ``# reprolint: sanctioned-barrier`` on the call line or the
+    loop header.
+
 Exit status: 0 clean, 1 findings reported, 2 usage error, 3 unreadable
 or unparseable input (R000).  ``--json`` emits the findings as a machine
 readable object for CI annotation.
@@ -144,6 +155,10 @@ _COLD_BUILD_FNS = {
     "build_plan", "build_hydro_plan", "build_bundle_plan", "ghost_index_plan",
 }
 _COLD_SANCTION_TAG = "# reprolint: sanctioned-cold-build"
+#: Engine-owner names whose ``.round(...)`` is a blocking barrier (R011);
+#: matching on the receiver name keeps ``np.round`` and friends out.
+_BARRIER_OWNERS = {"engine"}
+_BARRIER_SANCTION_TAG = "# reprolint: sanctioned-barrier"
 
 
 @dataclass(frozen=True)
@@ -685,6 +700,44 @@ def _check_cold_plan_build(
     return findings
 
 
+def _check_barrier_round_in_loop(
+    tree: ast.Module, path: str, sanctioned: Set[int]
+) -> List[Finding]:
+    """R011: no blocking barrier round inside a loop body."""
+    findings: List[Finding] = []
+    seen: Set[tuple] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.For, ast.While)):
+            continue
+        if node.lineno in sanctioned:
+            continue
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            fn = call.func
+            if not (isinstance(fn, ast.Attribute) and fn.attr == "round"):
+                continue
+            owner = fn.value
+            owner_name = owner.attr if isinstance(owner, ast.Attribute) else (
+                owner.id if isinstance(owner, ast.Name) else ""
+            )
+            if owner_name not in _BARRIER_OWNERS or call.lineno in sanctioned:
+                continue
+            key = (call.lineno, call.col_offset)
+            if key in seen:  # nested loops walk the same call twice
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                path, call.lineno, "R011",
+                "blocking barrier round inside a loop serializes the "
+                "exchange against compute that could hide it; use "
+                "round_async with the interior/halo overlap schedule, or "
+                "mark a deliberate barrier (BSP ablation, reflux "
+                f"collective) with {_BARRIER_SANCTION_TAG!r}",
+            ))
+    return findings
+
+
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one module's source text; the unit of testing."""
     tree = ast.parse(source, filename=path)
@@ -705,6 +758,9 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     findings += _check_backend_imports(tree, path)
     findings += _check_cold_plan_build(
         tree, path, _sanctioned_lines(source, _COLD_SANCTION_TAG)
+    )
+    findings += _check_barrier_round_in_loop(
+        tree, path, _sanctioned_lines(source, _BARRIER_SANCTION_TAG)
     )
     return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
 
